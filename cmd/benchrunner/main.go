@@ -1,0 +1,88 @@
+// Command benchrunner regenerates the paper's evaluation figures
+// (Figures 3–7) and the ablation studies on the simulated PGAS system.
+//
+// Usage:
+//
+//	benchrunner [-figure 3|4|5|6|7|ablations|all] [-scale F]
+//	            [-tasks N] [-maxlocales N] [-csv FILE] [-comm] [-quiet]
+//
+// Output is gnuplot-style text on stdout (seconds per sweep point);
+// -comm adds the communication-volume view; -csv additionally writes
+// the long-form machine-readable record with both metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gopgas/internal/bench"
+)
+
+func main() {
+	var (
+		figure     = flag.String("figure", "all", "which figure to run: 3,4,5,6,7,ablations,all")
+		scale      = flag.Float64("scale", 1.0, "operation-count multiplier")
+		tasks      = flag.Int("tasks", 2, "tasks per locale in distributed loops")
+		maxLocales = flag.Int("maxlocales", 64, "largest locale count in sweeps")
+		maxTasks   = flag.Int("maxtasks", 32, "largest task count in the shared-memory sweep")
+		csvPath    = flag.String("csv", "", "also write long-form CSV to this file")
+		commView   = flag.Bool("comm", false, "also print communication-volume tables")
+		quiet      = flag.Bool("quiet", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.TasksPerLocale = *tasks
+	cfg.MaxLocales = *maxLocales
+	cfg.MaxSharedTasks = *maxTasks
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	var figures []bench.Figure
+	run := func(id string, fn func(bench.Config) bench.Figure) {
+		if *figure == "all" || *figure == id {
+			figures = append(figures, fn(cfg))
+		}
+	}
+	run("3", bench.Figure3)
+	run("4", bench.Figure4)
+	run("5", bench.Figure5)
+	run("6", bench.Figure6)
+	run("7", bench.Figure7)
+	if *figure == "all" || strings.HasPrefix(*figure, "abl") {
+		figures = append(figures, bench.Ablations(cfg)...)
+	}
+	if len(figures) == 0 {
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+
+	for _, f := range figures {
+		bench.WriteText(os.Stdout, f)
+		if *commView {
+			bench.WriteCommText(os.Stdout, f)
+		}
+	}
+
+	if *csvPath != "" {
+		var w io.WriteCloser
+		w, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figures {
+			bench.WriteCSV(w, f)
+		}
+		if err := w.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,131 @@
+// distqueue: a multi-stage pipeline over Michael–Scott queues. Stage
+// one generates synthetic events on every locale, stage two transforms
+// them, stage three aggregates — each stage connected by a distributed
+// lock-free queue whose nodes are reclaimed concurrently by the
+// EpochManager. This is the "bounded memory under churn" use case
+// Figure 4 models: reclamation runs sparsely while the pipeline is
+// hot, so memory stays flat instead of growing with throughput.
+//
+// Run with:
+//
+//	go run ./examples/distqueue [-locales N] [-events N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+	"gopgas/internal/structures/queue"
+)
+
+type event struct {
+	Source int
+	Value  int64
+}
+
+func main() {
+	locales := flag.Int("locales", 4, "number of simulated locales")
+	events := flag.Int("events", 3000, "events per source locale")
+	flag.Parse()
+
+	sys := pgas.NewSystem(pgas.Config{
+		Locales: *locales,
+		Backend: comm.BackendUGNI,
+		Latency: comm.DefaultProfile(),
+	})
+	defer sys.Shutdown()
+
+	em := epoch.NewEpochManager(sys.Ctx(0))
+	// Stage queues homed on different locales to spread the hot cells.
+	raw := queue.New[event](sys.Ctx(0), 0, em)
+	squared := queue.New[event](sys.Ctx(0), (*locales)/2, em)
+
+	total := *locales * *events
+	var transformed, aggregated atomic.Int64
+	var sum atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	// Stage 1: one generator per locale.
+	for l := 0; l < *locales; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			c := sys.Ctx(l)
+			tok := em.Register(c)
+			defer tok.Unregister(c)
+			for i := 0; i < *events; i++ {
+				raw.Enqueue(c, tok, event{Source: l, Value: int64(i)})
+			}
+		}(l)
+	}
+
+	// Stage 2: transformers on every locale square the values.
+	for l := 0; l < *locales; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			c := sys.Ctx(l)
+			tok := em.Register(c)
+			defer tok.Unregister(c)
+			for transformed.Load() < int64(total) {
+				ev, ok := raw.Dequeue(c, tok)
+				if !ok {
+					continue
+				}
+				ev.Value *= ev.Value
+				squared.Enqueue(c, tok, ev)
+				if transformed.Add(1)%1024 == 0 {
+					tok.TryReclaim(c) // sparse reclamation while hot
+				}
+			}
+		}(l)
+	}
+
+	// Stage 3: a single aggregator.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := sys.Ctx(0)
+		tok := em.Register(c)
+		defer tok.Unregister(c)
+		for aggregated.Load() < int64(total) {
+			ev, ok := squared.Dequeue(c, tok)
+			if !ok {
+				continue
+			}
+			sum.Add(ev.Value)
+			aggregated.Add(1)
+		}
+	}()
+
+	wg.Wait()
+	c := sys.Ctx(0)
+	em.Clear(c)
+	elapsed := time.Since(start)
+
+	// sum of i^2 for i in [0, events) per locale.
+	n := int64(*events)
+	wantPerLocale := (n - 1) * n * (2*n - 1) / 6
+	want := wantPerLocale * int64(*locales)
+	fmt.Printf("pipeline: %d events through 3 stages in %v\n", total, elapsed.Round(time.Millisecond))
+	fmt.Printf("  aggregate: sum of squares = %d (want %d, match=%v)\n", sum.Load(), want, sum.Load() == want)
+	mgr := em.Stats(c)
+	fmt.Printf("  epoch: deferred=%d reclaimed=%d advances=%d\n", mgr.Deferred, mgr.Reclaimed, mgr.Advances)
+	heap := sys.HeapStats()
+	fmt.Printf("  heap:  high-water %d live slots for %d total enqueues (bounded churn)\n",
+		heap.HighWater, 2*total)
+	fmt.Printf("  comm:  %v\n", sys.Counters().Snapshot())
+	if sum.Load() != want {
+		panic("aggregation mismatch")
+	}
+	if heap.UAFLoads != 0 {
+		panic("use-after-free detected")
+	}
+}

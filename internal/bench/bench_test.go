@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"gopgas/internal/comm"
+)
+
+// tinyConfig runs every figure at trivial size with zero injected
+// latency: these tests validate harness structure (panels, series,
+// point counts, report formats), not performance.
+func tinyConfig() Config {
+	return Config{
+		Scale:          0.001,
+		TasksPerLocale: 1,
+		MaxLocales:     4,
+		MaxSharedTasks: 2,
+		Latency:        comm.Zero(),
+		Seed:           7,
+		Repeats:        1,
+	}
+}
+
+func checkFigure(t *testing.T, f Figure, wantPanels int, xs []int) {
+	t.Helper()
+	if len(f.Panels) != wantPanels {
+		t.Fatalf("figure %s has %d panels, want %d", f.ID, len(f.Panels), wantPanels)
+	}
+	for _, p := range f.Panels {
+		if len(p.Series) == 0 {
+			t.Fatalf("figure %s panel %q has no series", f.ID, p.Title)
+		}
+		for _, s := range p.Series {
+			if len(s.Points) != len(xs) {
+				t.Fatalf("figure %s series %q has %d points, want %d", f.ID, s.Label, len(s.Points), len(xs))
+			}
+			for i, pt := range s.Points {
+				if pt.X != xs[i] {
+					t.Fatalf("figure %s series %q point %d X=%d want %d", f.ID, s.Label, i, pt.X, xs[i])
+				}
+				if pt.Seconds < 0 {
+					t.Fatalf("negative time in %s/%s", f.ID, s.Label)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure3Structure(t *testing.T) {
+	f := Figure3(tinyConfig())
+	if f.ID != "3" || len(f.Panels) != 2 {
+		t.Fatalf("fig3 = %+v", f.ID)
+	}
+	checkFigure(t, Figure{ID: "3s", Panels: f.Panels[:1]}, 1, []int{1, 2})
+	checkFigure(t, Figure{ID: "3d", Panels: f.Panels[1:]}, 1, []int{1, 2, 4})
+	if len(f.Panels[1].Series) != 5 {
+		t.Fatalf("distributed panel has %d series, want 5", len(f.Panels[1].Series))
+	}
+}
+
+func TestFigures456Structure(t *testing.T) {
+	cfg := tinyConfig()
+	for _, f := range []Figure{Figure4(cfg), Figure5(cfg), Figure6(cfg)} {
+		checkFigure(t, f, 3, []int{2, 4})
+		for _, p := range f.Panels {
+			if len(p.Series) != 2 {
+				t.Fatalf("fig %s panel %q series = %d", f.ID, p.Title, len(p.Series))
+			}
+		}
+	}
+}
+
+func TestFigure7Structure(t *testing.T) {
+	f := Figure7(tinyConfig())
+	checkFigure(t, f, 1, []int{1, 2, 4})
+}
+
+func TestAblationsStructure(t *testing.T) {
+	figs := Ablations(tinyConfig())
+	if len(figs) != 5 {
+		t.Fatalf("got %d ablations", len(figs))
+	}
+	ids := map[string]bool{}
+	for _, f := range figs {
+		ids[f.ID] = true
+		if len(f.Panels) == 0 {
+			t.Fatalf("ablation %s empty", f.ID)
+		}
+	}
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5"} {
+		if !ids[id] {
+			t.Fatalf("missing ablation %s (have %v)", id, ids)
+		}
+	}
+}
+
+func TestReportWriters(t *testing.T) {
+	f := Figure7(tinyConfig())
+	var text, csv, commText strings.Builder
+	WriteText(&text, f)
+	WriteCSV(&csv, f)
+	WriteCommText(&commText, f)
+
+	if !strings.Contains(text.String(), "Figure 7") || !strings.Contains(text.String(), "Pin-Unpin") {
+		t.Fatalf("text output malformed:\n%s", text.String())
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	// header + (2 backends × 3 locale points)
+	if len(lines) != 1+6 {
+		t.Fatalf("csv has %d lines:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "figure,panel,series,x,seconds") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 14 {
+			t.Fatalf("csv row has %d commas: %q", got, l)
+		}
+	}
+	if !strings.Contains(commText.String(), "remote communication ops") {
+		t.Fatal("comm view missing")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.ops(100) != 100 {
+		t.Fatal("scale 1 changed op count")
+	}
+	cfg.Scale = 0.0001
+	if cfg.ops(100) != 1 {
+		t.Fatal("ops floor is 1")
+	}
+	cfg.MaxLocales = 16
+	sweep := cfg.localeSweep(2)
+	want := []int{2, 4, 8, 16}
+	if len(sweep) != len(want) {
+		t.Fatalf("sweep = %v", sweep)
+	}
+	for i := range want {
+		if sweep[i] != want[i] {
+			t.Fatalf("sweep = %v", sweep)
+		}
+	}
+}
+
+func TestBestKeepsFastest(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Repeats = 3
+	times := []float64{3, 1, 2}
+	i := 0
+	p := cfg.best(func() Point {
+		p := Point{Seconds: times[i]}
+		i++
+		return p
+	})
+	if p.Seconds != 1 {
+		t.Fatalf("best = %v", p.Seconds)
+	}
+	if i != 3 {
+		t.Fatalf("ran %d times", i)
+	}
+}

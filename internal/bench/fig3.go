@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/atomics"
+	"gopgas/internal/gas"
+	"gopgas/internal/pgas"
+)
+
+// Figure 3: "AtomicObject vs atomic int". Strong scaling of a mixed
+// atomic workload — 25% read, 25% write, 25% compare-and-swap, 25%
+// exchange — against an array of cells, in two panels:
+//
+//   - Shared memory: one locale, 1..32 tasks, comparing Chapel's
+//     atomic int (Word64) with AtomicObject with and without ABA.
+//   - Distributed memory: 1..64 locales, cells distributed
+//     cyclically and targets drawn uniformly (so ≈(L−1)/L of the
+//     operations are remote), comparing atomic int and AtomicObject
+//     under both network-atomic backends plus AtomicObject (ABA),
+//     whose full-width operations never use the NIC.
+
+const fig3Cells = 256
+
+// atomicVariant abstracts "one mixed op against cell i" for each
+// compared implementation.
+type atomicVariant interface {
+	name() string
+	setup(c *pgas.Ctx, locales int)
+	op(c *pgas.Ctx, cell int, kind int)
+}
+
+// intVariant is Chapel's `atomic int`: an array of network words.
+type intVariant struct {
+	label string
+	cells []*pgas.Word64
+}
+
+func (v *intVariant) name() string { return v.label }
+
+func (v *intVariant) setup(c *pgas.Ctx, locales int) {
+	v.cells = make([]*pgas.Word64, fig3Cells)
+	for i := range v.cells {
+		v.cells[i] = pgas.NewWord64(c, i%locales, 0)
+	}
+}
+
+func (v *intVariant) op(c *pgas.Ctx, cell int, kind int) {
+	w := v.cells[cell]
+	switch kind {
+	case 0:
+		w.Read(c)
+	case 1:
+		w.Write(c, uint64(cell))
+	case 2:
+		w.CompareAndSwap(c, uint64(cell), uint64(cell+1))
+	default:
+		w.Exchange(c, uint64(cell))
+	}
+}
+
+// objVariant is AtomicObject, optionally with ABA-stamped operations.
+type objVariant struct {
+	label string
+	aba   bool
+	cells []*atomics.AtomicObject
+	objs  []gas.Addr // two preallocated targets per cell's home locale
+}
+
+func (v *objVariant) name() string { return v.label }
+
+func (v *objVariant) setup(c *pgas.Ctx, locales int) {
+	v.cells = make([]*atomics.AtomicObject, fig3Cells)
+	v.objs = make([]gas.Addr, 2*fig3Cells)
+	type blob struct{ x int }
+	for i := range v.cells {
+		home := i % locales
+		v.cells[i] = atomics.New(c, home, atomics.Options{ABA: v.aba})
+		v.objs[2*i] = c.AllocOn(home, &blob{x: i})
+		v.objs[2*i+1] = c.AllocOn(home, &blob{x: -i})
+		v.cells[i].Write(c, v.objs[2*i])
+	}
+}
+
+func (v *objVariant) op(c *pgas.Ctx, cell int, kind int) {
+	w := v.cells[cell]
+	a, b := v.objs[2*cell], v.objs[2*cell+1]
+	if v.aba {
+		switch kind {
+		case 0:
+			w.ReadABA(c)
+		case 1:
+			w.WriteABA(c, a)
+		case 2:
+			cur := w.ReadABA(c)
+			w.CompareAndSwapABA(c, cur, b)
+		default:
+			w.ExchangeABA(c, a)
+		}
+		return
+	}
+	switch kind {
+	case 0:
+		w.Read(c)
+	case 1:
+		w.Write(c, a)
+	case 2:
+		cur := w.Read(c)
+		w.CompareAndSwap(c, cur, b)
+	default:
+		w.Exchange(c, a)
+	}
+}
+
+// runAtomicMix executes totalOps mixed operations split across the
+// system's locales and tasks, returning the timing point.
+func (cfg Config) runAtomicMix(locales, tasksPerLocale, totalOps int, backend comm.Backend, v atomicVariant) Point {
+	sys := cfg.newSystem(locales, backend)
+	defer sys.Shutdown()
+	var secs float64
+	var snap comm.Snapshot
+	sys.Run(func(c *pgas.Ctx) {
+		v.setup(c, locales)
+		secs, snap = timed(sys, func() {
+			pgas.ForallCyclic(c, totalOps, tasksPerLocale, nil,
+				func(tc *pgas.Ctx, _ struct{}, i int) {
+					v.op(tc, tc.RandIntn(fig3Cells), tc.RandIntn(4))
+				}, nil)
+		})
+	})
+	x := locales
+	if locales == 1 {
+		x = tasksPerLocale
+	}
+	return Point{X: x, Seconds: secs, Comm: snap}
+}
+
+// Figure3 regenerates both panels of Figure 3.
+func Figure3(cfg Config) Figure {
+	sharedOps := cfg.ops(1 << 17)
+	distOps := cfg.ops(1 << 14)
+
+	shared := Panel{Title: "Shared Memory", XLabel: "Tasks"}
+	sharedVariants := []atomicVariant{
+		&intVariant{label: "atomic int"},
+		&objVariant{label: "AtomicObject (ABA)", aba: true},
+		&objVariant{label: "AtomicObject"},
+	}
+	for _, v := range sharedVariants {
+		s := Series{Label: v.name()}
+		for _, tasks := range cfg.taskSweep() {
+			p := cfg.best(func() Point { return cfg.runAtomicMix(1, tasks, sharedOps, comm.BackendNone, v) })
+			s.Points = append(s.Points, p)
+			cfg.progressf("fig3 shared %-22s tasks=%-3d %8.4fs\n", v.name(), tasks, p.Seconds)
+		}
+		shared.Series = append(shared.Series, s)
+	}
+
+	dist := Panel{Title: "Distributed Memory", XLabel: "Locales"}
+	distRuns := []struct {
+		variant atomicVariant
+		backend comm.Backend
+	}{
+		{&intVariant{label: "atomic int (none)"}, comm.BackendNone},
+		{&intVariant{label: "atomic int (ugni)"}, comm.BackendUGNI},
+		{&objVariant{label: "AtomicObject (ABA)", aba: true}, comm.BackendNone},
+		{&objVariant{label: "AtomicObject (none)"}, comm.BackendNone},
+		{&objVariant{label: "AtomicObject (ugni)"}, comm.BackendUGNI},
+	}
+	for _, r := range distRuns {
+		s := Series{Label: r.variant.name()}
+		for _, locales := range cfg.localeSweep(1) {
+			p := cfg.best(func() Point { return cfg.runAtomicMix(locales, cfg.TasksPerLocale, distOps, r.backend, r.variant) })
+			p.X = locales
+			s.Points = append(s.Points, p)
+			cfg.progressf("fig3 dist   %-22s locales=%-3d %8.4fs  [%v]\n", r.variant.name(), locales, p.Seconds, p.Comm)
+		}
+		dist.Series = append(dist.Series, s)
+	}
+
+	return Figure{
+		ID:    "3",
+		Title: "AtomicObject vs atomic int",
+		Caption: fmt.Sprintf(
+			"Strong scaling of a 25/25/25/25 read/write/CAS/exchange mix over %d cells; shared panel %d ops, distributed panel %d ops.",
+			fig3Cells, sharedOps, distOps),
+		Panels: []Panel{shared, dist},
+	}
+}

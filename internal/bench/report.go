@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders a figure as aligned gnuplot-style data blocks: one
+// block per panel, columns = series, rows = sweep points.
+func WriteText(w io.Writer, f Figure) {
+	fmt.Fprintf(w, "# Figure %s — %s\n", f.ID, f.Title)
+	if f.Caption != "" {
+		fmt.Fprintf(w, "# %s\n", f.Caption)
+	}
+	for _, p := range f.Panels {
+		fmt.Fprintf(w, "\n## %s\n", p.Title)
+		fmt.Fprintf(w, "%-10s", p.XLabel)
+		for _, s := range p.Series {
+			fmt.Fprintf(w, " %*s", colWidth(s.Label), s.Label)
+		}
+		fmt.Fprintln(w)
+		if len(p.Series) == 0 {
+			continue
+		}
+		for i := range p.Series[0].Points {
+			fmt.Fprintf(w, "%-10d", p.Series[0].Points[i].X)
+			for _, s := range p.Series {
+				if i < len(s.Points) {
+					fmt.Fprintf(w, " %*.*f", colWidth(s.Label), 4, s.Points[i].Seconds)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func colWidth(label string) int {
+	if len(label) < 10 {
+		return 10
+	}
+	return len(label)
+}
+
+// WriteCSV renders a figure as long-form CSV with both timing and
+// communication columns — the machine-readable record EXPERIMENTS.md
+// references.
+func WriteCSV(w io.Writer, f Figure) {
+	fmt.Fprintln(w, "figure,panel,series,x,seconds,puts,gets,nic_amos,am_amos,local_amos,on_stmts,bulk_xfers,bulk_bytes,dcas_local,dcas_remote")
+	for _, p := range f.Panels {
+		for _, s := range p.Series {
+			for _, pt := range s.Points {
+				fmt.Fprintf(w, "%s,%q,%q,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+					f.ID, p.Title, s.Label, pt.X, pt.Seconds,
+					pt.Comm.Puts, pt.Comm.Gets, pt.Comm.NICAMOs, pt.Comm.AMAMOs,
+					pt.Comm.LocalAMOs, pt.Comm.OnStmts, pt.Comm.BulkXfers,
+					pt.Comm.BulkBytes, pt.Comm.DCASLocal, pt.Comm.DCASRemote)
+			}
+		}
+	}
+}
+
+// WriteCommText renders the communication-volume view of a figure:
+// remote operations per point, the hardware-independent scaling
+// evidence.
+func WriteCommText(w io.Writer, f Figure) {
+	fmt.Fprintf(w, "# Figure %s — %s (remote communication ops)\n", f.ID, f.Title)
+	for _, p := range f.Panels {
+		fmt.Fprintf(w, "\n## %s\n", p.Title)
+		fmt.Fprintf(w, "%-10s", p.XLabel)
+		for _, s := range p.Series {
+			fmt.Fprintf(w, " %*s", colWidth(s.Label), s.Label)
+		}
+		fmt.Fprintln(w)
+		if len(p.Series) == 0 {
+			continue
+		}
+		for i := range p.Series[0].Points {
+			fmt.Fprintf(w, "%-10d", p.Series[0].Points[i].X)
+			for _, s := range p.Series {
+				if i < len(s.Points) {
+					fmt.Fprintf(w, " %*d", colWidth(s.Label), s.Points[i].Comm.Remote())
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}

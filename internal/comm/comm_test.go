@@ -1,0 +1,180 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBackendString(t *testing.T) {
+	if BackendNone.String() != "none" || BackendUGNI.String() != "ugni" {
+		t.Fatal("backend names wrong")
+	}
+	if got := Backend(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown backend renders %q", got)
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for name, want := range map[string]Backend{"none": BackendNone, "ugni": BackendUGNI} {
+		got, err := ParseBackend(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseBackend(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseBackend("infiniband"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, b := range []Backend{BackendNone, BackendUGNI} {
+		got, err := ParseBackend(b.String())
+		if err != nil || got != b {
+			t.Fatalf("round trip of %v failed", b)
+		}
+	}
+}
+
+func TestDefaultProfileOrdering(t *testing.T) {
+	p := DefaultProfile()
+	// The regime ordering everything depends on: CPU (0) < NIC < AM.
+	if p.LocalAtomicNS != 0 {
+		t.Fatal("local atomics must be free by default")
+	}
+	if !(p.NICAtomicNS > 0 && p.AMRoundTripNS > p.NICAtomicNS) {
+		t.Fatalf("regime ordering broken: NIC=%d AM=%d", p.NICAtomicNS, p.AMRoundTripNS)
+	}
+	if p.AMHandlerNS <= 0 || p.PutGetNS <= 0 || p.OnStmtNS <= 0 || p.BulkStartupNS <= 0 {
+		t.Fatalf("profile has zero-cost classes: %+v", p)
+	}
+}
+
+func TestZeroProfile(t *testing.T) {
+	if Zero() != (LatencyProfile{}) {
+		t.Fatal("Zero() not zero")
+	}
+}
+
+func TestProfileScale(t *testing.T) {
+	p := DefaultProfile()
+	doubled := p.Scale(2)
+	if doubled.NICAtomicNS != 2*p.NICAtomicNS || doubled.AMRoundTripNS != 2*p.AMRoundTripNS {
+		t.Fatalf("Scale(2) = %+v", doubled)
+	}
+	if p.Scale(0) != Zero() {
+		t.Fatal("Scale(0) must zero the profile")
+	}
+}
+
+// Property: scaling preserves regime ordering for any positive factor.
+func TestScalePreservesOrderingProperty(t *testing.T) {
+	p := DefaultProfile()
+	f := func(raw uint8) bool {
+		factor := 0.1 + float64(raw)/32.0
+		s := p.Scale(factor)
+		return s.AMRoundTripNS >= s.NICAtomicNS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayZeroIsFree(t *testing.T) {
+	start := time.Now()
+	for i := 0; i < 1_000_000; i++ {
+		Delay(0)
+		Delay(-5)
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Fatalf("2M no-op delays took %v", e)
+	}
+}
+
+func TestDelayApproximatelyAccurate(t *testing.T) {
+	const ns = 20_000 // 20µs, spin path
+	start := time.Now()
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		Delay(ns)
+	}
+	avg := time.Since(start).Nanoseconds() / rounds
+	if avg < ns {
+		t.Fatalf("delay too short: %dns < %dns", avg, ns)
+	}
+	if avg > 40*ns {
+		t.Fatalf("delay wildly long: %dns", avg)
+	}
+}
+
+func TestCountersRoundTrip(t *testing.T) {
+	var c Counters
+	c.IncPut()
+	c.IncGet()
+	c.IncGet()
+	c.IncNICAMO()
+	c.IncAMAMO()
+	c.IncLocalAMO()
+	c.IncOnStmt()
+	c.IncBulk(128)
+	c.IncDCASLocal()
+	c.IncDCASRemote()
+	s := c.Snapshot()
+	want := Snapshot{Puts: 1, Gets: 2, NICAMOs: 1, AMAMOs: 1, LocalAMOs: 1,
+		OnStmts: 1, BulkXfers: 1, BulkBytes: 128, DCASLocal: 1, DCASRemote: 1}
+	if s != want {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// Remote = puts+gets+nic+am+on+bulk+dcasRemote = 1+2+1+1+1+1+1.
+	if got := s.Remote(); got != 8 {
+		t.Fatalf("Remote() = %d", got)
+	}
+	c.Reset()
+	if c.Snapshot() != (Snapshot{}) {
+		t.Fatal("Reset left residue")
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c Counters
+	c.IncPut()
+	before := c.Snapshot()
+	c.IncPut()
+	c.IncBulk(64)
+	d := c.Snapshot().Sub(before)
+	if d.Puts != 1 || d.BulkXfers != 1 || d.BulkBytes != 64 || d.Gets != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{Puts: 1, Gets: 2, BulkXfers: 3, BulkBytes: 400}
+	str := s.String()
+	for _, frag := range []string{"puts=1", "gets=2", "bulk=3/400B"} {
+		if !strings.Contains(str, frag) {
+			t.Fatalf("String() = %q missing %q", str, frag)
+		}
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				c.IncPut()
+				c.IncBulk(2)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	s := c.Snapshot()
+	if s.Puts != 4000 || s.BulkXfers != 4000 || s.BulkBytes != 8000 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}

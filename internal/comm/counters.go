@@ -1,0 +1,132 @@
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters records communication-diagnostic totals, in the spirit of
+// Chapel's commDiagnostics module. Every simulated communication event
+// increments exactly one counter, so tests can make deterministic
+// assertions about communication volume — for example that privatized
+// instance lookup performs zero communication, or that scatter lists
+// reduce N remote frees to one bulk transfer per locale.
+//
+// All methods are safe for concurrent use.
+type Counters struct {
+	puts       atomic.Int64 // small remote writes
+	gets       atomic.Int64 // small remote reads (Deref of remote object)
+	nicAMOs    atomic.Int64 // NIC-offloaded 64-bit atomics (ugni)
+	amAMOs     atomic.Int64 // active-message atomics (none backend remote, and all remote DCAS)
+	localAMOs  atomic.Int64 // locale-local CPU atomics on network-atomic words
+	onStmts    atomic.Int64 // remote procedure calls (on-statements)
+	bulkXfers  atomic.Int64 // bulk transfers (scatter-list shipments)
+	bulkBytes  atomic.Int64 // payload bytes moved by bulk transfers
+	dcasLocal  atomic.Int64 // locale-local 128-bit DCAS operations
+	dcasRemote atomic.Int64 // remote 128-bit DCAS operations (always AM)
+}
+
+// Snapshot is an immutable copy of the counter values at one instant.
+type Snapshot struct {
+	Puts       int64
+	Gets       int64
+	NICAMOs    int64
+	AMAMOs     int64
+	LocalAMOs  int64
+	OnStmts    int64
+	BulkXfers  int64
+	BulkBytes  int64
+	DCASLocal  int64
+	DCASRemote int64
+}
+
+// IncPut records a small remote write.
+func (c *Counters) IncPut() { c.puts.Add(1) }
+
+// IncGet records a small remote read.
+func (c *Counters) IncGet() { c.gets.Add(1) }
+
+// IncNICAMO records a NIC-offloaded atomic.
+func (c *Counters) IncNICAMO() { c.nicAMOs.Add(1) }
+
+// IncAMAMO records an active-message atomic.
+func (c *Counters) IncAMAMO() { c.amAMOs.Add(1) }
+
+// IncLocalAMO records a locale-local CPU atomic on a network word.
+func (c *Counters) IncLocalAMO() { c.localAMOs.Add(1) }
+
+// IncOnStmt records a remote procedure call.
+func (c *Counters) IncOnStmt() { c.onStmts.Add(1) }
+
+// IncBulk records one bulk transfer carrying n payload bytes.
+func (c *Counters) IncBulk(n int64) {
+	c.bulkXfers.Add(1)
+	c.bulkBytes.Add(n)
+}
+
+// IncDCASLocal records a locale-local emulated DCAS.
+func (c *Counters) IncDCASLocal() { c.dcasLocal.Add(1) }
+
+// IncDCASRemote records a remote DCAS shipped as an active message.
+func (c *Counters) IncDCASRemote() { c.dcasRemote.Add(1) }
+
+// Snapshot returns a point-in-time copy of all counters.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Puts:       c.puts.Load(),
+		Gets:       c.gets.Load(),
+		NICAMOs:    c.nicAMOs.Load(),
+		AMAMOs:     c.amAMOs.Load(),
+		LocalAMOs:  c.localAMOs.Load(),
+		OnStmts:    c.onStmts.Load(),
+		BulkXfers:  c.bulkXfers.Load(),
+		BulkBytes:  c.bulkBytes.Load(),
+		DCASLocal:  c.dcasLocal.Load(),
+		DCASRemote: c.dcasRemote.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	c.puts.Store(0)
+	c.gets.Store(0)
+	c.nicAMOs.Store(0)
+	c.amAMOs.Store(0)
+	c.localAMOs.Store(0)
+	c.onStmts.Store(0)
+	c.bulkXfers.Store(0)
+	c.bulkBytes.Store(0)
+	c.dcasLocal.Store(0)
+	c.dcasRemote.Store(0)
+}
+
+// Sub returns the element-wise difference s - old, for measuring the
+// communication performed by one region of code.
+func (s Snapshot) Sub(old Snapshot) Snapshot {
+	return Snapshot{
+		Puts:       s.Puts - old.Puts,
+		Gets:       s.Gets - old.Gets,
+		NICAMOs:    s.NICAMOs - old.NICAMOs,
+		AMAMOs:     s.AMAMOs - old.AMAMOs,
+		LocalAMOs:  s.LocalAMOs - old.LocalAMOs,
+		OnStmts:    s.OnStmts - old.OnStmts,
+		BulkXfers:  s.BulkXfers - old.BulkXfers,
+		BulkBytes:  s.BulkBytes - old.BulkBytes,
+		DCASLocal:  s.DCASLocal - old.DCASLocal,
+		DCASRemote: s.DCASRemote - old.DCASRemote,
+	}
+}
+
+// Remote reports the total number of operations that crossed a locale
+// boundary (everything except local AMOs and local DCAS).
+func (s Snapshot) Remote() int64 {
+	return s.Puts + s.Gets + s.NICAMOs + s.AMAMOs + s.OnStmts + s.BulkXfers + s.DCASRemote
+}
+
+// String formats the snapshot as a compact single-line summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"puts=%d gets=%d nicAMO=%d amAMO=%d localAMO=%d on=%d bulk=%d/%dB dcas=%d/%d",
+		s.Puts, s.Gets, s.NICAMOs, s.AMAMOs, s.LocalAMOs, s.OnStmts,
+		s.BulkXfers, s.BulkBytes, s.DCASLocal, s.DCASRemote)
+}

@@ -1,0 +1,30 @@
+package comm
+
+import (
+	"runtime"
+	"time"
+)
+
+// Delay busy-waits for approximately ns nanoseconds, yielding to the Go
+// scheduler so that concurrent simulated operations overlap the way
+// in-flight network operations do on real hardware. A sleeping
+// goroutine models a task blocked on the network: the CPU is free to
+// run other tasks, which is exactly the latency-hiding behaviour the
+// figures depend on.
+//
+// For waits shorter than the OS timer resolution (~50µs) a
+// yield-interleaved spin is used; longer waits sleep. ns <= 0 is a
+// no-op, so the zero latency profile costs nothing but the branch.
+func Delay(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	if ns >= 50_000 {
+		time.Sleep(time.Duration(ns))
+		return
+	}
+	deadline := time.Now().Add(time.Duration(ns))
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,80 @@
+package comm
+
+import "sync/atomic"
+
+// Matrix records communication volume by (source, destination) locale
+// pair, the per-locale breakdown Chapel's commDiagnostics offers. It
+// answers questions the scalar Counters cannot: is traffic balanced, is
+// one locale a hotspot (e.g. the global epoch's home), did a scatter
+// phase touch every destination?
+//
+// All methods are safe for concurrent use.
+type Matrix struct {
+	n     int
+	cells []atomic.Int64
+}
+
+// NewMatrix creates an n×n communication matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{n: n, cells: make([]atomic.Int64, n*n)}
+}
+
+// Inc records one communication event from src to dst.
+func (m *Matrix) Inc(src, dst int) {
+	m.cells[src*m.n+dst].Add(1)
+}
+
+// Get returns the event count from src to dst.
+func (m *Matrix) Get(src, dst int) int64 {
+	return m.cells[src*m.n+dst].Load()
+}
+
+// Snapshot returns a copy of the matrix.
+func (m *Matrix) Snapshot() [][]int64 {
+	out := make([][]int64, m.n)
+	for i := range out {
+		out[i] = make([]int64, m.n)
+		for j := range out[i] {
+			out[i][j] = m.cells[i*m.n+j].Load()
+		}
+	}
+	return out
+}
+
+// Total returns the sum over all pairs.
+func (m *Matrix) Total() int64 {
+	var t int64
+	for i := range m.cells {
+		t += m.cells[i].Load()
+	}
+	return t
+}
+
+// RowTotals returns outbound totals per source locale.
+func (m *Matrix) RowTotals() []int64 {
+	out := make([]int64, m.n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			out[i] += m.Get(i, j)
+		}
+	}
+	return out
+}
+
+// ColTotals returns inbound totals per destination locale.
+func (m *Matrix) ColTotals() []int64 {
+	out := make([]int64, m.n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			out[j] += m.Get(i, j)
+		}
+	}
+	return out
+}
+
+// Reset zeroes the matrix.
+func (m *Matrix) Reset() {
+	for i := range m.cells {
+		m.cells[i].Store(0)
+	}
+}

@@ -1,0 +1,59 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3)
+	m.Inc(0, 1)
+	m.Inc(0, 1)
+	m.Inc(2, 0)
+	if m.Get(0, 1) != 2 || m.Get(2, 0) != 1 || m.Get(1, 2) != 0 {
+		t.Fatalf("matrix = %v", m.Snapshot())
+	}
+	if m.Total() != 3 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	rows := m.RowTotals()
+	cols := m.ColTotals()
+	if rows[0] != 2 || rows[2] != 1 || rows[1] != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if cols[1] != 2 || cols[0] != 1 || cols[2] != 0 {
+		t.Fatalf("cols = %v", cols)
+	}
+	m.Reset()
+	if m.Total() != 0 {
+		t.Fatal("reset left residue")
+	}
+}
+
+func TestMatrixSnapshotIsCopy(t *testing.T) {
+	m := NewMatrix(2)
+	m.Inc(1, 0)
+	snap := m.Snapshot()
+	m.Inc(1, 0)
+	if snap[1][0] != 1 {
+		t.Fatal("snapshot aliased live data")
+	}
+}
+
+func TestMatrixConcurrent(t *testing.T) {
+	m := NewMatrix(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Inc(g%4, (g+i)%4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Total() != 8000 {
+		t.Fatalf("total = %d", m.Total())
+	}
+}

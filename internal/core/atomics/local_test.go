@@ -1,0 +1,158 @@
+package atomics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gopgas/internal/gas"
+)
+
+func TestLocalAtomicObjectBasics(t *testing.T) {
+	a := NewLocal(0, false)
+	if !a.Read().IsNil() {
+		t.Fatal("fresh object not nil")
+	}
+	x := gas.MakeAddr(0, 10)
+	y := gas.MakeAddr(0, 20)
+	a.Write(x)
+	if a.Read() != x {
+		t.Fatal("read after write")
+	}
+	if old := a.Exchange(y); old != x {
+		t.Fatalf("exchange = %v", old)
+	}
+	if !a.CompareAndSwap(y, x) || a.CompareAndSwap(y, y) {
+		t.Fatal("CAS semantics")
+	}
+}
+
+func TestLocalAtomicObjectRejectsRemote(t *testing.T) {
+	a := NewLocal(0, false)
+	remote := gas.MakeAddr(1, 0)
+	for name, fn := range map[string]func(){
+		"Write":    func() { a.Write(remote) },
+		"Exchange": func() { a.Exchange(remote) },
+		"CAS":      func() { a.CompareAndSwap(gas.AddrNil, remote) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with a remote address must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Nil is always fine.
+	a.Write(gas.AddrNil)
+}
+
+func TestLocalABASemantics(t *testing.T) {
+	a := NewLocal(0, true)
+	x := gas.MakeAddr(0, 1)
+	y := gas.MakeAddr(0, 2)
+
+	r0 := a.ReadABA()
+	if !a.CompareAndSwapABA(r0, x) {
+		t.Fatal("CASABA from fresh failed")
+	}
+	if a.CompareAndSwapABA(r0, y) {
+		t.Fatal("CASABA with stale stamp succeeded")
+	}
+	r1 := a.ReadABA()
+	if r1.Object() != x || r1.Count() != 1 {
+		t.Fatalf("r1 = %v", r1)
+	}
+	a.WriteABA(y)
+	if r := a.ReadABA(); r.Object() != y || r.Count() != 2 {
+		t.Fatalf("after WriteABA: %v", r)
+	}
+	old := a.ExchangeABA(x)
+	if old.Object() != y || old.Count() != 2 {
+		t.Fatalf("ExchangeABA = %v", old)
+	}
+	// Mixed mode: plain ops don't bump the stamp.
+	a.Write(y)
+	if r := a.ReadABA(); r.Count() != 3 {
+		t.Fatalf("plain Write bumped the stamp: %v", r)
+	}
+}
+
+func TestLocalABAWithoutSupportPanics(t *testing.T) {
+	a := NewLocal(0, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.ReadABA()
+}
+
+// Property: the stamp is strictly monotone under any sequence of
+// ABA-aware operations.
+func TestLocalABAMonotoneStampProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := NewLocal(0, true)
+		x := gas.MakeAddr(0, 3)
+		last := a.ReadABA().Count()
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				a.WriteABA(x)
+			case 1:
+				a.ExchangeABA(x)
+			case 2:
+				r := a.ReadABA()
+				a.CompareAndSwapABA(r, x)
+			}
+			now := a.ReadABA().Count()
+			if now < last {
+				return false
+			}
+			last = now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent CAS hammer: exactly one winner per round.
+func TestLocalAtomicObjectCASRace(t *testing.T) {
+	a := NewLocal(0, true)
+	const rounds = 200
+	const tasks = 8
+	var wins [tasks]int
+	var wg sync.WaitGroup
+	for g := 0; g < tasks; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				want := gas.MakeAddr(0, uint64(r))
+				next := gas.MakeAddr(0, uint64(r+1))
+				for {
+					cur := a.ReadABA()
+					if cur.Object() == next || cur.Count() > uint64(r) {
+						break // someone won this round
+					}
+					if a.CompareAndSwapABA(cur, next) {
+						wins[g]++
+						break
+					}
+				}
+				_ = want
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != rounds {
+		t.Fatalf("%d wins across %d rounds — CAS not linearizable", total, rounds)
+	}
+}

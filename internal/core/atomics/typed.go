@@ -1,0 +1,59 @@
+package atomics
+
+import (
+	"gopgas/internal/gas"
+	"gopgas/internal/pgas"
+)
+
+// Typed pairs an AtomicObject with the Go type of the objects it
+// references, providing allocation and dereference sugar so callers
+// work with *T instead of raw addresses. It is the closest Go analogue
+// to Chapel's `AtomicObject(unmanaged T)` generic instantiation (the
+// `forwarding` sugar of the ABA wrapper has no Go equivalent; Deref
+// explicitly).
+//
+// All underlying operations — including the *ABA variants via the
+// embedded AtomicObject — remain available.
+type Typed[T any] struct {
+	*AtomicObject
+}
+
+// NewTyped creates a typed atomic object reference homed on the given
+// locale.
+func NewTyped[T any](c *pgas.Ctx, home int, opt Options) *Typed[T] {
+	return &Typed[T]{AtomicObject: New(c, home, opt)}
+}
+
+// Load atomically reads the reference and dereferences it. ok is false
+// when the reference is nil or the object has been reclaimed (a
+// detected use-after-free — callers running under an epoch pin never
+// observe the latter).
+func (t *Typed[T]) Load(c *pgas.Ctx) (obj *T, addr gas.Addr, ok bool) {
+	addr = t.Read(c)
+	if addr.IsNil() {
+		return nil, addr, false
+	}
+	obj, ok = pgas.Deref[*T](c, addr)
+	return obj, addr, ok
+}
+
+// StoreNew allocates obj on the calling task's locale and atomically
+// publishes it, returning the old reference for the caller to retire
+// (typically via Token.DeferDelete).
+func (t *Typed[T]) StoreNew(c *pgas.Ctx, obj *T) (fresh, old gas.Addr) {
+	fresh = c.Alloc(obj)
+	old = t.Exchange(c, fresh)
+	return fresh, old
+}
+
+// SwapNew allocates obj and attempts to CAS it over the expected
+// reference; on failure the unpublished allocation is freed eagerly
+// (it was never reachable). It returns the new address on success.
+func (t *Typed[T]) SwapNew(c *pgas.Ctx, expect gas.Addr, obj *T) (gas.Addr, bool) {
+	fresh := c.Alloc(obj)
+	if t.CompareAndSwap(c, expect, fresh) {
+		return fresh, true
+	}
+	c.Free(fresh)
+	return gas.AddrNil, false
+}

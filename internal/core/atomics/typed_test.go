@@ -1,0 +1,98 @@
+package atomics
+
+import (
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/gas"
+	"gopgas/internal/pgas"
+)
+
+type widget struct{ id int }
+
+func TestTypedLoadStore(t *testing.T) {
+	s := newTestSystem(t, 2, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		cell := NewTyped[widget](c, 1, Options{})
+		if _, _, ok := cell.Load(c); ok {
+			t.Fatal("fresh typed cell loaded something")
+		}
+		fresh, old := cell.StoreNew(c, &widget{id: 7})
+		if !old.IsNil() {
+			t.Fatalf("old = %v", old)
+		}
+		w, addr, ok := cell.Load(c)
+		if !ok || w.id != 7 || addr != fresh {
+			t.Fatalf("load = (%+v, %v, %v)", w, addr, ok)
+		}
+	})
+}
+
+func TestTypedStoreNewReturnsRetiree(t *testing.T) {
+	s := newTestSystem(t, 1, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		cell := NewTyped[widget](c, 0, Options{})
+		a1, _ := cell.StoreNew(c, &widget{id: 1})
+		a2, old := cell.StoreNew(c, &widget{id: 2})
+		if old != a1 {
+			t.Fatalf("retiree = %v, want %v", old, a1)
+		}
+		if got := cell.Read(c); got != a2 {
+			t.Fatalf("cell = %v", got)
+		}
+	})
+}
+
+func TestTypedSwapNew(t *testing.T) {
+	s := newTestSystem(t, 1, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		cell := NewTyped[widget](c, 0, Options{})
+		a1, _ := cell.StoreNew(c, &widget{id: 1})
+
+		live := s.HeapStats().Live
+		// Failed swap must free the unpublished allocation.
+		if _, ok := cell.SwapNew(c, gas.AddrNil, &widget{id: 9}); ok {
+			t.Fatal("swap with stale expectation succeeded")
+		}
+		if got := s.HeapStats().Live; got != live {
+			t.Fatalf("failed swap leaked: live %d -> %d", live, got)
+		}
+		// Successful swap publishes.
+		a2, ok := cell.SwapNew(c, a1, &widget{id: 2})
+		if !ok || cell.Read(c) != a2 {
+			t.Fatal("successful swap did not publish")
+		}
+		w, _, _ := cell.Load(c)
+		if w.id != 2 {
+			t.Fatalf("loaded %+v", w)
+		}
+	})
+}
+
+func TestTypedLoadAfterReclaim(t *testing.T) {
+	s := newTestSystem(t, 1, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		cell := NewTyped[widget](c, 0, Options{})
+		a, _ := cell.StoreNew(c, &widget{id: 1})
+		c.Free(a)
+		if _, _, ok := cell.Load(c); ok {
+			t.Fatal("load of reclaimed object succeeded")
+		}
+	})
+}
+
+func TestTypedABAOpsAvailable(t *testing.T) {
+	s := newTestSystem(t, 1, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		cell := NewTyped[widget](c, 0, Options{ABA: true})
+		snap := cell.ReadABA(c)
+		a := c.Alloc(&widget{id: 3})
+		if !cell.CompareAndSwapABA(c, snap, a) {
+			t.Fatal("CASABA through typed wrapper failed")
+		}
+		w, _, ok := cell.Load(c)
+		if !ok || w.id != 3 {
+			t.Fatalf("load = %+v %v", w, ok)
+		}
+	})
+}

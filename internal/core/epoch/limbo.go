@@ -1,0 +1,148 @@
+// Package epoch implements the paper's EpochManager and
+// LocalEpochManager: epoch-based memory reclamation (EBR, Fraser 2004)
+// adapted to distributed memory with global-view programming.
+//
+// Deleting memory that concurrent tasks may still be reading is the
+// foundational problem of non-blocking data structures. EBR defers
+// each deletion into a "limbo list" tagged with the epoch in which the
+// object was logically removed; once every participating task has
+// provably moved two epochs past it, the list is reclaimed in bulk.
+//
+// The distributed adaptation privatizes the manager: each locale holds
+// its own instance (token lists, three limbo lists, an epoch cache)
+// reached with zero communication, while a single globally coherent
+// epoch object arbitrates advancement. Reclamation sorts dead objects
+// by owning locale into scatter lists so each remote locale receives
+// one bulk deallocation instead of one RPC per object.
+package epoch
+
+import (
+	"sync/atomic"
+
+	"gopgas/internal/core/atomics"
+	"gopgas/internal/gas"
+	"gopgas/internal/pgas"
+)
+
+// limboNode is one deferred object in a limbo list. Nodes are
+// allocated from the owning locale's heap and recycled through an
+// ABA-protected Treiber stack, never freed — the recycling pattern the
+// paper builds from its own AtomicObject (Listing 1 / Listing 2).
+//
+// The fields are atomics because a Treiber pop reads the next pointer
+// of a node another task may concurrently win and repurpose; the ABA
+// stamp makes the subsequent CAS fail safely, but the read itself must
+// still be a proper atomic load (the Go analogue of the relaxed loads
+// a C/Chapel implementation would use).
+type limboNode struct {
+	val  atomic.Uint64 // gas.Addr of the deferred object
+	next atomic.Uint64 // gas.Addr of the next limboNode (locale-local)
+}
+
+func (n *limboNode) loadVal() gas.Addr   { return gas.Addr(n.val.Load()) }
+func (n *limboNode) storeVal(a gas.Addr) { n.val.Store(uint64(a)) }
+func (n *limboNode) loadNext() gas.Addr  { return gas.Addr(n.next.Load()) }
+func (n *limboNode) storeNext(a gas.Addr) {
+	n.next.Store(uint64(a))
+}
+
+// LimboList is the paper's wait-free deferral list (Listing 2). It has
+// two strictly disjoint phases: an insertion phase in which any number
+// of tasks Push concurrently, and a deletion phase in which the
+// elected reclaimer removes everything at once. Both a push and the
+// bulk removal complete in a single atomic exchange — wait-free.
+//
+// The next pointer of a pushed node is written *after* the exchange
+// (exactly as in Listing 2). That is safe, and race-free, because the
+// epoch protocol guarantees the deletion phase for a given list begins
+// only after every task that could push to it has become quiescent;
+// the unpin/scan atomics order those writes before the traversal.
+type LimboList struct {
+	locale int
+	head   *atomics.LocalAtomicObject // exchange-only; no CAS, no ABA hazard
+	pool   *atomics.LocalAtomicObject // ABA-protected Treiber stack of free nodes
+}
+
+// NewLimboList creates an empty limbo list owned by the ctx's locale.
+func NewLimboList(c *pgas.Ctx) *LimboList {
+	return &LimboList{
+		locale: c.Here(),
+		head:   atomics.NewLocal(c.Here(), false),
+		pool:   atomics.NewLocal(c.Here(), true),
+	}
+}
+
+// Push defers obj onto the list: recycle (or allocate) a node, then a
+// single wait-free exchange of the head. Listing 2, verbatim.
+func (l *LimboList) Push(c *pgas.Ctx, obj gas.Addr) {
+	node, n := l.recycleNode(c, obj)
+	oldHead := l.head.Exchange(node)
+	n.storeNext(oldHead)
+}
+
+// PopAll detaches the entire list in one exchange and returns its
+// head; the caller traverses it with Next. Must only be called in the
+// deletion phase (no concurrent pushers), per the epoch protocol.
+func (l *LimboList) PopAll() gas.Addr {
+	return l.head.Exchange(gas.AddrNil)
+}
+
+// Next returns the deferred object stored at node and the following
+// node, recycling node onto the free pool. It is the traversal step of
+// the deletion phase.
+func (l *LimboList) Next(c *pgas.Ctx, node gas.Addr) (obj, next gas.Addr) {
+	n := pgas.MustDeref[*limboNode](c, node)
+	obj, next = n.loadVal(), n.loadNext()
+	l.recycle(c, node, n)
+	return obj, next
+}
+
+// recycleNode pops a node from the free pool — ABA-protected: between
+// reading the top and the CAS another task may pop, recycle, and
+// re-push the same node address, which the stamp detects — or
+// allocates a fresh node if the pool is empty.
+func (l *LimboList) recycleNode(c *pgas.Ctx, obj gas.Addr) (gas.Addr, *limboNode) {
+	for {
+		top := l.pool.ReadABA()
+		if top.IsNil() {
+			n := &limboNode{}
+			n.storeVal(obj)
+			return c.Alloc(n), n
+		}
+		n := pgas.MustDeref[*limboNode](c, top.Object())
+		if l.pool.CompareAndSwapABA(top, n.loadNext()) {
+			n.storeVal(obj)
+			n.storeNext(gas.AddrNil)
+			return top.Object(), n
+		}
+	}
+}
+
+// recycle pushes a spent node back onto the free pool (Treiber push
+// with ABA protection).
+func (l *LimboList) recycle(c *pgas.Ctx, node gas.Addr, n *limboNode) {
+	n.storeVal(gas.AddrNil)
+	for {
+		top := l.pool.ReadABA()
+		n.storeNext(top.Object())
+		if l.pool.CompareAndSwapABA(top, node) {
+			return
+		}
+	}
+}
+
+// Drain pops every deferred object into a slice — a convenience used
+// by Clear and by tests; the production path iterates PopAll/Next
+// without materialising a slice.
+func (l *LimboList) Drain(c *pgas.Ctx) []gas.Addr {
+	var objs []gas.Addr
+	node := l.PopAll()
+	for !node.IsNil() {
+		var obj gas.Addr
+		obj, node = l.Next(c, node)
+		if !obj.IsNil() {
+			objs = append(objs, obj)
+		}
+	}
+	return objs
+}

@@ -1,0 +1,193 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/gas"
+	"gopgas/internal/pgas"
+)
+
+func newTestSystem(t testing.TB, locales int, backend comm.Backend) *pgas.System {
+	t.Helper()
+	s := pgas.NewSystem(pgas.Config{Locales: locales, Backend: backend})
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+type payload struct{ v int }
+
+func TestLimboPushDrain(t *testing.T) {
+	s := newTestSystem(t, 1, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		l := NewLimboList(c)
+		var want []gas.Addr
+		for i := 0; i < 10; i++ {
+			a := c.Alloc(&payload{v: i})
+			want = append(want, a)
+			l.Push(c, a)
+		}
+		got := l.Drain(c)
+		if len(got) != len(want) {
+			t.Fatalf("drained %d, want %d", len(got), len(want))
+		}
+		set := make(map[gas.Addr]bool, len(got))
+		for _, a := range got {
+			set[a] = true
+		}
+		for _, a := range want {
+			if !set[a] {
+				t.Fatalf("lost %v", a)
+			}
+		}
+	})
+}
+
+func TestLimboEmptyDrain(t *testing.T) {
+	s := newTestSystem(t, 1, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		l := NewLimboList(c)
+		if got := l.Drain(c); len(got) != 0 {
+			t.Fatalf("fresh list drained %d objects", len(got))
+		}
+		if !l.PopAll().IsNil() {
+			t.Fatal("PopAll of empty list not nil")
+		}
+	})
+}
+
+func TestLimboNodeRecycling(t *testing.T) {
+	s := newTestSystem(t, 1, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		l := NewLimboList(c)
+		obj := c.Alloc(&payload{})
+		// First round allocates nodes; drain recycles them.
+		for i := 0; i < 5; i++ {
+			l.Push(c, obj)
+		}
+		l.Drain(c)
+		allocsAfterRound1 := s.HeapStats().Allocs
+		// Second round must reuse the pooled nodes: no new allocations.
+		for i := 0; i < 5; i++ {
+			l.Push(c, obj)
+		}
+		l.Drain(c)
+		if got := s.HeapStats().Allocs; got != allocsAfterRound1 {
+			t.Fatalf("second round allocated %d fresh nodes", got-allocsAfterRound1)
+		}
+	})
+}
+
+func TestLimboConcurrentInsertPhase(t *testing.T) {
+	s := newTestSystem(t, 1, comm.BackendNone)
+	l := NewLimboList(s.Ctx(0))
+	const tasks = 8
+	const per = 200
+	var wg sync.WaitGroup
+	addrs := make([][]gas.Addr, tasks)
+	for g := 0; g < tasks; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := s.Ctx(0)
+			for i := 0; i < per; i++ {
+				a := c.Alloc(&payload{v: g*per + i})
+				addrs[g] = append(addrs[g], a)
+				l.Push(c, a)
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := l.Drain(s.Ctx(0))
+	if len(got) != tasks*per {
+		t.Fatalf("drained %d, want %d", len(got), tasks*per)
+	}
+	set := make(map[gas.Addr]bool, len(got))
+	for _, a := range got {
+		if set[a] {
+			t.Fatalf("duplicate %v", a)
+		}
+		set[a] = true
+	}
+	for _, g := range addrs {
+		for _, a := range g {
+			if !set[a] {
+				t.Fatalf("lost %v", a)
+			}
+		}
+	}
+}
+
+// Property: for any push sequence, drain returns exactly the pushed
+// multiset (as a set — addresses are unique).
+func TestLimboMultisetProperty(t *testing.T) {
+	s := newTestSystem(t, 1, comm.BackendNone)
+	c := s.Ctx(0)
+	l := NewLimboList(c)
+	f := func(sizes uint8) bool {
+		n := int(sizes % 64)
+		pushed := make(map[gas.Addr]bool, n)
+		for i := 0; i < n; i++ {
+			a := c.Alloc(&payload{v: i})
+			pushed[a] = true
+			l.Push(c, a)
+		}
+		got := l.Drain(c)
+		if len(got) != n {
+			return false
+		}
+		for _, a := range got {
+			if !pushed[a] {
+				return false
+			}
+			c.Free(a) // release so addresses can recycle
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The recycle pool is ABA-protected: concurrent pushers pop nodes from
+// the pool at once, racing the exact read-deref-CAS window the stamp
+// protects. Phases stay disjoint (drain only at barriers), as the
+// protocol requires.
+func TestLimboPoolContention(t *testing.T) {
+	s := newTestSystem(t, 1, comm.BackendNone)
+	c0 := s.Ctx(0)
+	l := NewLimboList(c0)
+	const rounds = 30
+	const tasks = 8
+	const per = 16
+	// Pre-seed the pool so round one already contends on recycling.
+	for i := 0; i < tasks*per; i++ {
+		l.Push(c0, c0.Alloc(&payload{}))
+	}
+	for _, a := range l.Drain(c0) {
+		c0.Free(a)
+	}
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for g := 0; g < tasks; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := s.Ctx(0)
+				for i := 0; i < per; i++ {
+					l.Push(c, c.Alloc(&payload{}))
+				}
+			}()
+		}
+		wg.Wait() // barrier: insertion phase over
+		got := l.Drain(c0)
+		if len(got) != tasks*per {
+			t.Fatalf("round %d drained %d, want %d", r, len(got), tasks*per)
+		}
+		for _, a := range got {
+			c0.Free(a)
+		}
+	}
+}

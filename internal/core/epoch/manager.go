@@ -1,0 +1,299 @@
+package epoch
+
+import (
+	"sync/atomic"
+
+	"gopgas/internal/gas"
+	"gopgas/internal/pgas"
+)
+
+// Epochs take the values 1, 2, 3 (advancing as e → (e mod 3) + 1);
+// 0 is reserved to mean "not in an epoch". Three limbo generations
+// per locale correspond to the epochs a live task can observe:
+// e−1, e, and e+1.
+const (
+	numEpochs  = 3
+	firstEpoch = 1
+)
+
+// reclaimEpochOf returns which generation is safe to reclaim once the
+// global epoch has advanced to e: the one that is neither e nor the
+// previous epoch — every object in it was deferred at least two
+// advances ago.
+func reclaimEpochOf(e uint64) uint64 { return e%numEpochs + 1 }
+
+// nextEpoch returns the successor of e in the 1→2→3→1 cycle.
+func nextEpoch(e uint64) uint64 { return e%numEpochs + 1 }
+
+// globalEpoch is the single coherent epoch all locales come to
+// consensus on. It is a class instance homed on locale 0 and accessed
+// through network atomics — the one piece of the manager that is
+// deliberately not privatized.
+type globalEpoch struct {
+	epoch          *pgas.Word64
+	isSettingEpoch *pgas.Word64
+}
+
+// instance is one locale's privatized EpochManager state. All accesses
+// from tasks on that locale touch only this struct (processor
+// atomics), which is what keeps the pin/unpin path communication-free.
+type instance struct {
+	em     EpochManager
+	locale int
+
+	// localeEpoch caches the global epoch ("Local Epoch" in Figure 2);
+	// pin reads it instead of the remote global epoch.
+	localeEpoch atomic.Uint64
+
+	// isSettingEpoch is the local election flag: first-come-first-
+	// served arbitration so at most one task per locale pursues the
+	// global flag.
+	isSettingEpoch atomic.Uint32
+
+	// limbo[1..3] are the three generations of deferred objects.
+	limbo [numEpochs + 1]*LimboList
+
+	// reg holds the allocated and free token lists.
+	reg tokenRegistry
+
+	// objsToDelete are the scatter lists: dead objects sorted by owning
+	// locale during reclamation so each destination receives one bulk
+	// transfer. Only the elected reclaimer touches them.
+	objsToDelete [][]gas.Addr
+
+	// Statistics (diagnostic, processor atomics).
+	deferred      atomic.Int64
+	reclaimed     atomic.Int64
+	localBackoff  atomic.Int64 // tryReclaim returns: lost local election
+	globalBackoff atomic.Int64 // tryReclaim returns: lost global election
+	advanceFail   atomic.Int64 // election won but a pinned token blocked advance
+	advances      atomic.Int64 // successful epoch advances driven by this locale
+}
+
+// EpochManager is the copyable, record-wrapped handle to a distributed
+// epoch-based reclamation manager. Copying the handle (for example
+// into every task of a forall) costs nothing and carries no remote
+// references: each use resolves the privatized per-locale instance
+// with zero communication.
+type EpochManager struct {
+	priv   pgas.Privatized[instance]
+	global *globalEpoch
+}
+
+// NewEpochManager creates a manager distributed over every locale of
+// the system: one privatized instance per locale plus the global epoch
+// object on locale 0.
+func NewEpochManager(c *pgas.Ctx) EpochManager {
+	g := &globalEpoch{
+		epoch:          pgas.NewWord64(c, 0, firstEpoch),
+		isSettingEpoch: pgas.NewWord64(c, 0, 0),
+	}
+	var em EpochManager
+	em.global = g
+	em.priv = pgas.NewPrivatized(c, func(lc *pgas.Ctx) *instance {
+		inst := &instance{
+			locale:       lc.Here(),
+			objsToDelete: make([][]gas.Addr, lc.NumLocales()),
+		}
+		inst.reg.init()
+		inst.localeEpoch.Store(firstEpoch)
+		for e := firstEpoch; e <= numEpochs; e++ {
+			inst.limbo[e] = NewLimboList(lc)
+		}
+		return inst
+	})
+	// Patch the back-handle now that priv exists (tokens reach the
+	// manager through their instance).
+	c.CoforallLocales(func(lc *pgas.Ctx) {
+		em.priv.Get(lc).em = em
+	})
+	return em
+}
+
+// Register obtains a token on the calling task's locale, recycling a
+// previously relinquished one when available. The token starts
+// quiescent (not pinned).
+func (em EpochManager) Register(c *pgas.Ctx) *Token {
+	return em.priv.Get(c).register()
+}
+
+// Pin is a convenience for Register-then-Pin in one call.
+func (em EpochManager) Pin(c *pgas.Ctx) *Token {
+	t := em.Register(c)
+	t.Pin(c)
+	return t
+}
+
+// Protect runs fn with a registered, pinned token and guarantees the
+// unpin/unregister pair afterwards (even on panic) — the Go analogue
+// of the paper's managed token wrapper, which unregisters automatically
+// when the task-private variable leaves scope.
+func (em EpochManager) Protect(c *pgas.Ctx, fn func(tok *Token)) {
+	tok := em.Register(c)
+	defer tok.Unregister(c)
+	tok.Pin(c)
+	defer tok.Unpin(c)
+	fn(tok)
+}
+
+// CurrentEpoch returns this locale's cached view of the epoch.
+func (em EpochManager) CurrentEpoch(c *pgas.Ctx) uint64 {
+	return em.priv.Get(c).localeEpoch.Load()
+}
+
+// GlobalEpoch reads the authoritative global epoch (communication).
+func (em EpochManager) GlobalEpoch(c *pgas.Ctx) uint64 {
+	return em.global.epoch.Read(c)
+}
+
+// TryReclaim attempts to advance the global epoch and reclaim one
+// limbo generation on every locale. It is a faithful port of the
+// paper's Listing 4:
+//
+//  1. Win the locale-local election flag, else return immediately
+//     (another task on this locale is already trying).
+//  2. Win the global election flag, else clear the local flag and
+//     return (a task on another locale is already trying).
+//  3. Scan every token on every locale; if any is pinned in an epoch
+//     other than the current one, advancement is unsafe — back out.
+//  4. Advance the global epoch to (e mod 3)+1; on every locale update
+//     the epoch cache, detach the reclaimable limbo generation, sort
+//     its objects into per-destination scatter lists, and free each
+//     destination's batch with one bulk transfer.
+//  5. Release both flags.
+//
+// The early returns make the operation non-blocking: losing an
+// election wastes almost no effort, and the whole procedure is driven
+// by exactly one task system-wide at any moment.
+func (em EpochManager) TryReclaim(c *pgas.Ctx) {
+	inst := em.priv.Get(c)
+	if inst.isSettingEpoch.Swap(1) == 1 {
+		inst.localBackoff.Add(1)
+		return
+	}
+	if em.global.isSettingEpoch.TestAndSet(c) {
+		inst.isSettingEpoch.Store(0)
+		inst.globalBackoff.Add(1)
+		return
+	}
+
+	// Is it safe to reclaim across all locales?
+	thisEpoch := em.global.epoch.Read(c)
+	safe := pgas.NewAndReduce()
+	c.CoforallLocales(func(lc *pgas.Ctx) {
+		li := em.priv.Get(lc)
+		ok := true
+		li.forEachToken(func(t *Token) bool {
+			e := t.epoch.Load()
+			if e != 0 && e != thisEpoch {
+				ok = false
+				return false
+			}
+			return true
+		})
+		safe.And(ok)
+	})
+
+	if safe.Value() {
+		newEpoch := nextEpoch(thisEpoch)
+		em.global.epoch.Write(c, newEpoch)
+		c.CoforallLocales(func(lc *pgas.Ctx) {
+			li := em.priv.Get(lc)
+			li.localeEpoch.Store(newEpoch)
+			li.reclaimGeneration(lc, reclaimEpochOf(newEpoch))
+		})
+		inst.advances.Add(1)
+	} else {
+		inst.advanceFail.Add(1)
+	}
+
+	em.global.isSettingEpoch.Clear(c)
+	inst.isSettingEpoch.Store(0)
+}
+
+// reclaimGeneration detaches limbo generation e on this locale,
+// scatters its objects by owning locale, and frees each destination's
+// batch in one bulk transfer. Runs on the instance's locale, driven by
+// the single elected reclaimer.
+func (li *instance) reclaimGeneration(lc *pgas.Ctx, e uint64) {
+	list := li.limbo[e]
+	node := list.PopAll()
+	if node.IsNil() {
+		return
+	}
+	// Scatter objects to their locale.
+	for !node.IsNil() {
+		var obj gas.Addr
+		obj, node = list.Next(lc, node)
+		if obj.IsNil() {
+			continue
+		}
+		li.objsToDelete[obj.Locale()] = append(li.objsToDelete[obj.Locale()], obj)
+	}
+	// Bulk transfer and delete, one shipment per destination locale.
+	freed := 0
+	for dest, batch := range li.objsToDelete {
+		if len(batch) == 0 {
+			continue
+		}
+		freed += lc.FreeBulk(dest, batch)
+	}
+	li.reclaimed.Add(int64(freed))
+	// Clear the scatter lists.
+	for i := range li.objsToDelete {
+		li.objsToDelete[i] = li.objsToDelete[i][:0]
+	}
+}
+
+// Clear reclaims every deferred object across all epochs and locales,
+// without requiring epoch advances. It must only be called when no
+// other task is interacting with the manager (typically at the end of
+// a phase or before teardown), per the paper.
+func (em EpochManager) Clear(c *pgas.Ctx) {
+	c.CoforallLocales(func(lc *pgas.Ctx) {
+		li := em.priv.Get(lc)
+		for e := uint64(firstEpoch); e <= numEpochs; e++ {
+			li.reclaimGeneration(lc, e)
+		}
+	})
+}
+
+// Stats aggregates diagnostic counters across every locale.
+type Stats struct {
+	Deferred      int64 // DeferDelete calls
+	Reclaimed     int64 // objects physically freed
+	Advances      int64 // successful epoch advances
+	AdvanceFail   int64 // elections won but blocked by a pinned token
+	LocalBackoff  int64 // tryReclaims that lost the locale election
+	GlobalBackoff int64 // tryReclaims that lost the global election
+	Tokens        int64 // tokens ever minted
+}
+
+// Stats gathers manager statistics from all locales (communication:
+// one on-statement per locale).
+func (em EpochManager) Stats(c *pgas.Ctx) Stats {
+	var s Stats
+	results := make([]Stats, c.NumLocales())
+	c.CoforallLocales(func(lc *pgas.Ctx) {
+		li := em.priv.Get(lc)
+		results[lc.Here()] = Stats{
+			Deferred:      li.deferred.Load(),
+			Reclaimed:     li.reclaimed.Load(),
+			Advances:      li.advances.Load(),
+			AdvanceFail:   li.advanceFail.Load(),
+			LocalBackoff:  li.localBackoff.Load(),
+			GlobalBackoff: li.globalBackoff.Load(),
+			Tokens:        li.reg.count.Load(),
+		}
+	})
+	for _, r := range results {
+		s.Deferred += r.Deferred
+		s.Reclaimed += r.Reclaimed
+		s.Advances += r.Advances
+		s.AdvanceFail += r.AdvanceFail
+		s.LocalBackoff += r.LocalBackoff
+		s.GlobalBackoff += r.GlobalBackoff
+		s.Tokens += r.Tokens
+	}
+	return s
+}

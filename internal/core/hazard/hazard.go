@@ -1,0 +1,243 @@
+// Package hazard implements Hazard Pointers (Michael, IEEE TPDS 2004)
+// adapted to the PGAS model, as a comparison baseline for the paper's
+// EpochManager. The paper cites hazard pointers as one of the known
+// shared-memory reclamation schemes ([7]) that distributed EBR
+// competes with; implementing both under the same simulated cost model
+// makes the trade-off measurable:
+//
+//   - HP readers pay per-*access*: publishing the hazard requires a
+//     store plus a validating re-read of the source — and when the
+//     source is remote, that re-read is a second network operation on
+//     every single dereference.
+//   - EBR readers pay per-*operation*: one locale-local pin/unpin pair
+//     regardless of how many objects the operation touches.
+//   - HP reclamation is precise (bounded garbage, immune to a stalled
+//     reader); EBR reclamation is batched but a single pinned token
+//     stalls every locale's garbage.
+//
+// The scan that filters retired objects against published hazards must
+// collect hazard values from *every* locale (one on-statement each),
+// which is the distributed analogue of Michael's all-threads scan.
+package hazard
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gopgas/internal/core/atomics"
+	"gopgas/internal/gas"
+	"gopgas/internal/pgas"
+)
+
+// Domain is a privatized hazard-pointer domain: each locale keeps its
+// own hazard slots and retired list, mirroring the EpochManager's
+// per-locale instances.
+type Domain struct {
+	priv      pgas.Privatized[inst]
+	threshold int
+}
+
+type inst struct {
+	locale int
+
+	slotsHead atomic.Pointer[Slot] // append-only published-slot list
+
+	mu      sync.Mutex
+	free    []*Slot
+	retired []gas.Addr
+
+	retires  atomic.Int64
+	freed    atomic.Int64
+	scans    atomic.Int64
+	deferred atomic.Int64 // retired objects still held by hazards after a scan
+}
+
+// Slot is one hazard pointer: a published "I am reading this address"
+// cell that scanners on any locale will honour.
+type Slot struct {
+	val  atomic.Uint64 // gas.Addr being protected; 0 = none
+	next *Slot
+	inst *inst
+}
+
+// NewDomain creates a hazard-pointer domain across all locales.
+// threshold is the retired-list length that triggers a scan on the
+// retiring locale (Michael's R); it defaults to 64.
+func NewDomain(c *pgas.Ctx, threshold int) *Domain {
+	if threshold <= 0 {
+		threshold = 64
+	}
+	d := &Domain{threshold: threshold}
+	d.priv = pgas.NewPrivatized(c, func(lc *pgas.Ctx) *inst {
+		return &inst{locale: lc.Here()}
+	})
+	return d
+}
+
+// Acquire obtains a hazard slot on the calling locale (recycled when
+// possible; slots, like tokens, are never truly freed).
+func (d *Domain) Acquire(c *pgas.Ctx) *Slot {
+	in := d.priv.Get(c)
+	in.mu.Lock()
+	if n := len(in.free); n > 0 {
+		s := in.free[n-1]
+		in.free = in.free[:n-1]
+		in.mu.Unlock()
+		return s
+	}
+	in.mu.Unlock()
+	s := &Slot{inst: in}
+	for {
+		head := in.slotsHead.Load()
+		s.next = head
+		if in.slotsHead.CompareAndSwap(head, s) {
+			return s
+		}
+	}
+}
+
+// Release clears the slot and returns it to the locale's free pool.
+func (d *Domain) Release(c *pgas.Ctx, s *Slot) {
+	s.val.Store(0)
+	in := d.priv.Get(c)
+	in.mu.Lock()
+	in.free = append(in.free, s)
+	in.mu.Unlock()
+}
+
+// Protect publishes a hazard for the object currently referenced by a
+// and returns the validated address: the classic read–publish–re-read
+// loop. When a is homed remotely every iteration costs two network
+// reads — the per-access price hazard pointers pay that epoch pinning
+// does not.
+func (s *Slot) Protect(c *pgas.Ctx, a *atomics.AtomicObject) gas.Addr {
+	for {
+		x := a.Read(c)
+		s.val.Store(uint64(x))
+		if a.Read(c) == x {
+			return x
+		}
+	}
+}
+
+// Set publishes a hazard for an address the caller has already
+// validated by other means.
+func (s *Slot) Set(addr gas.Addr) { s.val.Store(uint64(addr)) }
+
+// Clear withdraws the hazard.
+func (s *Slot) Clear() { s.val.Store(0) }
+
+// Retire marks addr unreachable and queues it for reclamation on the
+// calling locale; once the retired list reaches the domain threshold a
+// scan runs.
+func (d *Domain) Retire(c *pgas.Ctx, addr gas.Addr) {
+	in := d.priv.Get(c)
+	in.retires.Add(1)
+	in.mu.Lock()
+	in.retired = append(in.retired, addr)
+	trigger := len(in.retired) >= d.threshold
+	in.mu.Unlock()
+	if trigger {
+		d.Scan(c)
+	}
+}
+
+// Scan collects the hazard sets of every locale (one on-statement per
+// remote locale — the distributed analogue of Michael's all-thread
+// scan) and frees every locally retired object no hazard protects.
+// Objects still protected stay retired for a later scan.
+func (d *Domain) Scan(c *pgas.Ctx) {
+	in := d.priv.Get(c)
+	in.scans.Add(1)
+
+	// Collect published hazards from all locales.
+	L := c.NumLocales()
+	perLocale := make([][]uint64, L)
+	c.CoforallLocales(func(lc *pgas.Ctx) {
+		li := d.priv.Get(lc)
+		var vals []uint64
+		for s := li.slotsHead.Load(); s != nil; s = s.next {
+			if v := s.val.Load(); v != 0 {
+				vals = append(vals, v)
+			}
+		}
+		perLocale[lc.Here()] = vals
+	})
+	var hazards []uint64
+	for _, vals := range perLocale {
+		hazards = append(hazards, vals...)
+	}
+	sort.Slice(hazards, func(i, j int) bool { return hazards[i] < hazards[j] })
+	protected := func(a gas.Addr) bool {
+		i := sort.Search(len(hazards), func(i int) bool { return hazards[i] >= uint64(a) })
+		return i < len(hazards) && hazards[i] == uint64(a)
+	}
+
+	// Partition the retired list; free the unprotected by owner locale
+	// (bulk, like the EpochManager's scatter lists).
+	in.mu.Lock()
+	retired := in.retired
+	in.retired = nil
+	in.mu.Unlock()
+
+	var keep []gas.Addr
+	byOwner := make(map[int][]gas.Addr)
+	for _, a := range retired {
+		if protected(a) {
+			keep = append(keep, a)
+			continue
+		}
+		byOwner[a.Locale()] = append(byOwner[a.Locale()], a)
+	}
+	freed := 0
+	for owner, batch := range byOwner {
+		freed += c.FreeBulk(owner, batch)
+	}
+	in.freed.Add(int64(freed))
+	in.deferred.Add(int64(len(keep)))
+
+	if len(keep) > 0 {
+		in.mu.Lock()
+		in.retired = append(in.retired, keep...)
+		in.mu.Unlock()
+	}
+}
+
+// Drain scans every locale until nothing retired remains; callers must
+// have cleared all hazards first (quiescence), like EpochManager.Clear.
+func (d *Domain) Drain(c *pgas.Ctx) {
+	c.CoforallLocales(func(lc *pgas.Ctx) {
+		d.Scan(lc)
+	})
+}
+
+// Stats aggregates domain counters across locales.
+type Stats struct {
+	Retired  int64 // Retire calls
+	Freed    int64 // objects reclaimed
+	Scans    int64 // scans executed
+	Deferred int64 // scan passes in which an object stayed protected
+}
+
+// Stats gathers counters from every locale.
+func (d *Domain) Stats(c *pgas.Ctx) Stats {
+	var s Stats
+	results := make([]Stats, c.NumLocales())
+	c.CoforallLocales(func(lc *pgas.Ctx) {
+		li := d.priv.Get(lc)
+		results[lc.Here()] = Stats{
+			Retired:  li.retires.Load(),
+			Freed:    li.freed.Load(),
+			Scans:    li.scans.Load(),
+			Deferred: li.deferred.Load(),
+		}
+	})
+	for _, r := range results {
+		s.Retired += r.Retired
+		s.Freed += r.Freed
+		s.Scans += r.Scans
+		s.Deferred += r.Deferred
+	}
+	return s
+}

@@ -1,0 +1,200 @@
+package gas
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Heap is one locale's slab allocator. Objects (arbitrary Go values)
+// live in slots addressed by their index; Alloc hands out slots from a
+// LIFO free list so that a freed address is reused promptly — the same
+// allocator behaviour that makes the ABA problem real on a free-list
+// based system allocator.
+//
+// Freed slots are poisoned: the slot remembers that it is free, and
+// Load of a freed slot reports a use-after-free instead of silently
+// returning stale or recycled data. This turns the undefined behaviour
+// the paper's reclamation machinery exists to prevent into a checkable
+// predicate that the test suite asserts on.
+//
+// The Heap itself is an allocator substrate, not one of the paper's
+// non-blocking constructs; it uses an internal mutex, which stands in
+// for the (also locking) system allocator underneath Chapel's `new`.
+type Heap struct {
+	locale int
+
+	mu    sync.Mutex
+	slots []slot
+	free  []uint64 // LIFO stack of free slot indices
+
+	live      atomic.Int64 // currently allocated slots
+	allocs    atomic.Int64 // total allocations
+	frees     atomic.Int64 // total frees
+	uafLoads  atomic.Int64 // detected use-after-free loads
+	uafFrees  atomic.Int64 // detected double frees
+	highWater atomic.Int64 // maximum simultaneous live slots
+}
+
+type slot struct {
+	obj   any
+	freed bool
+}
+
+// NewHeap creates the heap for the given locale id.
+func NewHeap(locale int) *Heap {
+	return &Heap{locale: locale}
+}
+
+// Locale returns the id of the locale this heap belongs to.
+func (h *Heap) Locale() int { return h.locale }
+
+// Alloc stores obj in a slot and returns its global address. Freed
+// slots are reused LIFO, so the returned Addr may equal one freed a
+// moment ago — deliberately so; see the package comment.
+func (h *Heap) Alloc(obj any) Addr {
+	h.mu.Lock()
+	var idx uint64
+	if n := len(h.free); n > 0 {
+		idx = h.free[n-1]
+		h.free = h.free[:n-1]
+		h.slots[idx] = slot{obj: obj}
+	} else {
+		idx = uint64(len(h.slots))
+		h.slots = append(h.slots, slot{obj: obj})
+	}
+	h.mu.Unlock()
+
+	h.allocs.Add(1)
+	live := h.live.Add(1)
+	for {
+		hw := h.highWater.Load()
+		if live <= hw || h.highWater.CompareAndSwap(hw, live) {
+			break
+		}
+	}
+	return MakeAddr(h.locale, idx)
+}
+
+// Load returns the object at addr. ok is false — and the use-after-free
+// counter is incremented — if the slot has been freed and not yet
+// reallocated. Load panics if addr belongs to another locale: locality
+// routing is the caller's job (package pgas performs GETs for remote
+// addresses).
+func (h *Heap) Load(addr Addr) (obj any, ok bool) {
+	h.checkOwner(addr)
+	idx := addr.Index()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if idx >= uint64(len(h.slots)) {
+		h.uafLoads.Add(1)
+		return nil, false
+	}
+	s := h.slots[idx]
+	if s.freed {
+		h.uafLoads.Add(1)
+		return nil, false
+	}
+	return s.obj, true
+}
+
+// Store overwrites the object at addr in place, reporting false if the
+// slot has been freed (a detected use-after-free write).
+func (h *Heap) Store(addr Addr, obj any) bool {
+	h.checkOwner(addr)
+	idx := addr.Index()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if idx >= uint64(len(h.slots)) || h.slots[idx].freed {
+		h.uafLoads.Add(1)
+		return false
+	}
+	h.slots[idx].obj = obj
+	return true
+}
+
+// Free poisons the slot at addr and pushes it onto the free list. A
+// double free is detected, counted, and reported by the return value
+// rather than corrupting the free list.
+func (h *Heap) Free(addr Addr) bool {
+	h.checkOwner(addr)
+	idx := addr.Index()
+	h.mu.Lock()
+	if idx >= uint64(len(h.slots)) || h.slots[idx].freed {
+		h.mu.Unlock()
+		h.uafFrees.Add(1)
+		return false
+	}
+	h.slots[idx] = slot{freed: true}
+	h.free = append(h.free, idx)
+	h.mu.Unlock()
+
+	h.frees.Add(1)
+	h.live.Add(-1)
+	return true
+}
+
+// FreeBulk frees every address in addrs, returning how many were live.
+// It is the locale-side half of the EpochManager's scatter-list bulk
+// deletion: one call per locale instead of one RPC per object.
+func (h *Heap) FreeBulk(addrs []Addr) int {
+	n := 0
+	for _, a := range addrs {
+		if a.IsNil() {
+			continue
+		}
+		if h.Free(a) {
+			n++
+		}
+	}
+	return n
+}
+
+func (h *Heap) checkOwner(addr Addr) {
+	if addr.IsNil() {
+		panic("gas: nil Addr dereference")
+	}
+	if addr.Locale() != h.locale {
+		panic(fmt.Sprintf("gas: addr %v accessed via heap of locale %d", addr, h.locale))
+	}
+}
+
+// Stats is a snapshot of a heap's allocation counters.
+type Stats struct {
+	Live      int64 // currently allocated slots
+	Allocs    int64 // total allocations
+	Frees     int64 // total frees
+	UAFLoads  int64 // detected use-after-free loads
+	UAFFrees  int64 // detected double frees
+	HighWater int64 // maximum simultaneous live slots
+}
+
+// Stats returns a point-in-time snapshot of the heap counters.
+func (h *Heap) Stats() Stats {
+	return Stats{
+		Live:      h.live.Load(),
+		Allocs:    h.allocs.Load(),
+		Frees:     h.frees.Load(),
+		UAFLoads:  h.uafLoads.Load(),
+		UAFFrees:  h.uafFrees.Load(),
+		HighWater: h.highWater.Load(),
+	}
+}
+
+// Add accumulates two stats snapshots, for whole-system totals.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Live:      s.Live + o.Live,
+		Allocs:    s.Allocs + o.Allocs,
+		Frees:     s.Frees + o.Frees,
+		UAFLoads:  s.UAFLoads + o.UAFLoads,
+		UAFFrees:  s.UAFFrees + o.UAFFrees,
+		HighWater: s.HighWater + o.HighWater,
+	}
+}
+
+// String formats the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("live=%d allocs=%d frees=%d uafLoads=%d uafFrees=%d highWater=%d",
+		s.Live, s.Allocs, s.Frees, s.UAFLoads, s.UAFFrees, s.HighWater)
+}

@@ -1,0 +1,200 @@
+package gas
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapAllocLoad(t *testing.T) {
+	h := NewHeap(2)
+	type obj struct{ v int }
+	a := h.Alloc(&obj{v: 41})
+	if a.Locale() != 2 {
+		t.Fatalf("alloc locale = %d", a.Locale())
+	}
+	got, ok := h.Load(a)
+	if !ok {
+		t.Fatal("load of live object failed")
+	}
+	if got.(*obj).v != 41 {
+		t.Fatalf("loaded %v", got)
+	}
+}
+
+func TestHeapFreePoisons(t *testing.T) {
+	h := NewHeap(0)
+	a := h.Alloc("x")
+	if !h.Free(a) {
+		t.Fatal("first free failed")
+	}
+	if _, ok := h.Load(a); ok {
+		t.Fatal("load after free must fail (poison)")
+	}
+	if h.Free(a) {
+		t.Fatal("double free must be detected")
+	}
+	st := h.Stats()
+	if st.UAFLoads != 1 || st.UAFFrees != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHeapLIFOReuse(t *testing.T) {
+	h := NewHeap(0)
+	a := h.Alloc("a")
+	h.Free(a)
+	b := h.Alloc("b")
+	if a != b {
+		t.Fatalf("expected LIFO slot reuse: %v vs %v — the ABA hazard depends on it", a, b)
+	}
+	got, ok := h.Load(b)
+	if !ok || got.(string) != "b" {
+		t.Fatalf("reused slot holds %v ok=%v", got, ok)
+	}
+}
+
+func TestHeapStoreInPlace(t *testing.T) {
+	h := NewHeap(0)
+	a := h.Alloc(1)
+	if !h.Store(a, 2) {
+		t.Fatal("store to live slot failed")
+	}
+	got, _ := h.Load(a)
+	if got.(int) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	h.Free(a)
+	if h.Store(a, 3) {
+		t.Fatal("store to freed slot must be detected")
+	}
+}
+
+func TestHeapWrongLocalePanics(t *testing.T) {
+	h := NewHeap(1)
+	other := MakeAddr(0, 0)
+	mustPanic(t, "foreign load", func() { h.Load(other) })
+	mustPanic(t, "foreign free", func() { h.Free(other) })
+	mustPanic(t, "nil load", func() { h.Load(AddrNil) })
+}
+
+func TestHeapFreeBulk(t *testing.T) {
+	h := NewHeap(0)
+	addrs := make([]Addr, 10)
+	for i := range addrs {
+		addrs[i] = h.Alloc(i)
+	}
+	// Include a nil and a duplicate: both must be tolerated.
+	batch := append([]Addr{AddrNil}, addrs...)
+	batch = append(batch, addrs[0])
+	if n := h.FreeBulk(batch); n != 10 {
+		t.Fatalf("FreeBulk freed %d, want 10", n)
+	}
+	if live := h.Stats().Live; live != 0 {
+		t.Fatalf("live = %d after bulk free", live)
+	}
+}
+
+func TestHeapStats(t *testing.T) {
+	h := NewHeap(0)
+	var addrs []Addr
+	for i := 0; i < 5; i++ {
+		addrs = append(addrs, h.Alloc(i))
+	}
+	st := h.Stats()
+	if st.Live != 5 || st.Allocs != 5 || st.HighWater != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for _, a := range addrs[:3] {
+		h.Free(a)
+	}
+	st = h.Stats()
+	if st.Live != 2 || st.Frees != 3 || st.HighWater != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHeapConcurrentAllocFree(t *testing.T) {
+	h := NewHeap(0)
+	const goroutines = 8
+	const per = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var mine []Addr
+			for i := 0; i < per; i++ {
+				mine = append(mine, h.Alloc(g*per+i))
+			}
+			for _, a := range mine {
+				v, ok := h.Load(a)
+				if !ok {
+					t.Errorf("lost object at %v", a)
+					return
+				}
+				_ = v
+				if !h.Free(a) {
+					t.Errorf("free failed at %v", a)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := h.Stats()
+	if st.Live != 0 {
+		t.Fatalf("leaked %d slots", st.Live)
+	}
+	if st.Allocs != goroutines*per || st.Frees != goroutines*per {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.UAFLoads != 0 || st.UAFFrees != 0 {
+		t.Fatalf("unexpected UAF: %+v", st)
+	}
+}
+
+// Property: any interleaved alloc/free sequence keeps Live ==
+// Allocs - Frees and never corrupts slot contents.
+func TestHeapInvariantProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		h := NewHeap(0)
+		var live []Addr
+		next := 0
+		for _, isAlloc := range ops {
+			if isAlloc || len(live) == 0 {
+				live = append(live, h.Alloc(next))
+				next++
+			} else {
+				a := live[len(live)-1]
+				live = live[:len(live)-1]
+				if !h.Free(a) {
+					return false
+				}
+			}
+		}
+		st := h.Stats()
+		if st.Live != int64(len(live)) || st.Live != st.Allocs-st.Frees {
+			return false
+		}
+		for _, a := range live {
+			if _, ok := h.Load(a); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Live: 1, Allocs: 2, Frees: 3, UAFLoads: 4, UAFFrees: 5, HighWater: 6}
+	b := Stats{Live: 10, Allocs: 20, Frees: 30, UAFLoads: 40, UAFFrees: 50, HighWater: 60}
+	got := a.Add(b)
+	want := Stats{Live: 11, Allocs: 22, Frees: 33, UAFLoads: 44, UAFFrees: 55, HighWater: 66}
+	if got != want {
+		t.Fatalf("Add = %+v", got)
+	}
+}

@@ -1,0 +1,231 @@
+package pgas
+
+import (
+	"sync"
+
+	"gopgas/internal/comm"
+)
+
+// Ctx is a task's view of the system: which locale it is executing on
+// (Chapel's `here`), plus a private deterministic random stream. Every
+// spawned task — whether via On, CoforallLocales, or the forall
+// helpers — receives its own Ctx. A Ctx must not be shared between
+// goroutines; spawn instead.
+type Ctx struct {
+	sys    *System
+	here   *Locale
+	taskID uint64
+	rng    uint64
+}
+
+// Sys returns the owning System.
+func (c *Ctx) Sys() *System { return c.sys }
+
+// Here returns the id of the locale this task runs on.
+func (c *Ctx) Here() int { return c.here.id }
+
+// NumLocales returns the system's locale count.
+func (c *Ctx) NumLocales() int { return len(c.sys.locales) }
+
+// TaskID returns the task's unique id (diagnostic).
+func (c *Ctx) TaskID() uint64 { return c.taskID }
+
+// On executes fn on the target locale and waits for it to finish — a
+// synchronous on-statement. Remote targets pay the on-statement spawn
+// latency and count one on-statement; `on here` runs inline for free,
+// as Chapel's compiler also elides it. The callee receives a fresh Ctx
+// whose Here() is the target.
+func (c *Ctx) On(target int, fn func(ctx *Ctx)) {
+	if target == c.here.id {
+		fn(c)
+		return
+	}
+	s := c.sys
+	s.counters.IncOnStmt()
+	s.matrix.Inc(c.here.id, target)
+	comm.Delay(s.cfg.Latency.AMRoundTripNS + s.cfg.Latency.OnStmtNS)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn(s.newCtx(s.locales[target]))
+	}()
+	<-done
+}
+
+// CoforallLocales spawns one task per locale (each running on its
+// locale), waits for all of them, and charges one on-statement per
+// remote locale — `coforall loc in Locales do on loc`.
+func (c *Ctx) CoforallLocales(fn func(ctx *Ctx)) {
+	s := c.sys
+	var wg sync.WaitGroup
+	for _, loc := range s.locales {
+		if loc.id != c.here.id {
+			s.counters.IncOnStmt()
+			s.matrix.Inc(c.here.id, loc.id)
+		}
+		wg.Add(1)
+		go func(l *Locale) {
+			defer wg.Done()
+			if l.id != c.here.id {
+				comm.Delay(s.cfg.Latency.AMRoundTripNS + s.cfg.Latency.OnStmtNS)
+			}
+			fn(s.newCtx(l))
+		}(loc)
+	}
+	wg.Wait()
+}
+
+// Coforall spawns n tasks on the current locale and waits for them —
+// `coforall tid in 0..#n`.
+func (c *Ctx) Coforall(n int, fn func(ctx *Ctx, tid int)) {
+	s := c.sys
+	var wg sync.WaitGroup
+	for t := 0; t < n; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			fn(s.newCtx(c.here), t)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// ForallCyclic iterates i over [0, n) with the iterations distributed
+// cyclically across locales (i runs on locale i % numLocales), using
+// tasksPerLocale tasks on each locale. perTask is invoked once per
+// task to create task-private state (Chapel's `with (var tok = ...)`
+// intent), body once per iteration, and perTaskDone once per task as
+// the task ends (the automatic cleanup of task-private values). perTask
+// and perTaskDone may be nil when no task state is needed.
+//
+// ForallCyclic is a generic function rather than a method because Go
+// methods cannot introduce type parameters.
+func ForallCyclic[P any](c *Ctx, n, tasksPerLocale int,
+	perTask func(ctx *Ctx) P,
+	body func(ctx *Ctx, priv P, i int),
+	perTaskDone func(ctx *Ctx, priv P),
+) {
+	if tasksPerLocale <= 0 {
+		tasksPerLocale = 1
+	}
+	s := c.sys
+	L := len(s.locales)
+	var wg sync.WaitGroup
+	for _, loc := range s.locales {
+		if loc.id >= n && n < L {
+			continue // no iterations land on this locale
+		}
+		if loc.id != c.here.id {
+			s.counters.IncOnStmt()
+			s.matrix.Inc(c.here.id, loc.id)
+		}
+		wg.Add(1)
+		go func(l *Locale) {
+			defer wg.Done()
+			if l.id != c.here.id {
+				comm.Delay(s.cfg.Latency.AMRoundTripNS + s.cfg.Latency.OnStmtNS)
+			}
+			// Iterations owned by locale l: l.id, l.id+L, l.id+2L, ...
+			// Split them contiguously among the locale's tasks.
+			count := 0
+			if n > l.id {
+				count = (n - l.id + L - 1) / L
+			}
+			if count == 0 {
+				return
+			}
+			tasks := tasksPerLocale
+			if tasks > count {
+				tasks = count
+			}
+			var twg sync.WaitGroup
+			for t := 0; t < tasks; t++ {
+				lo := count * t / tasks
+				hi := count * (t + 1) / tasks
+				twg.Add(1)
+				go func(lo, hi int) {
+					defer twg.Done()
+					tctx := s.newCtx(l)
+					var priv P
+					if perTask != nil {
+						priv = perTask(tctx)
+					}
+					for k := lo; k < hi; k++ {
+						body(tctx, priv, l.id+k*L)
+					}
+					if perTaskDone != nil {
+						perTaskDone(tctx, priv)
+					}
+				}(lo, hi)
+			}
+			twg.Wait()
+		}(loc)
+	}
+	wg.Wait()
+}
+
+// ForallLocal iterates i over [0, n) using `tasks` tasks on the
+// current locale only — a shared-memory forall with task-private
+// state, for the LocalEpochManager and shared-memory benchmarks.
+func ForallLocal[P any](c *Ctx, n, tasks int,
+	perTask func(ctx *Ctx) P,
+	body func(ctx *Ctx, priv P, i int),
+	perTaskDone func(ctx *Ctx, priv P),
+) {
+	if tasks <= 0 {
+		tasks = 1
+	}
+	if tasks > n && n > 0 {
+		tasks = n
+	}
+	s := c.sys
+	var wg sync.WaitGroup
+	for t := 0; t < tasks; t++ {
+		lo := n * t / tasks
+		hi := n * (t + 1) / tasks
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			tctx := s.newCtx(c.here)
+			var priv P
+			if perTask != nil {
+				priv = perTask(tctx)
+			}
+			for i := lo; i < hi; i++ {
+				body(tctx, priv, i)
+			}
+			if perTaskDone != nil {
+				perTaskDone(tctx, priv)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// AndReduce accumulates a logical-AND reduction across tasks, the
+// analogue of Chapel's `with (&& reduce ok)` intent in Listing 4.
+// The zero value is NOT ready; use NewAndReduce, which starts true.
+type AndReduce struct {
+	mu sync.Mutex
+	v  bool
+}
+
+// NewAndReduce returns a reduction initialised to true.
+func NewAndReduce() *AndReduce { return &AndReduce{v: true} }
+
+// And folds b into the reduction.
+func (r *AndReduce) And(b bool) {
+	if b {
+		return
+	}
+	r.mu.Lock()
+	r.v = false
+	r.mu.Unlock()
+}
+
+// Value returns the reduced result; call after all contributors join.
+func (r *AndReduce) Value() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.v
+}

@@ -1,0 +1,62 @@
+package pgas
+
+// Privatization: the record-wrapping + remote-value-forwarding pattern
+// the paper inherits from Chapel's arrays, domains and distributions
+// (and from CAL/CGL/CHGL/RCUArray). A privatized object is replicated
+// once per locale; a small handle (here, just a table index) is
+// copied *by value* into every task, so resolving the locale-local
+// instance is a plain indexed load into locale-private memory —
+// zero communication, which the comm-counter tests verify. This is
+// what lets the EpochManager's pin/unpin path stay flat across
+// locales (Figure 7).
+
+// Privatized is the copyable handle to a per-locale replicated
+// instance of T. The zero value is invalid; create with NewPrivatized.
+type Privatized[T any] struct {
+	pid int // index into every locale's privTable; -1 when invalid
+}
+
+// NewPrivatized replicates an instance across every locale: create is
+// invoked once on each locale (on that locale, as a coforall) and the
+// resulting handle can be copied freely between tasks and locales.
+func NewPrivatized[T any](c *Ctx, create func(ctx *Ctx) *T) Privatized[T] {
+	s := c.sys
+	s.privMu.Lock()
+	pid := s.privNext
+	s.privNext++
+	s.privMu.Unlock()
+
+	c.CoforallLocales(func(lc *Ctx) {
+		inst := create(lc)
+		l := lc.here
+		l.privMu.Lock()
+		for len(l.privTable) <= pid {
+			l.privTable = append(l.privTable, nil)
+		}
+		l.privTable[pid] = inst
+		l.privMu.Unlock()
+	})
+	return Privatized[T]{pid: pid}
+}
+
+// Get returns the instance that lives on the calling task's locale.
+// It performs no communication.
+func (p Privatized[T]) Get(c *Ctx) *T {
+	l := c.here
+	l.privMu.RLock()
+	inst := l.privTable[p.pid]
+	l.privMu.RUnlock()
+	return inst.(*T)
+}
+
+// GetOn returns the instance on a specific locale. Unlike Get this may
+// be used to inspect peers (e.g. in tests); it still performs no
+// simulated communication because in a real system the caller would be
+// running on that locale inside an on-statement.
+func (p Privatized[T]) GetOn(c *Ctx, locale int) *T {
+	l := c.sys.locales[locale]
+	l.privMu.RLock()
+	inst := l.privTable[p.pid]
+	l.privMu.RUnlock()
+	return inst.(*T)
+}

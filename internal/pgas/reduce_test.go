@@ -1,0 +1,44 @@
+package pgas
+
+import (
+	"testing"
+
+	"gopgas/internal/comm"
+)
+
+func TestSumReduceAcrossLocales(t *testing.T) {
+	s := newTestSystem(t, 4, comm.BackendNone)
+	s.Run(func(c *Ctx) {
+		var sum SumReduce
+		ForallCyclic(c, 100, 2, nil, func(tc *Ctx, _ struct{}, i int) {
+			sum.Add(int64(i))
+		}, nil)
+		if got := sum.Value(); got != 99*100/2 {
+			t.Fatalf("sum = %d", got)
+		}
+	})
+}
+
+func TestMinMaxReduce(t *testing.T) {
+	s := newTestSystem(t, 2, comm.BackendNone)
+	s.Run(func(c *Ctx) {
+		var mn MinReduce
+		var mx MaxReduce
+		if _, ok := mn.Value(); ok {
+			t.Fatal("empty min has a value")
+		}
+		if _, ok := mx.Value(); ok {
+			t.Fatal("empty max has a value")
+		}
+		c.Coforall(8, func(tc *Ctx, tid int) {
+			mn.Add(int64(10 - tid))
+			mx.Add(int64(10 - tid))
+		})
+		if v, ok := mn.Value(); !ok || v != 3 {
+			t.Fatalf("min = (%d,%v)", v, ok)
+		}
+		if v, ok := mx.Value(); !ok || v != 10 {
+			t.Fatalf("max = (%d,%v)", v, ok)
+		}
+	})
+}

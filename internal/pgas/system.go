@@ -1,0 +1,220 @@
+// Package pgas implements an in-process Partitioned Global Address
+// Space runtime: the substrate the paper's constructs run on.
+//
+// A System hosts a fixed set of locales. Each locale owns a gas.Heap
+// (its partition of the global address space), a bounded pool of
+// progress workers that execute incoming active messages, and a slot in
+// the privatization registry. Tasks are goroutines bound to a locale
+// through a Ctx, the analogue of Chapel's implicit `here`.
+//
+// The package supplies the handful of language features the paper's
+// listings rely on: on-statements (Ctx.On), coforall/forall loops over
+// locales and cyclically distributed domains with task-private values,
+// network-atomic words (Word64, Word128) routed per the configured
+// comm.Backend, remote allocation/load/free with bulk variants, a
+// privatized-instance registry with zero-communication lookup, and
+// an && reduction.
+//
+// Simulated communication costs are injected from the configured
+// comm.LatencyProfile and every event increments the System's
+// comm.Counters, so tests can assert on exact communication volume.
+package pgas
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/gas"
+)
+
+// Config describes a System.
+type Config struct {
+	// Locales is the number of locales (compute nodes). Must be >= 1.
+	Locales int
+
+	// Backend selects the network-atomic regime (ugni or none).
+	Backend comm.Backend
+
+	// Latency is the injected-delay profile. The zero value disables
+	// all delays (fast, for unit tests); comm.DefaultProfile() gives
+	// the calibrated benchmark profile.
+	Latency comm.LatencyProfile
+
+	// ProgressWorkers is the number of active-message handler
+	// goroutines per locale; it bounds how many AM atomics a locale can
+	// service concurrently, which is the serialization the paper's
+	// "none" curves exhibit. Defaults to 2.
+	ProgressWorkers int
+
+	// Seed makes per-task random streams reproducible. Defaults to 1.
+	Seed uint64
+
+	// ForceWidePointers makes AtomicObject behave as if the system had
+	// more than 2^16 locales, exercising the wide-pointer/DCAS fallback
+	// without actually instantiating 65537 locales.
+	ForceWidePointers bool
+}
+
+// System is a running PGAS instance.
+type System struct {
+	cfg      Config
+	locales  []*Locale
+	counters comm.Counters
+	matrix   *comm.Matrix
+
+	taskSeq atomic.Uint64 // unique task ids, also salts per-task RNG
+
+	privMu   sync.Mutex
+	privNext int
+
+	shutdown atomic.Bool
+	workerWG sync.WaitGroup
+}
+
+// Locale is one logical compute node: an id, a heap partition, a
+// progress-worker pool, and a table of privatized instances.
+type Locale struct {
+	id   int
+	sys  *System
+	heap *gas.Heap
+	amq  chan amReq
+
+	privMu    sync.RWMutex
+	privTable []any
+}
+
+type amReq struct {
+	fn   func()
+	done chan struct{}
+}
+
+// NewSystem boots a System with cfg. It panics on invalid
+// configuration; call Shutdown when done to stop the progress workers.
+func NewSystem(cfg Config) *System {
+	if cfg.Locales < 1 {
+		panic(fmt.Sprintf("pgas: Locales must be >= 1, got %d", cfg.Locales))
+	}
+	if cfg.Locales > gas.MaxLocales {
+		panic(fmt.Sprintf("pgas: %d locales exceeds the %d addressable by 16-bit locality", cfg.Locales, gas.MaxLocales))
+	}
+	if cfg.ProgressWorkers <= 0 {
+		cfg.ProgressWorkers = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s := &System{cfg: cfg, matrix: comm.NewMatrix(cfg.Locales)}
+	s.locales = make([]*Locale, cfg.Locales)
+	for i := range s.locales {
+		loc := &Locale{
+			id:   i,
+			sys:  s,
+			heap: gas.NewHeap(i),
+			amq:  make(chan amReq, 64),
+		}
+		s.locales[i] = loc
+		for w := 0; w < cfg.ProgressWorkers; w++ {
+			s.workerWG.Add(1)
+			go loc.progressWorker()
+		}
+	}
+	return s
+}
+
+// progressWorker drains the locale's active-message queue. Handlers
+// are small and terminal (an atomic op plus the modelled occupancy
+// cost); they never issue further communication, so a bounded pool
+// cannot deadlock.
+func (l *Locale) progressWorker() {
+	defer l.sys.workerWG.Done()
+	handlerNS := l.sys.cfg.Latency.AMHandlerNS
+	for req := range l.amq {
+		comm.Delay(handlerNS)
+		req.fn()
+		close(req.done)
+	}
+}
+
+// Shutdown stops all progress workers. Any communication attempted
+// after Shutdown panics; a System is not restartable.
+func (s *System) Shutdown() {
+	if s.shutdown.Swap(true) {
+		return
+	}
+	for _, l := range s.locales {
+		close(l.amq)
+	}
+	s.workerWG.Wait()
+}
+
+// NumLocales returns the configured locale count.
+func (s *System) NumLocales() int { return len(s.locales) }
+
+// Backend returns the configured network-atomic backend.
+func (s *System) Backend() comm.Backend { return s.cfg.Backend }
+
+// WidePointers reports whether AtomicObject must use the 128-bit
+// wide-pointer representation (more locales than pointer compression
+// can encode, or ForceWidePointers set for testing).
+func (s *System) WidePointers() bool {
+	return s.cfg.ForceWidePointers || len(s.locales) > gas.MaxLocales
+}
+
+// Counters returns the system's communication-diagnostic counters.
+func (s *System) Counters() *comm.Counters { return &s.counters }
+
+// Matrix returns the per-locale-pair communication matrix: every
+// remote event counted by Counters is also attributed to its
+// (source, destination) pair here.
+func (s *System) Matrix() *comm.Matrix { return s.matrix }
+
+// Latency returns the configured latency profile.
+func (s *System) Latency() comm.LatencyProfile { return s.cfg.Latency }
+
+// LocaleHeap exposes the heap of one locale, primarily for tests and
+// statistics; normal code goes through Ctx allocation helpers.
+func (s *System) LocaleHeap(id int) *gas.Heap { return s.locales[id].heap }
+
+// HeapStats sums allocation statistics across every locale.
+func (s *System) HeapStats() gas.Stats {
+	var total gas.Stats
+	for _, l := range s.locales {
+		total = total.Add(l.heap.Stats())
+	}
+	return total
+}
+
+// Ctx returns a fresh task context pinned to the given locale, as if a
+// task had been spawned there. Run is the conventional entry point;
+// Ctx exists for tests and benchmarks that drive locales directly.
+func (s *System) Ctx(locale int) *Ctx {
+	if locale < 0 || locale >= len(s.locales) {
+		panic(fmt.Sprintf("pgas: locale %d out of range [0, %d)", locale, len(s.locales)))
+	}
+	return s.newCtx(s.locales[locale])
+}
+
+// Run executes fn as the program's main task on locale 0 and returns
+// when it completes, mirroring a Chapel main procedure.
+func (s *System) Run(fn func(ctx *Ctx)) {
+	fn(s.Ctx(0))
+}
+
+// amCall ships fn to the target locale's progress workers and waits
+// for it to execute. It is the transport for active-message atomics
+// and remote DCAS; callers are responsible for counting the event.
+func (s *System) amCall(target int, fn func()) {
+	comm.Delay(s.cfg.Latency.AMRoundTripNS)
+	done := make(chan struct{})
+	s.locales[target].amq <- amReq{fn: fn, done: done}
+	<-done
+}
+
+func (s *System) newCtx(l *Locale) *Ctx {
+	id := s.taskSeq.Add(1)
+	c := &Ctx{sys: s, here: l, taskID: id}
+	c.rng = rngSeed(s.cfg.Seed, uint64(l.id), id)
+	return c
+}

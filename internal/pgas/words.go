@@ -1,0 +1,295 @@
+package pgas
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gopgas/internal/comm"
+)
+
+// Word64 is a network-atomic 64-bit word that lives in one locale's
+// memory, the substrate for Chapel's `atomic int/uint` under
+// CHPL_NETWORK_ATOMICS. Operation routing follows the backend:
+//
+//   - ugni: every operation — including one issued from the word's own
+//     locale — is a NIC atomic: executed without involving the target
+//     CPU, paying the NIC round-trip latency. (Aries network atomics
+//     are not coherent with processor atomics, so there is no cheap
+//     local path; the paper measures this at up to 10×.)
+//   - none: operations from the word's own locale are native processor
+//     atomics; remote operations ship as active messages executed —
+//     and serialized — by the target's progress workers.
+//
+// For locale-private state that never needs network atomicity (the
+// paper "opts out" of network atomics where possible), use plain
+// sync/atomic values instead; Word64 models precisely the variables
+// that must remain globally atomic.
+type Word64 struct {
+	home int
+	v    atomic.Uint64
+}
+
+// NewWord64 allocates a network-atomic word homed on the given locale
+// with an initial value.
+func NewWord64(c *Ctx, home int, init uint64) *Word64 {
+	if home < 0 || home >= c.NumLocales() {
+		panic("pgas: Word64 home out of range")
+	}
+	w := &Word64{home: home}
+	w.v.Store(init)
+	return w
+}
+
+// Home returns the id of the locale the word resides on.
+func (w *Word64) Home() int { return w.home }
+
+// amo routes op per the backend, returning its result.
+func (w *Word64) amo(c *Ctx, op func() uint64) uint64 {
+	s := c.sys
+	switch s.cfg.Backend {
+	case comm.BackendUGNI:
+		s.counters.IncNICAMO()
+		s.matrix.Inc(c.here.id, w.home)
+		comm.Delay(s.cfg.Latency.NICAtomicNS)
+		return op()
+	default:
+		if w.home == c.here.id {
+			s.counters.IncLocalAMO()
+			comm.Delay(s.cfg.Latency.LocalAtomicNS)
+			return op()
+		}
+		s.counters.IncAMAMO()
+		s.matrix.Inc(c.here.id, w.home)
+		var res uint64
+		s.amCall(w.home, func() { res = op() })
+		return res
+	}
+}
+
+// Read atomically loads the word.
+func (w *Word64) Read(c *Ctx) uint64 {
+	return w.amo(c, w.v.Load)
+}
+
+// Write atomically stores val.
+func (w *Word64) Write(c *Ctx, val uint64) {
+	w.amo(c, func() uint64 { w.v.Store(val); return 0 })
+}
+
+// Exchange atomically swaps in val and returns the previous value.
+func (w *Word64) Exchange(c *Ctx, val uint64) uint64 {
+	return w.amo(c, func() uint64 { return w.v.Swap(val) })
+}
+
+// CompareAndSwap atomically replaces old with new, reporting success.
+func (w *Word64) CompareAndSwap(c *Ctx, old, new uint64) bool {
+	return w.amo(c, func() uint64 {
+		if w.v.CompareAndSwap(old, new) {
+			return 1
+		}
+		return 0
+	}) == 1
+}
+
+// Add atomically adds delta and returns the new value.
+func (w *Word64) Add(c *Ctx, delta uint64) uint64 {
+	return w.amo(c, func() uint64 { return w.v.Add(delta) })
+}
+
+// TestAndSet sets the word to 1 and reports whether it was already
+// set — the primitive behind the paper's is_setting_epoch election
+// flags.
+func (w *Word64) TestAndSet(c *Ctx) bool {
+	return w.amo(c, func() uint64 { return w.v.Swap(1) }) == 1
+}
+
+// Clear resets a TestAndSet flag.
+func (w *Word64) Clear(c *Ctx) {
+	w.amo(c, func() uint64 { w.v.Store(0); return 0 })
+}
+
+// Word128 is a network-atomic 128-bit cell: the double-word the
+// ABA-protected pointer (64-bit address + 64-bit stamp) occupies.
+//
+// No NIC offloads 128-bit atomics, so — on both backends — a remote
+// operation always ships as an active message to the home locale
+// ("demoting" the operation from RDMA to remote execution, as the
+// paper puts it), while a local operation executes the (emulated)
+// CMPXCHG16B directly. The per-cell lock emulates the atomicity of the
+// hardware instruction Go lacks; it is held for a handful of
+// instructions and stands in the same relation to the algorithm as
+// LL/SC emulation does on ARM.
+type Word128 struct {
+	home int
+	mu   sync.Mutex
+	lo   uint64
+	hi   uint64
+}
+
+// NewWord128 allocates a 128-bit network-atomic cell homed on the
+// given locale.
+func NewWord128(c *Ctx, home int, lo, hi uint64) *Word128 {
+	if home < 0 || home >= c.NumLocales() {
+		panic("pgas: Word128 home out of range")
+	}
+	return &Word128{home: home, lo: lo, hi: hi}
+}
+
+// Home returns the id of the locale the cell resides on.
+func (w *Word128) Home() int { return w.home }
+
+// route executes op locally or via active message per locality.
+func (w *Word128) route(c *Ctx, op func()) {
+	s := c.sys
+	if w.home == c.here.id {
+		s.counters.IncDCASLocal()
+		comm.Delay(s.cfg.Latency.LocalAtomicNS)
+		op()
+		return
+	}
+	s.counters.IncDCASRemote()
+	s.matrix.Inc(c.here.id, w.home)
+	s.amCall(w.home, op)
+}
+
+// Read atomically loads both halves.
+func (w *Word128) Read(c *Ctx) (lo, hi uint64) {
+	w.route(c, func() {
+		w.mu.Lock()
+		lo, hi = w.lo, w.hi
+		w.mu.Unlock()
+	})
+	return
+}
+
+// Write atomically stores both halves.
+func (w *Word128) Write(c *Ctx, lo, hi uint64) {
+	w.route(c, func() {
+		w.mu.Lock()
+		w.lo, w.hi = lo, hi
+		w.mu.Unlock()
+	})
+}
+
+// Exchange atomically swaps in (lo, hi), returning the previous pair.
+func (w *Word128) Exchange(c *Ctx, lo, hi uint64) (oldLo, oldHi uint64) {
+	w.route(c, func() {
+		w.mu.Lock()
+		oldLo, oldHi = w.lo, w.hi
+		w.lo, w.hi = lo, hi
+		w.mu.Unlock()
+	})
+	return
+}
+
+// lo64 routes a 64-bit operation on the cell's low word with Word64
+// semantics: NIC atomic under ugni, processor atomic locally under
+// none, active message remotely under none. This is how the paper's
+// AtomicObject lets "normal" (non-ABA) operations on an ABA-protected
+// cell keep their RDMA fast path: they touch only the pointer word.
+func (w *Word128) lo64(c *Ctx, op func() uint64) uint64 {
+	s := c.sys
+	switch s.cfg.Backend {
+	case comm.BackendUGNI:
+		s.counters.IncNICAMO()
+		s.matrix.Inc(c.here.id, w.home)
+		comm.Delay(s.cfg.Latency.NICAtomicNS)
+	default:
+		if w.home != c.here.id {
+			s.counters.IncAMAMO()
+			s.matrix.Inc(c.here.id, w.home)
+			var res uint64
+			s.amCall(w.home, func() { res = op() })
+			return res
+		}
+		s.counters.IncLocalAMO()
+		comm.Delay(s.cfg.Latency.LocalAtomicNS)
+	}
+	return op()
+}
+
+// ReadLo64 atomically loads the low word only.
+func (w *Word128) ReadLo64(c *Ctx) uint64 {
+	return w.lo64(c, func() uint64 {
+		w.mu.Lock()
+		v := w.lo
+		w.mu.Unlock()
+		return v
+	})
+}
+
+// WriteLo64 atomically stores the low word, leaving the high word (the
+// ABA stamp) untouched — the "advanced user" mixed-mode write.
+func (w *Word128) WriteLo64(c *Ctx, lo uint64) {
+	w.lo64(c, func() uint64 {
+		w.mu.Lock()
+		w.lo = lo
+		w.mu.Unlock()
+		return 0
+	})
+}
+
+// ExchangeLo64 atomically swaps the low word, leaving the high word
+// untouched.
+func (w *Word128) ExchangeLo64(c *Ctx, lo uint64) uint64 {
+	return w.lo64(c, func() uint64 {
+		w.mu.Lock()
+		old := w.lo
+		w.lo = lo
+		w.mu.Unlock()
+		return old
+	})
+}
+
+// CASLo64 atomically compares-and-swaps the low word only.
+func (w *Word128) CASLo64(c *Ctx, old, new uint64) bool {
+	return w.lo64(c, func() uint64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.lo != old {
+			return 0
+		}
+		w.lo = new
+		return 1
+	}) == 1
+}
+
+// WriteLoBumpHi atomically stores the low word and increments the high
+// word — an ABA-aware unconditional write. Like all full-width
+// operations it routes as a DCAS (remote execution when remote).
+func (w *Word128) WriteLoBumpHi(c *Ctx, lo uint64) {
+	w.route(c, func() {
+		w.mu.Lock()
+		w.lo = lo
+		w.hi++
+		w.mu.Unlock()
+	})
+}
+
+// ExchangeLoBumpHi atomically swaps the low word, increments the high
+// word, and returns the previous pair — an ABA-aware exchange.
+func (w *Word128) ExchangeLoBumpHi(c *Ctx, lo uint64) (oldLo, oldHi uint64) {
+	w.route(c, func() {
+		w.mu.Lock()
+		oldLo, oldHi = w.lo, w.hi
+		w.lo = lo
+		w.hi++
+		w.mu.Unlock()
+	})
+	return
+}
+
+// DCAS performs a double-word compare-and-swap: iff the cell equals
+// (expLo, expHi) it is replaced by (newLo, newHi). This is the
+// CMPXCHG16B the paper's ABA protection is built on.
+func (w *Word128) DCAS(c *Ctx, expLo, expHi, newLo, newHi uint64) (ok bool) {
+	w.route(c, func() {
+		w.mu.Lock()
+		if w.lo == expLo && w.hi == expHi {
+			w.lo, w.hi = newLo, newHi
+			ok = true
+		}
+		w.mu.Unlock()
+	})
+	return
+}

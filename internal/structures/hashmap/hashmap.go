@@ -1,0 +1,137 @@
+// Package hashmap implements a distributed non-blocking hash map in
+// the spirit of the Interlocked Hash Table the paper announces as the
+// first application of its constructs (Jenkins, Zhou & Spear's
+// concurrent redesign of Go's built-in map, ported to PGAS).
+//
+// The map is a fixed power-of-two bucket array; each bucket is a
+// Harris-style lock-free sorted list homed on a locale chosen
+// cyclically, so the structure — like a Chapel Cyclic-distributed
+// array — spreads both storage and contention across the system. All
+// mutation is non-blocking CAS on network-atomic words; all
+// reclamation of removed entries goes through a shared EpochManager.
+package hashmap
+
+import (
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+	"gopgas/internal/structures/list"
+)
+
+// Map is a distributed lock-free hash map from uint64 keys to V.
+type Map[V any] struct {
+	buckets []*list.List[V]
+	mask    uint64
+	em      epoch.EpochManager
+	locales int
+}
+
+// New creates a map with the given bucket count (rounded up to a power
+// of two, minimum 1), buckets distributed cyclically across locales.
+func New[V any](c *pgas.Ctx, buckets int, em epoch.EpochManager) *Map[V] {
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	L := c.NumLocales()
+	m := &Map[V]{buckets: make([]*list.List[V], n), mask: uint64(n - 1), em: em, locales: L}
+	for i := range m.buckets {
+		m.buckets[i] = list.New[V](c, i%L, em)
+	}
+	return m
+}
+
+// Manager returns the epoch manager the map reclaims through.
+func (m *Map[V]) Manager() epoch.EpochManager { return m.em }
+
+// NumBuckets returns the bucket count.
+func (m *Map[V]) NumBuckets() int { return len(m.buckets) }
+
+// hash finalizes the key (splitmix64 mixer) so adjacent keys spread
+// across buckets.
+func hash(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// bucket returns the list for k.
+func (m *Map[V]) bucket(k uint64) *list.List[V] {
+	return m.buckets[hash(k)&m.mask]
+}
+
+// BucketLocale reports which locale owns k's bucket, for
+// locality-aware callers.
+func (m *Map[V]) BucketLocale(k uint64) int {
+	return int(hash(k)&m.mask) % m.locales
+}
+
+// Insert adds (k, v) if absent, reporting whether it inserted.
+func (m *Map[V]) Insert(c *pgas.Ctx, tok *epoch.Token, k uint64, v V) bool {
+	return m.bucket(k).Insert(c, tok, k, v)
+}
+
+// Upsert inserts or replaces (k, v), reporting whether it replaced an
+// existing value.
+func (m *Map[V]) Upsert(c *pgas.Ctx, tok *epoch.Token, k uint64, v V) bool {
+	return m.bucket(k).Upsert(c, tok, k, v)
+}
+
+// Remove deletes k, reporting whether it was present.
+func (m *Map[V]) Remove(c *pgas.Ctx, tok *epoch.Token, k uint64) bool {
+	return m.bucket(k).Remove(c, tok, k)
+}
+
+// Get returns the value for k.
+func (m *Map[V]) Get(c *pgas.Ctx, tok *epoch.Token, k uint64) (V, bool) {
+	return m.bucket(k).Get(c, tok, k)
+}
+
+// Contains reports whether k is present.
+func (m *Map[V]) Contains(c *pgas.Ctx, tok *epoch.Token, k uint64) bool {
+	return m.bucket(k).Contains(c, tok, k)
+}
+
+// ForEach visits every live entry under one pin (a weakly consistent
+// snapshot, like iterating Go's sync.Map: entries inserted or removed
+// concurrently may or may not be observed). Iteration order is bucket
+// order then key order. fn returning false stops early.
+func (m *Map[V]) ForEach(c *pgas.Ctx, tok *epoch.Token, fn func(k uint64, v V) bool) {
+	for _, b := range m.buckets {
+		stop := false
+		for _, k := range b.Keys(c, tok) {
+			if v, ok := b.Get(c, tok, k); ok {
+				if !fn(k, v) {
+					stop = true
+					break
+				}
+			}
+		}
+		if stop {
+			return
+		}
+	}
+}
+
+// Len counts entries across all buckets (O(n), diagnostic).
+func (m *Map[V]) Len(c *pgas.Ctx, tok *epoch.Token) int {
+	n := 0
+	for _, b := range m.buckets {
+		n += b.Len(c, tok)
+	}
+	return n
+}
+
+// Stats sums the bucket lists' operation counters.
+func (m *Map[V]) Stats() list.Stats {
+	var s list.Stats
+	for _, b := range m.buckets {
+		bs := b.Stats()
+		s.Inserts += bs.Inserts
+		s.Removes += bs.Removes
+		s.Unlinks += bs.Unlinks
+	}
+	return s
+}

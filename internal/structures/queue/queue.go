@@ -1,0 +1,154 @@
+// Package queue implements a Michael–Scott lock-free FIFO queue on top
+// of the paper's building blocks: AtomicObject head/tail references,
+// network-atomic next pointers, and EpochManager reclamation of
+// dequeued nodes.
+//
+// Unlike the Treiber stack, the MS queue's CASes are safe without ABA
+// stamps *provided* nodes are never recycled while a task can still
+// hold a reference — which is precisely the guarantee epoch-based
+// reclamation supplies. The queue therefore deliberately uses the
+// plain (compressed, RDMA-able) AtomicObject operations, demonstrating
+// the paper's point that the EpochManager is the general cure for ABA
+// while DCAS stamps are the building-block-level cure.
+package queue
+
+import (
+	"sync/atomic"
+
+	"gopgas/internal/core/atomics"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/gas"
+	"gopgas/internal/pgas"
+)
+
+// node is one queue cell. next is a network-atomic word holding a
+// gas.Addr: it is CASed by enqueuers on arbitrary locales, so a
+// processor atomic would not model a real PGAS system; val is
+// immutable after construction.
+type node[T any] struct {
+	val  T
+	next *pgas.Word64
+}
+
+// Queue is a distributed lock-free FIFO. Nodes live on the queue's
+// home locale (values may of course reference data anywhere).
+type Queue[T any] struct {
+	head *atomics.AtomicObject
+	tail *atomics.AtomicObject
+	em   epoch.EpochManager
+	home int
+
+	enqs atomic.Int64
+	deqs atomic.Int64
+}
+
+// New creates an empty queue homed on the given locale, using em for
+// node reclamation. The queue starts with the MS dummy node.
+func New[T any](c *pgas.Ctx, home int, em epoch.EpochManager) *Queue[T] {
+	q := &Queue[T]{
+		head: atomics.New(c, home, atomics.Options{}),
+		tail: atomics.New(c, home, atomics.Options{}),
+		em:   em,
+		home: home,
+	}
+	dummy := c.AllocOn(home, &node[T]{next: pgas.NewWord64(c, home, 0)})
+	q.head.Write(c, dummy)
+	q.tail.Write(c, dummy)
+	return q
+}
+
+// Manager returns the epoch manager the queue reclaims through.
+func (q *Queue[T]) Manager() epoch.EpochManager { return q.em }
+
+// Enqueue appends v. Standard Michael–Scott: link the node after the
+// tail, helping a lagging tail forward when necessary.
+func (q *Queue[T]) Enqueue(c *pgas.Ctx, tok *epoch.Token, v T) {
+	n := &node[T]{val: v, next: pgas.NewWord64(c, q.home, 0)}
+	addr := c.AllocOn(q.home, n)
+	tok.Pin(c)
+	defer tok.Unpin(c)
+	for {
+		tail := q.tail.Read(c)
+		tn := pgas.MustDeref[*node[T]](c, tail)
+		next := gas.Addr(tn.next.Read(c))
+		if tail != q.tail.Read(c) {
+			continue // tail moved under us; retry
+		}
+		if next.IsNil() {
+			if tn.next.CompareAndSwap(c, 0, uint64(addr)) {
+				q.tail.CompareAndSwap(c, tail, addr) // swing tail (may fail: someone helped)
+				q.enqs.Add(1)
+				return
+			}
+		} else {
+			q.tail.CompareAndSwap(c, tail, next) // help the lagging tail
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value; ok is false when the
+// queue is empty. The retired dummy node is defer-deleted through the
+// epoch manager.
+func (q *Queue[T]) Dequeue(c *pgas.Ctx, tok *epoch.Token) (v T, ok bool) {
+	tok.Pin(c)
+	defer tok.Unpin(c)
+	for {
+		head := q.head.Read(c)
+		tail := q.tail.Read(c)
+		hn := pgas.MustDeref[*node[T]](c, head)
+		next := gas.Addr(hn.next.Read(c))
+		if head != q.head.Read(c) {
+			continue
+		}
+		if head == tail {
+			if next.IsNil() {
+				return v, false // empty
+			}
+			q.tail.CompareAndSwap(c, tail, next) // help
+			continue
+		}
+		val := pgas.MustDeref[*node[T]](c, next).val
+		if q.head.CompareAndSwap(c, head, next) {
+			tok.DeferDelete(c, head) // the old dummy
+			q.deqs.Add(1)
+			return val, true
+		}
+	}
+}
+
+// IsEmpty reports whether the queue appeared empty.
+func (q *Queue[T]) IsEmpty(c *pgas.Ctx, tok *epoch.Token) bool {
+	tok.Pin(c)
+	defer tok.Unpin(c)
+	head := q.head.Read(c)
+	hn := pgas.MustDeref[*node[T]](c, head)
+	return gas.Addr(hn.next.Read(c)).IsNil()
+}
+
+// Len counts elements by traversal (O(n), diagnostic only).
+func (q *Queue[T]) Len(c *pgas.Ctx, tok *epoch.Token) int {
+	tok.Pin(c)
+	defer tok.Unpin(c)
+	n := 0
+	cur := q.head.Read(c)
+	for {
+		nd := pgas.MustDeref[*node[T]](c, cur)
+		next := gas.Addr(nd.next.Read(c))
+		if next.IsNil() {
+			return n
+		}
+		n++
+		cur = next
+	}
+}
+
+// Stats reports operation totals.
+type Stats struct {
+	Enqueues int64
+	Dequeues int64
+}
+
+// Stats returns the queue's counters.
+func (q *Queue[T]) Stats() Stats {
+	return Stats{Enqueues: q.enqs.Load(), Dequeues: q.deqs.Load()}
+}

@@ -1,0 +1,301 @@
+package skiplist
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+func newTestSystem(t testing.TB, locales int) *pgas.System {
+	t.Helper()
+	s := pgas.NewSystem(pgas.Config{Locales: locales, Backend: comm.BackendNone})
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func setup(t testing.TB, locales int) (*pgas.System, *List[int], *epoch.Token, *pgas.Ctx, epoch.EpochManager) {
+	s := newTestSystem(t, locales)
+	c := s.Ctx(0)
+	em := epoch.NewEpochManager(c)
+	l := New[int](c, 0, em)
+	return s, l, em.Register(c), c, em
+}
+
+func TestInsertGetRemove(t *testing.T) {
+	_, l, tok, c, _ := setup(t, 1)
+	if !l.Insert(c, tok, 10, 100) {
+		t.Fatal("insert failed")
+	}
+	if l.Insert(c, tok, 10, 101) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if v, ok := l.Get(c, tok, 10); !ok || v != 100 {
+		t.Fatalf("get = (%d,%v)", v, ok)
+	}
+	if _, ok := l.Get(c, tok, 11); ok {
+		t.Fatal("absent key found")
+	}
+	if !l.Remove(c, tok, 10) || l.Remove(c, tok, 10) {
+		t.Fatal("remove semantics")
+	}
+	if l.Contains(c, tok, 10) {
+		t.Fatal("contains after remove")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	_, l, tok, c, _ := setup(t, 1)
+	keys := []uint64{42, 7, 19, 3, 88, 61, 25, 14, 99, 50}
+	for _, k := range keys {
+		if !l.Insert(c, tok, k, int(k)) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	got := l.Keys(c, tok)
+	if len(got) != len(keys) {
+		t.Fatalf("keys = %v", got)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("not sorted: %v", got)
+	}
+	if n := l.Len(c, tok); n != len(keys) {
+		t.Fatalf("len = %d", n)
+	}
+}
+
+func TestManyKeysTallTowers(t *testing.T) {
+	_, l, tok, c, _ := setup(t, 2)
+	const n = 800 // enough to exercise several levels
+	for k := uint64(0); k < n; k++ {
+		if !l.Insert(c, tok, k, int(k*2)) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		if v, ok := l.Get(c, tok, k); !ok || v != int(k*2) {
+			t.Fatalf("get %d = (%d,%v)", k, v, ok)
+		}
+	}
+	// Remove every third key.
+	for k := uint64(0); k < n; k += 3 {
+		if !l.Remove(c, tok, k) {
+			t.Fatalf("remove %d", k)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		want := k%3 != 0
+		if got := l.Contains(c, tok, k); got != want {
+			t.Fatalf("contains(%d) = %v", k, got)
+		}
+	}
+}
+
+// Property: matches a model map under random op sequences.
+func TestModelProperty(t *testing.T) {
+	s := newTestSystem(t, 1)
+	c := s.Ctx(0)
+	em := epoch.NewEpochManager(c)
+	f := func(ops []uint16) bool {
+		l := New[int](c, 0, em)
+		tok := em.Register(c)
+		defer tok.Unregister(c)
+		model := map[uint64]int{}
+		for i, op := range ops {
+			k := uint64(op % 48)
+			switch op % 3 {
+			case 0:
+				ins := l.Insert(c, tok, k, i)
+				if _, had := model[k]; ins == had {
+					return false
+				}
+				if ins {
+					model[k] = i
+				}
+			case 1:
+				rem := l.Remove(c, tok, k)
+				if _, had := model[k]; rem != had {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				v, ok := l.Get(c, tok, k)
+				mv, had := model[k]
+				if ok != had || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		return l.Len(c, tok) == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	s := newTestSystem(t, 2)
+	em := epoch.NewEpochManager(s.Ctx(0))
+	l := New[int](s.Ctx(0), 0, em)
+	const tasks = 6
+	const per = 80
+	var wg sync.WaitGroup
+	for g := 0; g < tasks; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := s.Ctx(g % 2)
+			tok := em.Register(c)
+			defer tok.Unregister(c)
+			for i := 0; i < per; i++ {
+				k := uint64(g*per + i)
+				if !l.Insert(c, tok, k, int(k)) {
+					t.Errorf("insert %d failed", k)
+					return
+				}
+				if i%2 == 1 {
+					if !l.Remove(c, tok, k) {
+						t.Errorf("remove %d failed", k)
+						return
+					}
+				}
+				if i%20 == 0 {
+					tok.TryReclaim(c)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c := s.Ctx(0)
+	tok := em.Register(c)
+	for k := uint64(0); k < tasks*per; k++ {
+		want := k%2 == 0
+		if got := l.Contains(c, tok, k); got != want {
+			t.Fatalf("contains(%d) = %v want %v", k, got, want)
+		}
+	}
+	tok.Unregister(c)
+	em.Clear(c)
+	if uaf := s.HeapStats().UAFLoads; uaf != 0 {
+		t.Fatalf("%d UAF loads", uaf)
+	}
+}
+
+// Contended single-key insert/remove storm; invariant: successful
+// inserts alternate with successful removes.
+func TestConcurrentContendedKey(t *testing.T) {
+	s := newTestSystem(t, 2)
+	em := epoch.NewEpochManager(s.Ctx(0))
+	l := New[int](s.Ctx(0), 0, em)
+	var insN, remN int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := s.Ctx(g % 2)
+			tok := em.Register(c)
+			defer tok.Unregister(c)
+			for i := 0; i < 120; i++ {
+				if g%2 == 0 {
+					if l.Insert(c, tok, 5, i) {
+						mu.Lock()
+						insN++
+						mu.Unlock()
+					}
+				} else if l.Remove(c, tok, 5) {
+					mu.Lock()
+					remN++
+					mu.Unlock()
+				}
+				if i%16 == 0 {
+					tok.TryReclaim(c)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c := s.Ctx(0)
+	tok := em.Register(c)
+	present := l.Contains(c, tok, 5)
+	want := remN
+	if present {
+		want++
+	}
+	if insN != want {
+		t.Fatalf("inserts=%d removes=%d present=%v", insN, remN, present)
+	}
+	tok.Unregister(c)
+	em.Clear(c)
+	if uaf := s.HeapStats().UAFLoads + s.HeapStats().UAFFrees; uaf != 0 {
+		t.Fatalf("%d UAF events", uaf)
+	}
+}
+
+func TestMixedWorkloadReclamation(t *testing.T) {
+	s := newTestSystem(t, 4)
+	em := epoch.NewEpochManager(s.Ctx(0))
+	l := New[int](s.Ctx(0), 1, em)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := s.Ctx(g % 4)
+			tok := em.Register(c)
+			defer tok.Unregister(c)
+			for i := 0; i < 150; i++ {
+				k := c.RandUint64() % 64
+				switch c.RandIntn(3) {
+				case 0:
+					l.Insert(c, tok, k, i)
+				case 1:
+					l.Remove(c, tok, k)
+				default:
+					l.Get(c, tok, k)
+				}
+				if i%32 == 0 {
+					tok.TryReclaim(c)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c := s.Ctx(0)
+	em.Clear(c)
+	if uaf := s.HeapStats().UAFLoads; uaf != 0 {
+		t.Fatalf("%d UAF loads", uaf)
+	}
+	st := em.Stats(c)
+	if st.Reclaimed != st.Deferred {
+		t.Fatalf("reclaimed %d of %d", st.Reclaimed, st.Deferred)
+	}
+	// Len agrees with Contains sweep.
+	tok := em.Register(c)
+	n := l.Len(c, tok)
+	count := 0
+	for k := uint64(0); k < 64; k++ {
+		if l.Contains(c, tok, k) {
+			count++
+		}
+	}
+	if n != count {
+		t.Fatalf("Len=%d vs Contains sweep=%d", n, count)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, l, tok, c, _ := setup(t, 1)
+	l.Insert(c, tok, 1, 1)
+	l.Insert(c, tok, 2, 2)
+	l.Remove(c, tok, 1)
+	st := l.Stats()
+	if st.Inserts != 2 || st.Removes != 1 || st.Unlinks < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,136 @@
+// Package stack implements the paper's Listing 1: a Treiber lock-free
+// stack over AtomicObject with ABA protection, generalised to
+// distributed memory. The head is an ABA-stamped AtomicObject homed on
+// one locale; nodes are allocated in the global address space on the
+// locale of the pushing task, and popped nodes are handed to an
+// EpochManager for concurrent-safe reclamation.
+//
+// The stack therefore exercises every piece of the paper's
+// infrastructure at once: pointer compression (the head CAS is a NIC
+// atomic when possible), the stamped DCAS variants (pop's window), and
+// distributed EBR (node reclamation).
+package stack
+
+import (
+	"sync/atomic"
+
+	"gopgas/internal/core/atomics"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/gas"
+	"gopgas/internal/pgas"
+)
+
+// node is one stack cell. The next field is written only before the
+// node is published by the CAS and read only by tasks that obtained
+// the node from the head afterwards, so a plain field suffices; val is
+// immutable after construction.
+type node[T any] struct {
+	val  T
+	next gas.Addr
+}
+
+// Stack is a distributed lock-free LIFO. All operations require a
+// registered epoch token; they pin and unpin it internally.
+type Stack[T any] struct {
+	head *atomics.AtomicObject
+	em   epoch.EpochManager
+	home int
+
+	pushes atomic.Int64
+	pops   atomic.Int64
+	empty  atomic.Int64
+}
+
+// New creates a stack whose head cell is homed on the given locale and
+// whose reclamation is handled by em.
+func New[T any](c *pgas.Ctx, home int, em epoch.EpochManager) *Stack[T] {
+	return &Stack[T]{
+		head: atomics.New(c, home, atomics.Options{ABA: true}),
+		em:   em,
+		home: home,
+	}
+}
+
+// Manager returns the epoch manager the stack reclaims through.
+func (s *Stack[T]) Manager() epoch.EpochManager { return s.em }
+
+// Push adds v. The node is allocated on the calling task's locale —
+// pushes never communicate beyond the head CAS itself.
+func (s *Stack[T]) Push(c *pgas.Ctx, tok *epoch.Token, v T) {
+	n := &node[T]{val: v}
+	addr := c.Alloc(n)
+	tok.Pin(c)
+	defer tok.Unpin(c)
+	for {
+		oldHead := s.head.ReadABA(c)
+		n.next = oldHead.Object()
+		if s.head.CompareAndSwapABA(c, oldHead, addr) {
+			s.pushes.Add(1)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the most recently pushed value; ok is false
+// when the stack is empty. The unlinked node is defer-deleted through
+// the epoch manager, never freed eagerly — the dereference another
+// task may concurrently perform on it stays safe under its own pin.
+func (s *Stack[T]) Pop(c *pgas.Ctx, tok *epoch.Token) (v T, ok bool) {
+	tok.Pin(c)
+	defer tok.Unpin(c)
+	for {
+		oldHead := s.head.ReadABA(c)
+		if oldHead.IsNil() {
+			s.empty.Add(1)
+			return v, false
+		}
+		n := pgas.MustDeref[*node[T]](c, oldHead.Object())
+		if s.head.CompareAndSwapABA(c, oldHead, n.next) {
+			tok.DeferDelete(c, oldHead.Object())
+			s.pops.Add(1)
+			return n.val, true
+		}
+	}
+}
+
+// Peek returns the top value without removing it.
+func (s *Stack[T]) Peek(c *pgas.Ctx, tok *epoch.Token) (v T, ok bool) {
+	tok.Pin(c)
+	defer tok.Unpin(c)
+	top := s.head.ReadABA(c)
+	if top.IsNil() {
+		return v, false
+	}
+	return pgas.MustDeref[*node[T]](c, top.Object()).val, true
+}
+
+// IsEmpty reports whether the stack appeared empty.
+func (s *Stack[T]) IsEmpty(c *pgas.Ctx) bool {
+	return s.head.ReadABA(c).IsNil()
+}
+
+// Len counts the elements by traversal (O(n), not linearizable; for
+// tests and diagnostics). Requires a token for safe traversal.
+func (s *Stack[T]) Len(c *pgas.Ctx, tok *epoch.Token) int {
+	tok.Pin(c)
+	defer tok.Unpin(c)
+	n := 0
+	for cur := s.head.ReadABA(c).Object(); !cur.IsNil(); {
+		nd := pgas.MustDeref[*node[T]](c, cur)
+		cur = nd.next
+		n++
+	}
+	return n
+}
+
+// Stats reports operation totals.
+type Stats struct {
+	Pushes int64
+	Pops   int64
+	Empty  int64 // pops that observed an empty stack
+}
+
+// Stats returns the stack's counters.
+func (s *Stack[T]) Stats() Stats {
+	return Stats{Pushes: s.pushes.Load(), Pops: s.pops.Load(), Empty: s.empty.Load()}
+}

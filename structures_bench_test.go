@@ -1,0 +1,204 @@
+package gopgas
+
+// Benchmarks for the non-blocking structures built on the paper's
+// primitives, plus the EBR-vs-hazard-pointers reclamation comparison.
+// Together with bench_test.go these are the `go test -bench` entry
+// points; full sweeps live in cmd/benchrunner.
+
+import (
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/atomics"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/core/hazard"
+	"gopgas/internal/pgas"
+	"gopgas/internal/structures/hashmap"
+	"gopgas/internal/structures/queue"
+	"gopgas/internal/structures/rcuarray"
+	"gopgas/internal/structures/skiplist"
+	"gopgas/internal/structures/stack"
+)
+
+func BenchmarkStackPushPop(b *testing.B) {
+	s := benchSystem(b, 4, comm.BackendUGNI)
+	c := s.Ctx(0)
+	em := epoch.NewEpochManager(c)
+	st := stack.New[int](c, 0, em)
+	tok := em.Register(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Push(c, tok, i)
+		st.Pop(c, tok)
+		if i%256 == 0 {
+			tok.TryReclaim(c)
+		}
+	}
+	b.StopTimer()
+	tok.Unregister(c)
+	em.Clear(c)
+}
+
+func BenchmarkQueueEnqDeq(b *testing.B) {
+	s := benchSystem(b, 4, comm.BackendUGNI)
+	c := s.Ctx(0)
+	em := epoch.NewEpochManager(c)
+	q := queue.New[int](c, 0, em)
+	tok := em.Register(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(c, tok, i)
+		q.Dequeue(c, tok)
+		if i%256 == 0 {
+			tok.TryReclaim(c)
+		}
+	}
+	b.StopTimer()
+	tok.Unregister(c)
+	em.Clear(c)
+}
+
+func BenchmarkHashmapMixed(b *testing.B) {
+	s := benchSystem(b, 4, comm.BackendUGNI)
+	c := s.Ctx(0)
+	em := epoch.NewEpochManager(c)
+	m := hashmap.New[int](c, 64, em)
+	tok := em.Register(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := c.RandUint64() % 256
+		switch c.RandIntn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			m.Get(c, tok, k)
+		case 6, 7, 8:
+			m.Upsert(c, tok, k, i)
+		default:
+			m.Remove(c, tok, k)
+		}
+		if i%512 == 0 {
+			tok.TryReclaim(c)
+		}
+	}
+	b.StopTimer()
+	tok.Unregister(c)
+	em.Clear(c)
+}
+
+func BenchmarkSkiplistMixed(b *testing.B) {
+	s := benchSystem(b, 4, comm.BackendUGNI)
+	c := s.Ctx(0)
+	em := epoch.NewEpochManager(c)
+	l := skiplist.New[int](c, 0, em)
+	tok := em.Register(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := c.RandUint64() % 256
+		switch c.RandIntn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			l.Contains(c, tok, k)
+		case 6, 7, 8:
+			l.Insert(c, tok, k, i)
+		default:
+			l.Remove(c, tok, k)
+		}
+		if i%512 == 0 {
+			tok.TryReclaim(c)
+		}
+	}
+	b.StopTimer()
+	tok.Unregister(c)
+	em.Clear(c)
+}
+
+func BenchmarkRCUArrayRead(b *testing.B) {
+	s := benchSystem(b, 4, comm.BackendUGNI)
+	c := s.Ctx(0)
+	em := epoch.NewEpochManager(c)
+	arr := rcuarray.New[int](c, 0, 64, em)
+	tok := em.Register(c)
+	arr.Resize(c, tok, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr.Read(c, tok, c.RandIntn(4096))
+	}
+	b.StopTimer()
+	tok.Unregister(c)
+	em.Clear(c)
+}
+
+func BenchmarkRCUArrayResizeChurn(b *testing.B) {
+	s := benchSystem(b, 4, comm.BackendUGNI)
+	c := s.Ctx(0)
+	em := epoch.NewEpochManager(c)
+	arr := rcuarray.New[int](c, 0, 64, em)
+	tok := em.Register(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr.Resize(c, tok, 512+(i%3)*256)
+		if i%64 == 0 {
+			tok.TryReclaim(c)
+		}
+	}
+	b.StopTimer()
+	tok.Unregister(c)
+	em.Clear(c)
+}
+
+// EBR vs hazard pointers on the identical protected-read path (the
+// ablation A5 workload, per-operation view).
+func BenchmarkReclamationEBRRead(b *testing.B) {
+	s := benchSystem(b, 4, comm.BackendNone)
+	c := s.Ctx(1) // reader away from the cell's home
+	em := epoch.NewEpochManager(s.Ctx(0))
+	cell := atomics.New(s.Ctx(0), 0, atomics.Options{})
+	cell.Write(s.Ctx(0), s.Ctx(0).Alloc(&struct{ v int }{}))
+	tok := em.Register(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok.Pin(c)
+		addr := cell.Read(c)
+		pgas.MustDeref[*struct{ v int }](c, addr)
+		tok.Unpin(c)
+	}
+	b.StopTimer()
+	tok.Unregister(c)
+}
+
+func BenchmarkReclamationHPRead(b *testing.B) {
+	s := benchSystem(b, 4, comm.BackendNone)
+	c := s.Ctx(1)
+	dom := hazard.NewDomain(s.Ctx(0), 64)
+	cell := atomics.New(s.Ctx(0), 0, atomics.Options{})
+	cell.Write(s.Ctx(0), s.Ctx(0).Alloc(&struct{ v int }{}))
+	hp := dom.Acquire(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := hp.Protect(c, cell)
+		pgas.MustDeref[*struct{ v int }](c, addr)
+		hp.Clear()
+	}
+	b.StopTimer()
+	dom.Release(c, hp)
+}
+
+// Distributed variants: operations issued from every locale at once.
+func BenchmarkStackMultiLocale(b *testing.B) {
+	s := benchSystem(b, 4, comm.BackendUGNI)
+	em := epoch.NewEpochManager(s.Ctx(0))
+	st := stack.New[int](s.Ctx(0), 0, em)
+	b.ResetTimer()
+	s.Ctx(0).CoforallLocales(func(lc *pgas.Ctx) {
+		tok := em.Register(lc)
+		defer tok.Unregister(lc)
+		per := b.N / 4
+		for i := 0; i < per; i++ {
+			st.Push(lc, tok, i)
+			st.Pop(lc, tok)
+			if i%256 == 0 {
+				tok.TryReclaim(lc)
+			}
+		}
+	})
+	b.StopTimer()
+	em.Clear(s.Ctx(0))
+}
