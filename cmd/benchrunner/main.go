@@ -34,6 +34,22 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate before any sweep runs: a typo'd figure or a nonsense
+	// scale must fail fast and non-zero, not silently run nothing.
+	if strings.HasPrefix(*figure, "abl") {
+		*figure = "ablations"
+	}
+	switch *figure {
+	case "3", "4", "5", "6", "7", "ablations", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown -figure %q (want 3|4|5|6|7|ablations|all)\n", *figure)
+		os.Exit(2)
+	}
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "benchrunner: -scale must be > 0, got %v\n", *scale)
+		os.Exit(2)
+	}
+
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.TasksPerLocale = *tasks
@@ -54,12 +70,8 @@ func main() {
 	run("5", bench.Figure5)
 	run("6", bench.Figure6)
 	run("7", bench.Figure7)
-	if *figure == "all" || strings.HasPrefix(*figure, "abl") {
+	if *figure == "all" || *figure == "ablations" {
 		figures = append(figures, bench.Ablations(cfg)...)
-	}
-	if len(figures) == 0 {
-		fmt.Fprintf(os.Stderr, "benchrunner: unknown figure %q\n", *figure)
-		os.Exit(2)
 	}
 
 	for _, f := range figures {

@@ -8,11 +8,14 @@
 // were built for Chapel on Cray hardware. This module rebuilds them,
 // and the entire PGAS substrate they need, in pure stdlib Go:
 //
-//   - internal/pgas    — the PGAS runtime (locales, tasks, on-statements,
-//     privatization, network-atomic words, latency-modelled comm)
+//   - internal/pgas    — the PGAS runtime (locales, tasks, sync/async
+//     on-statements, privatization, network-atomic words, the remote-op
+//     dispatch layer and per-task aggregation buffers)
 //   - internal/gas     — the software global address space (compressed
 //     64-bit global pointers, per-locale heaps, poison-on-free)
-//   - internal/comm    — backends (ugni/none), latency profiles, counters
+//   - internal/comm    — backends (ugni/none), latency profiles, counters,
+//     the per-destination aggregation buffers (Aggregator)
+//   - internal/dist    — global-view cyclically distributed arrays
 //   - internal/core    — the paper's contributions (atomics, epoch)
 //   - internal/structures — non-blocking stack, queue, list, hash map
 //     built on the contributions

@@ -52,18 +52,32 @@ func main() {
 	start := time.Now()
 	var wg sync.WaitGroup
 
-	// Stage 1: one generator per locale.
+	// Stage 1: one generator per locale, launched as fire-and-forget
+	// on-statements. Each generator batches its events and publishes
+	// them with EnqueueBulk: the nodes ship to the queue's home in one
+	// bulk transfer per batch and the whole batch links in with O(1)
+	// CASes, instead of one allocation RPC + CAS round trip per event.
+	const batchLen = 128
+	c0 := sys.Ctx(0)
 	for l := 0; l < *locales; l++ {
 		wg.Add(1)
-		go func(l int) {
+		c0.AsyncOn(l, func(c *pgas.Ctx) {
 			defer wg.Done()
-			c := sys.Ctx(l)
 			tok := em.Register(c)
 			defer tok.Unregister(c)
+			l := c.Here()
+			batch := make([]event, 0, batchLen)
 			for i := 0; i < *events; i++ {
-				raw.Enqueue(c, tok, event{Source: l, Value: int64(i)})
+				batch = append(batch, event{Source: l, Value: int64(i)})
+				if len(batch) == batchLen {
+					raw.EnqueueBulk(c, tok, batch)
+					batch = batch[:0]
+				}
 			}
-		}(l)
+			if len(batch) > 0 {
+				raw.EnqueueBulk(c, tok, batch)
+			}
+		})
 	}
 
 	// Stage 2: transformers on every locale square the values.

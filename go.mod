@@ -1,0 +1,3 @@
+module gopgas
+
+go 1.24

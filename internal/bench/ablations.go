@@ -3,8 +3,10 @@ package bench
 import (
 	"gopgas/internal/comm"
 	"gopgas/internal/core/atomics"
+	"gopgas/internal/core/epoch"
 	"gopgas/internal/gas"
 	"gopgas/internal/pgas"
+	"gopgas/internal/structures/queue"
 )
 
 // Ablation studies for the design choices DESIGN.md calls out. Each
@@ -231,6 +233,124 @@ func AblationLimboPush(cfg Config) Figure {
 	}
 }
 
+// AblationAggregation compares direct per-operation dispatch against
+// the aggregation layer on two workloads. Panel 1: remote network-
+// atomic increments on the none backend — the direct path pays one AM
+// round trip per increment (serialized by the target's progress
+// workers), the aggregated path buffers fire-and-forget adds and
+// flushes in the task epilogue, paying one bulk transfer per batch.
+// Panel 2: producers on every locale feeding one queue — per-op
+// Enqueue pays one remote allocation RPC per element, EnqueueBulk
+// ships nodes in pre-linked batches and publishes each with O(1)
+// CASes. The communication counters, not just wall time, are the
+// evidence: the aggregated runs issue O(flushes) bulk transfers where
+// the direct runs issue O(ops) round trips (asserted in
+// TestAblationAggregationCounters).
+func AblationAggregation(cfg Config) Figure {
+	totalOps := cfg.ops(1 << 13)
+	const batchLen = 64
+
+	incPanel := Panel{Title: "Remote increments: direct AM vs aggregated (none)", XLabel: "Locales"}
+	runInc := func(locales int, aggregated bool) Point {
+		sys := cfg.newSystem(locales, comm.BackendNone)
+		defer sys.Shutdown()
+		var secs float64
+		var snap comm.Snapshot
+		sys.Run(func(c *pgas.Ctx) {
+			words := make([]*pgas.Word64, locales)
+			for l := range words {
+				words[l] = pgas.NewWord64(c, l, 0)
+			}
+			secs, snap = timed(sys, func() {
+				pgas.ForallCyclic(c, totalOps, cfg.TasksPerLocale, nil,
+					func(tc *pgas.Ctx, _ struct{}, i int) {
+						dst := tc.RandIntn(locales)
+						if aggregated {
+							tc.Aggregator(dst).Add(words[dst], 1)
+						} else {
+							words[dst].Add(tc, 1)
+						}
+					},
+					func(tc *pgas.Ctx, _ struct{}) {
+						tc.Flush() // drain the task's buffers in the epilogue
+					})
+			})
+		})
+		return Point{X: locales, Seconds: secs, Comm: snap}
+	}
+
+	queuePanel := Panel{Title: "Queue producers: per-op vs bulk enqueue (none)", XLabel: "Locales"}
+	runQueue := func(locales int, bulk bool) Point {
+		sys := cfg.newSystem(locales, comm.BackendNone)
+		defer sys.Shutdown()
+		var secs float64
+		var snap comm.Snapshot
+		sys.Run(func(c *pgas.Ctx) {
+			em := epoch.NewEpochManager(c)
+			q := queue.New[int](c, 0, em)
+			per := totalOps / locales
+			if per < 1 {
+				per = 1
+			}
+			secs, snap = timed(sys, func() {
+				c.CoforallLocales(func(lc *pgas.Ctx) {
+					em.Protect(lc, func(tok *epoch.Token) {
+						if !bulk {
+							for i := 0; i < per; i++ {
+								q.Enqueue(lc, tok, i)
+							}
+							return
+						}
+						batch := make([]int, 0, batchLen)
+						for i := 0; i < per; i++ {
+							batch = append(batch, i)
+							if len(batch) == batchLen {
+								q.EnqueueBulk(lc, tok, batch)
+								batch = batch[:0]
+							}
+						}
+						if len(batch) > 0 {
+							q.EnqueueBulk(lc, tok, batch)
+						}
+					})
+				})
+			})
+			em.Clear(c)
+		})
+		return Point{X: locales, Seconds: secs, Comm: snap}
+	}
+
+	direct := Series{Label: "direct (per-op round trips)"}
+	agged := Series{Label: "aggregated (batched flushes)"}
+	perOp := Series{Label: "per-op enqueue"}
+	bulkEnq := Series{Label: "bulk enqueue (64/batch)"}
+	for _, locales := range cfg.localeSweep(2) {
+		p := cfg.best(func() Point { return runInc(locales, false) })
+		direct.Points = append(direct.Points, p)
+		cfg.progressf("ablF direct     locales=%-3d %8.4fs  [%v]\n", locales, p.Seconds, p.Comm)
+
+		p = cfg.best(func() Point { return runInc(locales, true) })
+		agged.Points = append(agged.Points, p)
+		cfg.progressf("ablF aggregated locales=%-3d %8.4fs  [%v]\n", locales, p.Seconds, p.Comm)
+
+		p = cfg.best(func() Point { return runQueue(locales, false) })
+		perOp.Points = append(perOp.Points, p)
+		cfg.progressf("ablF enqueue    locales=%-3d %8.4fs  [%v]\n", locales, p.Seconds, p.Comm)
+
+		p = cfg.best(func() Point { return runQueue(locales, true) })
+		bulkEnq.Points = append(bulkEnq.Points, p)
+		cfg.progressf("ablF enqBulk    locales=%-3d %8.4fs  [%v]\n", locales, p.Seconds, p.Comm)
+	}
+	incPanel.Series = []Series{direct, agged}
+	queuePanel.Series = []Series{perOp, bulkEnq}
+	return Figure{
+		ID:      "A6",
+		Title:   "Ablation: direct vs aggregated remote-op dispatch",
+		Caption: "Aggregation buffers small remote operations per destination and ships each buffer as one bulk transfer: per-op round-trip latency becomes per-batch latency, and the comm counters drop from O(ops) round trips to O(flushes) bulk transfers.",
+		Panels:  []Panel{incPanel, queuePanel},
+	}
+}
+
 // Ablations runs every ablation study.
 func Ablations(cfg Config) []Figure {
 	return []Figure{
@@ -239,5 +359,6 @@ func Ablations(cfg Config) []Figure {
 		AblationScatter(cfg),
 		AblationLimboPush(cfg),
 		AblationReclamation(cfg),
+		AblationAggregation(cfg),
 	}
 }

@@ -78,7 +78,7 @@ func TestFigure7Structure(t *testing.T) {
 
 func TestAblationsStructure(t *testing.T) {
 	figs := Ablations(tinyConfig())
-	if len(figs) != 5 {
+	if len(figs) != 6 {
 		t.Fatalf("got %d ablations", len(figs))
 	}
 	ids := map[string]bool{}
@@ -88,9 +88,48 @@ func TestAblationsStructure(t *testing.T) {
 			t.Fatalf("ablation %s empty", f.ID)
 		}
 	}
-	for _, id := range []string{"A1", "A2", "A3", "A4", "A5"} {
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6"} {
 		if !ids[id] {
 			t.Fatalf("missing ablation %s (have %v)", id, ids)
+		}
+	}
+}
+
+// The aggregation ablation's claim, asserted on the deterministic
+// counters: the direct series pays O(ops) per-op round trips while the
+// aggregated series pays O(flushes) bulk transfers and zero per-op AM
+// atomics.
+func TestAblationAggregationCounters(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.1 // 819 increments: enough to dwarf the flush count
+	f := AblationAggregation(cfg)
+	if f.ID != "A6" || len(f.Panels) != 2 {
+		t.Fatalf("A6 shape: %+v", f.ID)
+	}
+	inc := f.Panels[0]
+	for i, direct := range inc.Series[0].Points {
+		agged := inc.Series[1].Points[i]
+		ops := direct.Comm.AMAMOs + direct.Comm.LocalAMOs
+		if ops == 0 {
+			t.Fatalf("direct series point %d did no AMOs: %v", i, direct.Comm)
+		}
+		if agged.Comm.AMAMOs != 0 {
+			t.Fatalf("aggregated series paid %d per-op AM round trips", agged.Comm.AMAMOs)
+		}
+		if agged.Comm.AggOps == 0 {
+			t.Fatalf("aggregated series buffered nothing: %v", agged.Comm)
+		}
+		if agged.Comm.AggFlushes >= agged.Comm.AggOps {
+			t.Fatalf("aggregation did not batch: %d flushes for %d ops",
+				agged.Comm.AggFlushes, agged.Comm.AggOps)
+		}
+	}
+	q := f.Panels[1]
+	for i, perOp := range q.Series[0].Points {
+		bulk := q.Series[1].Points[i]
+		if perOp.Comm.OnStmts <= bulk.Comm.OnStmts {
+			t.Fatalf("point %d: per-op OnStmts=%d not above bulk OnStmts=%d",
+				i, perOp.Comm.OnStmts, bulk.Comm.OnStmts)
 		}
 	}
 }
@@ -114,7 +153,7 @@ func TestReportWriters(t *testing.T) {
 		t.Fatalf("csv header = %q", lines[0])
 	}
 	for _, l := range lines[1:] {
-		if got := strings.Count(l, ","); got != 14 {
+		if got := strings.Count(l, ","); got != 17 {
 			t.Fatalf("csv row has %d commas: %q", got, l)
 		}
 	}

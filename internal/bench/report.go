@@ -46,15 +46,16 @@ func colWidth(label string) int {
 // communication columns — the machine-readable record EXPERIMENTS.md
 // references.
 func WriteCSV(w io.Writer, f Figure) {
-	fmt.Fprintln(w, "figure,panel,series,x,seconds,puts,gets,nic_amos,am_amos,local_amos,on_stmts,bulk_xfers,bulk_bytes,dcas_local,dcas_remote")
+	fmt.Fprintln(w, "figure,panel,series,x,seconds,puts,gets,nic_amos,am_amos,local_amos,on_stmts,bulk_xfers,bulk_bytes,dcas_local,dcas_remote,agg_flushes,agg_ops,agg_bytes")
 	for _, p := range f.Panels {
 		for _, s := range p.Series {
 			for _, pt := range s.Points {
-				fmt.Fprintf(w, "%s,%q,%q,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				fmt.Fprintf(w, "%s,%q,%q,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 					f.ID, p.Title, s.Label, pt.X, pt.Seconds,
 					pt.Comm.Puts, pt.Comm.Gets, pt.Comm.NICAMOs, pt.Comm.AMAMOs,
 					pt.Comm.LocalAMOs, pt.Comm.OnStmts, pt.Comm.BulkXfers,
-					pt.Comm.BulkBytes, pt.Comm.DCASLocal, pt.Comm.DCASRemote)
+					pt.Comm.BulkBytes, pt.Comm.DCASLocal, pt.Comm.DCASRemote,
+					pt.Comm.AggFlushes, pt.Comm.AggOps, pt.Comm.AggBytes)
 			}
 		}
 	}

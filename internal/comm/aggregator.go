@@ -1,0 +1,149 @@
+package comm
+
+import "fmt"
+
+// Aggregation: the generalisation of the EpochManager's scatter lists
+// into a first-class communication layer. Instead of paying one round
+// trip per small remote operation, an Aggregator buffers operations by
+// destination locale and ships each destination's buffer as a single
+// bulk transfer, charging one BulkStartupNS + bytes·BulkPerByteNS per
+// flush rather than n round trips. This is the same move Chapel's
+// ecosystem made after the paper (CopyAggregation in Arkouda / the
+// Aggregators module): per-op latency becomes per-batch latency.
+//
+// The Aggregator here is mechanism-free policy, like the rest of this
+// package: it owns the buffers, the flush policy and the accounting,
+// while the delivery callback supplied by the pgas layer owns the
+// actual execution of a batch on its destination.
+
+// FlushPolicy selects when a destination's buffer is shipped.
+type FlushPolicy int
+
+const (
+	// FlushOnCapacity ships a destination's buffer as soon as it holds
+	// Capacity operations; Flush ships whatever remains. This is the
+	// default policy.
+	FlushOnCapacity FlushPolicy = iota
+
+	// FlushManual never ships automatically: buffers grow without bound
+	// until an explicit Flush or FlushDst. Useful when the caller knows
+	// the batch boundary (e.g. the epoch scatter phase).
+	FlushManual
+)
+
+// DefaultAggCapacity is the per-destination buffer capacity used when
+// AggConfig.Capacity is unset.
+const DefaultAggCapacity = 256
+
+// AggConfig configures an Aggregator.
+type AggConfig struct {
+	// Capacity is the per-destination operation count that triggers an
+	// automatic flush under FlushOnCapacity. <= 0 selects
+	// DefaultAggCapacity.
+	Capacity int
+
+	// Policy selects the flush policy.
+	Policy FlushPolicy
+}
+
+// Op is one buffered remote operation: an opaque payload interpreted
+// by the delivery callback, plus the number of payload bytes the
+// operation contributes to its flush's bulk transfer.
+type Op struct {
+	Bytes int64
+	Exec  any
+}
+
+// Aggregator buffers remote operations by destination locale and ships
+// each buffer as one bulk transfer. It is NOT safe for concurrent use:
+// each task owns its own aggregator (the pgas layer hangs one off every
+// Ctx), mirroring how real aggregators keep per-task buffers to stay
+// off the hot path's locks.
+type Aggregator struct {
+	src      int
+	cfg      AggConfig
+	counters *Counters
+	matrix   *Matrix
+	lat      LatencyProfile
+	deliver  func(dst int, batch []Op)
+	bufs     [][]Op
+	bytes    []int64
+}
+
+// NewAggregator creates an aggregator for operations issued from
+// locale src toward nDest destinations. Every flush increments the
+// aggregation counters and the (src, dst) matrix cell, charges the
+// bulk-transfer latency from lat, and hands the batch to deliver.
+func NewAggregator(src, nDest int, cfg AggConfig, counters *Counters, matrix *Matrix, lat LatencyProfile, deliver func(dst int, batch []Op)) *Aggregator {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultAggCapacity
+	}
+	return &Aggregator{
+		src:      src,
+		cfg:      cfg,
+		counters: counters,
+		matrix:   matrix,
+		lat:      lat,
+		deliver:  deliver,
+		bufs:     make([][]Op, nDest),
+		bytes:    make([]int64, nDest),
+	}
+}
+
+// Capacity returns the effective per-destination capacity.
+func (a *Aggregator) Capacity() int { return a.cfg.Capacity }
+
+// Enqueue buffers op for dst, flushing the destination's buffer first
+// if the policy is FlushOnCapacity and the buffer is full.
+func (a *Aggregator) Enqueue(dst int, op Op) {
+	if dst < 0 || dst >= len(a.bufs) {
+		panic(fmt.Sprintf("comm: aggregator destination %d out of range [0, %d)", dst, len(a.bufs)))
+	}
+	a.bufs[dst] = append(a.bufs[dst], op)
+	a.bytes[dst] += op.Bytes
+	if a.cfg.Policy == FlushOnCapacity && len(a.bufs[dst]) >= a.cfg.Capacity {
+		a.FlushDst(dst)
+	}
+}
+
+// PendingTo returns the number of operations buffered for dst.
+func (a *Aggregator) PendingTo(dst int) int { return len(a.bufs[dst]) }
+
+// Pending returns the total number of buffered operations.
+func (a *Aggregator) Pending() int {
+	n := 0
+	for _, b := range a.bufs {
+		n += len(b)
+	}
+	return n
+}
+
+// FlushDst ships dst's buffer as one bulk transfer: the aggregation
+// counters record the flush, the bulk counters record the transfer it
+// rides on (an aggregated flush IS a bulk shipment, so scatter-list
+// style assertions keep holding), the matrix attributes it to
+// (src, dst), and the initiating task pays one startup plus per-byte
+// cost for the whole batch. An empty buffer is a no-op.
+func (a *Aggregator) FlushDst(dst int) {
+	batch := a.bufs[dst]
+	if len(batch) == 0 {
+		return
+	}
+	bytes := a.bytes[dst]
+	a.bufs[dst] = nil
+	a.bytes[dst] = 0
+	a.counters.IncAggFlush(int64(len(batch)), bytes)
+	a.counters.IncBulk(bytes)
+	if a.matrix != nil && dst != a.src {
+		a.matrix.Inc(a.src, dst)
+	}
+	Delay(a.lat.BulkStartupNS + bytes*a.lat.BulkPerByteNS)
+	a.deliver(dst, batch)
+}
+
+// Flush ships every non-empty buffer.
+func (a *Aggregator) Flush() {
+	for dst := range a.bufs {
+		a.FlushDst(dst)
+	}
+}

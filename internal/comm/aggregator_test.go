@@ -1,0 +1,88 @@
+package comm
+
+import "testing"
+
+// A capacity-policy aggregator auto-flushes full buffers: 1000 ops to
+// one destination at capacity 256 ship in exactly 4 flushes, each also
+// counted as one bulk transfer.
+func TestAggregatorCapacityFlush(t *testing.T) {
+	var c Counters
+	var delivered [][]Op
+	a := NewAggregator(0, 4, AggConfig{Capacity: 256}, &c, nil, Zero(),
+		func(dst int, batch []Op) {
+			if dst != 1 {
+				t.Fatalf("delivered to %d, want 1", dst)
+			}
+			delivered = append(delivered, batch)
+		})
+	for i := 0; i < 1000; i++ {
+		a.Enqueue(1, Op{Bytes: 8})
+	}
+	if len(delivered) != 3 {
+		t.Fatalf("auto-flushed %d batches before Flush, want 3", len(delivered))
+	}
+	a.Flush()
+	s := c.Snapshot()
+	if len(delivered) != 4 {
+		t.Fatalf("flushed %d batches, want 4", len(delivered))
+	}
+	total := 0
+	for _, b := range delivered {
+		total += len(b)
+	}
+	if total != 1000 {
+		t.Fatalf("delivered %d ops, want 1000", total)
+	}
+	want := Snapshot{AggFlushes: 4, AggOps: 1000, AggBytes: 8000, BulkXfers: 4, BulkBytes: 8000}
+	if s != want {
+		t.Fatalf("counters = %+v, want %+v", s, want)
+	}
+}
+
+// A manual-policy aggregator never ships on its own.
+func TestAggregatorManualPolicy(t *testing.T) {
+	var c Counters
+	n := 0
+	a := NewAggregator(0, 2, AggConfig{Capacity: 4, Policy: FlushManual}, &c, nil, Zero(),
+		func(int, []Op) { n++ })
+	for i := 0; i < 100; i++ {
+		a.Enqueue(1, Op{Bytes: 1})
+	}
+	if n != 0 || a.Pending() != 100 || a.PendingTo(1) != 100 {
+		t.Fatalf("manual policy auto-flushed: n=%d pending=%d", n, a.Pending())
+	}
+	a.FlushDst(0) // empty buffer: no-op
+	if n != 0 || c.Snapshot().AggFlushes != 0 {
+		t.Fatal("empty flush counted")
+	}
+	a.Flush()
+	if n != 1 || a.Pending() != 0 {
+		t.Fatalf("Flush shipped %d batches, pending %d", n, a.Pending())
+	}
+}
+
+// Flushes are attributed to the (src, dst) matrix cell.
+func TestAggregatorMatrixAttribution(t *testing.T) {
+	var c Counters
+	m := NewMatrix(3)
+	a := NewAggregator(1, 3, AggConfig{}, &c, m, Zero(), func(int, []Op) {})
+	a.Enqueue(0, Op{Bytes: 8})
+	a.Enqueue(2, Op{Bytes: 8})
+	a.Enqueue(2, Op{Bytes: 8})
+	a.Flush()
+	if m.Get(1, 0) != 1 || m.Get(1, 2) != 1 {
+		t.Fatalf("matrix rows: %v", m.Snapshot())
+	}
+	if got := c.Snapshot().AggFlushes; got != 2 {
+		t.Fatalf("AggFlushes = %d, want 2", got)
+	}
+}
+
+// Capacity defaulting and the effective-capacity accessor.
+func TestAggregatorDefaultCapacity(t *testing.T) {
+	var c Counters
+	a := NewAggregator(0, 1, AggConfig{}, &c, nil, Zero(), func(int, []Op) {})
+	if a.Capacity() != DefaultAggCapacity {
+		t.Fatalf("capacity = %d, want %d", a.Capacity(), DefaultAggCapacity)
+	}
+}

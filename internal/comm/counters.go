@@ -24,6 +24,9 @@ type Counters struct {
 	bulkBytes  atomic.Int64 // payload bytes moved by bulk transfers
 	dcasLocal  atomic.Int64 // locale-local 128-bit DCAS operations
 	dcasRemote atomic.Int64 // remote 128-bit DCAS operations (always AM)
+	aggFlushes atomic.Int64 // aggregator buffer shipments (each also counts one bulk transfer)
+	aggOps     atomic.Int64 // remote operations carried inside aggregated flushes
+	aggBytes   atomic.Int64 // payload bytes carried inside aggregated flushes
 }
 
 // Snapshot is an immutable copy of the counter values at one instant.
@@ -38,6 +41,9 @@ type Snapshot struct {
 	BulkBytes  int64
 	DCASLocal  int64
 	DCASRemote int64
+	AggFlushes int64
+	AggOps     int64
+	AggBytes   int64
 }
 
 // IncPut records a small remote write.
@@ -70,6 +76,15 @@ func (c *Counters) IncDCASLocal() { c.dcasLocal.Add(1) }
 // IncDCASRemote records a remote DCAS shipped as an active message.
 func (c *Counters) IncDCASRemote() { c.dcasRemote.Add(1) }
 
+// IncAggFlush records one aggregated flush carrying ops operations and
+// bytes payload bytes. The bulk transfer the flush rides on is counted
+// separately (via IncBulk) by the flusher.
+func (c *Counters) IncAggFlush(ops, bytes int64) {
+	c.aggFlushes.Add(1)
+	c.aggOps.Add(ops)
+	c.aggBytes.Add(bytes)
+}
+
 // Snapshot returns a point-in-time copy of all counters.
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
@@ -83,6 +98,9 @@ func (c *Counters) Snapshot() Snapshot {
 		BulkBytes:  c.bulkBytes.Load(),
 		DCASLocal:  c.dcasLocal.Load(),
 		DCASRemote: c.dcasRemote.Load(),
+		AggFlushes: c.aggFlushes.Load(),
+		AggOps:     c.aggOps.Load(),
+		AggBytes:   c.aggBytes.Load(),
 	}
 }
 
@@ -98,6 +116,9 @@ func (c *Counters) Reset() {
 	c.bulkBytes.Store(0)
 	c.dcasLocal.Store(0)
 	c.dcasRemote.Store(0)
+	c.aggFlushes.Store(0)
+	c.aggOps.Store(0)
+	c.aggBytes.Store(0)
 }
 
 // Sub returns the element-wise difference s - old, for measuring the
@@ -114,6 +135,9 @@ func (s Snapshot) Sub(old Snapshot) Snapshot {
 		BulkBytes:  s.BulkBytes - old.BulkBytes,
 		DCASLocal:  s.DCASLocal - old.DCASLocal,
 		DCASRemote: s.DCASRemote - old.DCASRemote,
+		AggFlushes: s.AggFlushes - old.AggFlushes,
+		AggOps:     s.AggOps - old.AggOps,
+		AggBytes:   s.AggBytes - old.AggBytes,
 	}
 }
 
@@ -126,7 +150,8 @@ func (s Snapshot) Remote() int64 {
 // String formats the snapshot as a compact single-line summary.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"puts=%d gets=%d nicAMO=%d amAMO=%d localAMO=%d on=%d bulk=%d/%dB dcas=%d/%d",
+		"puts=%d gets=%d nicAMO=%d amAMO=%d localAMO=%d on=%d bulk=%d/%dB dcas=%d/%d agg=%d/%d/%dB",
 		s.Puts, s.Gets, s.NICAMOs, s.AMAMOs, s.LocalAMOs, s.OnStmts,
-		s.BulkXfers, s.BulkBytes, s.DCASLocal, s.DCASRemote)
+		s.BulkXfers, s.BulkBytes, s.DCASLocal, s.DCASRemote,
+		s.AggFlushes, s.AggOps, s.AggBytes)
 }

@@ -1,0 +1,55 @@
+package comm
+
+import "testing"
+
+// Scaling the zero profile stays zero.
+func TestScaleZeroProfile(t *testing.T) {
+	if got := Zero().Scale(100); got != (LatencyProfile{}) {
+		t.Fatalf("Zero().Scale(100) = %+v", got)
+	}
+}
+
+// Scaling preserves the regime ordering the figures depend on:
+// local ≪ NIC atomic ≪ AM round trip, at any positive factor.
+func TestScalePreservesOrdering(t *testing.T) {
+	p := DefaultProfile()
+	for _, f := range []float64{0.5, 1, 2, 10} {
+		s := p.Scale(f)
+		if !(s.LocalAtomicNS <= s.NICAtomicNS && s.NICAtomicNS < s.AMRoundTripNS) {
+			t.Fatalf("Scale(%v) broke regime ordering: %+v", f, s)
+		}
+		if s.NICAtomicNS != int64(float64(p.NICAtomicNS)*f) {
+			t.Fatalf("Scale(%v).NICAtomicNS = %d", f, s.NICAtomicNS)
+		}
+		if s.BulkStartupNS != int64(float64(p.BulkStartupNS)*f) ||
+			s.BulkPerByteNS != int64(float64(p.BulkPerByteNS)*f) {
+			t.Fatalf("Scale(%v) bulk terms: %+v", f, s)
+		}
+	}
+}
+
+// Scale by zero disables every delay.
+func TestScaleToZero(t *testing.T) {
+	if got := DefaultProfile().Scale(0); got != (LatencyProfile{}) {
+		t.Fatalf("Scale(0) = %+v", got)
+	}
+}
+
+// ParseBackend and Backend.String round-trip for every valid backend;
+// unknown names are rejected.
+func TestParseBackendRoundTrip(t *testing.T) {
+	for _, b := range []Backend{BackendNone, BackendUGNI} {
+		got, err := ParseBackend(b.String())
+		if err != nil || got != b {
+			t.Fatalf("ParseBackend(%q) = %v, %v", b.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "NONE", "gasnet", "ugni "} {
+		if _, err := ParseBackend(bad); err == nil {
+			t.Fatalf("ParseBackend(%q) did not fail", bad)
+		}
+	}
+	if got := Backend(99).String(); got != "Backend(99)" {
+		t.Fatalf("Backend(99).String() = %q", got)
+	}
+}

@@ -212,9 +212,11 @@ func (em EpochManager) TryReclaim(c *pgas.Ctx) {
 }
 
 // reclaimGeneration detaches limbo generation e on this locale,
-// scatters its objects by owning locale, and frees each destination's
-// batch in one bulk transfer. Runs on the instance's locale, driven by
-// the single elected reclaimer.
+// scatters its objects by owning locale, and routes each destination's
+// batch through the task's aggregation buffers: the frees ride one
+// bulk flush per destination (locale-local objects release inline for
+// free). Runs on the instance's locale, driven by the single elected
+// reclaimer.
 func (li *instance) reclaimGeneration(lc *pgas.Ctx, e uint64) {
 	list := li.limbo[e]
 	node := list.PopAll()
@@ -230,19 +232,46 @@ func (li *instance) reclaimGeneration(lc *pgas.Ctx, e uint64) {
 		}
 		li.objsToDelete[obj.Locale()] = append(li.objsToDelete[obj.Locale()], obj)
 	}
-	// Bulk transfer and delete, one shipment per destination locale.
-	freed := 0
+	// Aggregate and delete, one flush per destination locale.
+	before := lc.Aggregator(li.locale).Freed()
 	for dest, batch := range li.objsToDelete {
 		if len(batch) == 0 {
 			continue
 		}
-		freed += lc.FreeBulk(dest, batch)
+		buf := lc.Aggregator(dest)
+		for _, a := range batch {
+			buf.Free(a)
+		}
+		buf.Flush()
 	}
-	li.reclaimed.Add(int64(freed))
+	li.reclaimed.Add(lc.Aggregator(li.locale).Freed() - before)
 	// Clear the scatter lists.
 	for i := range li.objsToDelete {
 		li.objsToDelete[i] = li.objsToDelete[i][:0]
 	}
+}
+
+// DeferDeleteOn queues obj for deferred deletion on another locale's
+// instance — a remote deferral, shipped through the calling task's
+// aggregation buffers instead of a synchronous round trip. The
+// deferral lands in the destination's current-epoch limbo list when
+// the buffer flushes (at capacity, or at Ctx.Flush).
+//
+// The caller must hold a *pinned* token on its own locale and keep it
+// pinned until after the buffer has flushed: the pin is what bounds
+// epoch advancement (to at most one step) while the deferral is still
+// buffered, giving the flushed deferral the same two-advance grace
+// period a local DeferDelete gets. A locale-local deferral executes
+// immediately, exactly like Token.DeferDelete.
+func (em EpochManager) DeferDeleteOn(c *pgas.Ctx, tok *Token, locale int, obj gas.Addr) {
+	if !tok.Pinned() {
+		panic("epoch: DeferDeleteOn with an unpinned token")
+	}
+	c.Aggregator(locale).Call(func(tc *pgas.Ctx) {
+		li := em.priv.Get(tc)
+		li.limbo[li.localeEpoch.Load()].Push(tc, obj)
+		li.deferred.Add(1)
+	})
 }
 
 // Clear reclaims every deferred object across all epochs and locales,

@@ -1,0 +1,102 @@
+// Package dist provides global-view distributed arrays in the style of
+// Chapel's Cyclic distribution: one logical array whose elements are
+// spread over every locale's memory, indexed globally, iterated with
+// owner-computes foralls. Element i of a cyclic array lives on locale
+// i % numLocales, so consecutive indices land on consecutive locales —
+// the distribution the paper's benchmarks use to randomize placement.
+//
+// Shard-local iteration (Forall) performs no element communication:
+// each locale's tasks receive direct pointers into their own shard.
+// Global-view random access (Read/Write) pays a GET/PUT when the
+// element is remote, exactly like pgas.Ctx.Load/Put.
+package dist
+
+import (
+	"fmt"
+
+	"gopgas/internal/pgas"
+)
+
+// Array is a cyclically distributed array of T. Create with NewCyclic.
+type Array[T any] struct {
+	shards  [][]T // shards[l][j] holds element l + j*L
+	n       int
+	locales int
+}
+
+// NewCyclic creates a distributed array of n elements, element i homed
+// on locale i % numLocales. Allocation fans out as a coforall (one
+// on-statement per remote locale); the elements start zero-valued.
+func NewCyclic[T any](c *pgas.Ctx, n int) *Array[T] {
+	if n < 0 {
+		panic(fmt.Sprintf("dist: negative array size %d", n))
+	}
+	L := c.NumLocales()
+	a := &Array[T]{shards: make([][]T, L), n: n, locales: L}
+	c.CoforallLocales(func(lc *pgas.Ctx) {
+		l := lc.Here()
+		size := 0
+		if n > l {
+			size = (n - l + L - 1) / L
+		}
+		a.shards[l] = make([]T, size)
+	})
+	return a
+}
+
+// Len returns the global element count.
+func (a *Array[T]) Len() int { return a.n }
+
+// Locale returns the locale that owns element i.
+func (a *Array[T]) Locale(i int) int { return i % a.locales }
+
+// locate maps a global index to its (locale, slot) pair.
+func (a *Array[T]) locate(i int) (int, int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("dist: index %d out of range [0, %d)", i, a.n))
+	}
+	return i % a.locales, i / a.locales
+}
+
+// Read fetches element i with global-view semantics: a remote element
+// pays one GET.
+func (a *Array[T]) Read(c *pgas.Ctx, i int) T {
+	l, j := a.locate(i)
+	if l != c.Here() {
+		c.ChargeGet(l)
+	}
+	return a.shards[l][j]
+}
+
+// Write stores element i with global-view semantics: a remote element
+// pays one PUT.
+func (a *Array[T]) Write(c *pgas.Ctx, i int, v T) {
+	l, j := a.locate(i)
+	if l != c.Here() {
+		c.ChargePut(l)
+	}
+	a.shards[l][j] = v
+}
+
+// Forall iterates the array owner-computes: every locale runs
+// tasksPerLocale tasks over its own shard, and body receives the global
+// index plus a direct pointer to the locale-local element — zero
+// element communication, one on-statement per remote locale for the
+// fan-out. perTask and perTaskDone carry task-private state exactly as
+// in pgas.ForallCyclic; either may be nil.
+func Forall[P, T any](c *pgas.Ctx, a *Array[T], tasksPerLocale int,
+	perTask func(ctx *pgas.Ctx) P,
+	body func(ctx *pgas.Ctx, priv P, i int, elem *T),
+	perTaskDone func(ctx *pgas.Ctx, priv P),
+) {
+	L := a.locales
+	c.CoforallLocales(func(lc *pgas.Ctx) {
+		l := lc.Here()
+		shard := a.shards[l]
+		pgas.ForallLocal(lc, len(shard), tasksPerLocale, perTask,
+			func(tc *pgas.Ctx, priv P, j int) {
+				body(tc, priv, l+j*L, &shard[j])
+			},
+			perTaskDone)
+	})
+}

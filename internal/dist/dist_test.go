@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/pgas"
+)
+
+func newSys(t *testing.T, locales int) *pgas.System {
+	t.Helper()
+	s := pgas.NewSystem(pgas.Config{Locales: locales, Backend: comm.BackendNone})
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+// Elements are distributed cyclically and the owner-computes forall
+// visits every index exactly once, on its owner, with no element
+// communication.
+func TestForallOwnerComputes(t *testing.T) {
+	const locales, n = 4, 41
+	s := newSys(t, locales)
+	s.Run(func(c *pgas.Ctx) {
+		a := NewCyclic[int](c, n)
+		if a.Len() != n {
+			t.Fatalf("Len = %d", a.Len())
+		}
+		before := s.Counters().Snapshot()
+		Forall(c, a, 2, nil,
+			func(tc *pgas.Ctx, _ struct{}, i int, elem *int) {
+				if tc.Here() != a.Locale(i) {
+					t.Errorf("index %d ran on locale %d, owner %d", i, tc.Here(), a.Locale(i))
+				}
+				*elem = i * i
+			}, nil)
+		d := s.Counters().Snapshot().Sub(before)
+		// Fan-out only: one on-statement per remote locale, zero
+		// puts/gets for the elements themselves.
+		if d.Puts != 0 || d.Gets != 0 {
+			t.Fatalf("owner-computes forall moved elements: %v", d)
+		}
+		if d.OnStmts != locales-1 {
+			t.Fatalf("fan-out cost %d on-statements, want %d", d.OnStmts, locales-1)
+		}
+		for i := 0; i < n; i++ {
+			if got := a.Read(c, i); got != i*i {
+				t.Fatalf("a[%d] = %d, want %d", i, got, i*i)
+			}
+		}
+	})
+}
+
+// Global-view access pays a GET/PUT only when the element is remote.
+func TestGlobalViewAccess(t *testing.T) {
+	s := newSys(t, 2)
+	s.Run(func(c *pgas.Ctx) {
+		a := NewCyclic[int](c, 4)
+		before := s.Counters().Snapshot()
+		a.Write(c, 0, 7) // local (0 % 2 == 0)
+		a.Write(c, 1, 8) // remote
+		_ = a.Read(c, 0) // local
+		_ = a.Read(c, 3) // remote
+		d := s.Counters().Snapshot().Sub(before)
+		if d.Puts != 1 || d.Gets != 1 {
+			t.Fatalf("comm = %v, want exactly 1 put + 1 get", d)
+		}
+		if a.Read(c, 1) != 8 {
+			t.Fatal("remote write lost")
+		}
+	})
+}
+
+// Out-of-range indexing panics.
+func TestIndexOutOfRange(t *testing.T) {
+	s := newSys(t, 2)
+	s.Run(func(c *pgas.Ctx) {
+		a := NewCyclic[int](c, 3)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range Read must panic")
+			}
+		}()
+		a.Read(c, 3)
+	})
+}

@@ -1,0 +1,193 @@
+package pgas
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/gas"
+)
+
+// Per-task aggregation buffers: the pgas face of comm.Aggregator.
+// A task obtains a destination view with Ctx.Aggregator(dst), buffers
+// small remote operations into it (Call, Free, Put, Add), and drains
+// everything with Ctx.Flush. Buffered operations execute on their
+// destination in enqueue order when the buffer flushes — either
+// explicitly, or automatically when it reaches the configured
+// capacity. One flush costs one bulk transfer instead of one round
+// trip per operation.
+//
+// Operations destined for the task's own locale execute inline
+// immediately (as `on here` is elided), so callers can aggregate
+// uniformly without special-casing locality.
+
+// Modelled payload sizes, in bytes, of the buffered operation kinds.
+// They keep BulkBytes meaningful: a Free ships one address, the others
+// ship an address/handle plus one word of argument.
+const (
+	aggFreeBytes = 8
+	aggCallBytes = 16
+	aggPutBytes  = 16
+	aggAddBytes  = 16
+)
+
+// Aggregator is one task's set of per-destination remote-op buffers.
+// It is created lazily by Ctx.Aggregator and, like the Ctx itself,
+// must not be shared between goroutines.
+type Aggregator struct {
+	c     *Ctx
+	agg   *comm.Aggregator
+	freed atomic.Int64 // objects released by Free ops (local + flushed)
+}
+
+func newAggregator(c *Ctx) *Aggregator {
+	s := c.sys
+	a := &Aggregator{c: c}
+	a.agg = comm.NewAggregator(c.here.id, len(s.locales), s.cfg.Agg,
+		&s.counters, s.matrix, s.cfg.Latency,
+		func(dst int, batch []comm.Op) {
+			// The batch executes on the destination, as if the flush
+			// were one on-statement carrying the whole scatter list.
+			tc := s.newCtx(s.locales[dst])
+			for _, op := range batch {
+				op.Exec.(func(*Ctx))(tc)
+			}
+		})
+	return a
+}
+
+// AggBuffer is a destination-locale view of a task's aggregator — the
+// handle Ctx.Aggregator returns. It is a small value; copy freely
+// within the owning task.
+type AggBuffer struct {
+	a   *Aggregator
+	dst int
+}
+
+// Aggregator returns this task's aggregation buffer for the given
+// destination locale, creating the task's aggregator on first use.
+// Buffered operations are shipped by Flush (on the buffer or the Ctx)
+// or automatically at capacity per the system's comm.AggConfig.
+func (c *Ctx) Aggregator(dst int) AggBuffer {
+	if dst < 0 || dst >= len(c.sys.locales) {
+		panic(fmt.Sprintf("pgas: Aggregator locale %d out of range [0, %d)", dst, len(c.sys.locales)))
+	}
+	if c.agg == nil {
+		c.agg = newAggregator(c)
+	}
+	return AggBuffer{a: c.agg, dst: dst}
+}
+
+// Dst returns the destination locale this buffer ships to.
+func (b AggBuffer) Dst() int { return b.dst }
+
+// Pending returns the number of operations currently buffered for this
+// destination.
+func (b AggBuffer) Pending() int { return b.a.agg.PendingTo(b.dst) }
+
+// Freed returns the total number of objects released through Free on
+// the owning task's aggregator (across all destinations). Callers
+// measure a batch by taking the difference around a Flush.
+func (b AggBuffer) Freed() int64 { return b.a.freed.Load() }
+
+// Flush ships this destination's buffer now (one bulk transfer) and
+// returns once the batch has executed. Other destinations' buffers are
+// untouched; use Ctx.Flush to drain everything.
+func (b AggBuffer) Flush() { b.a.agg.FlushDst(b.dst) }
+
+// enqueue buffers fn, or runs it inline for a local destination.
+func (b AggBuffer) enqueue(bytes int64, fn func(*Ctx)) {
+	if b.dst == b.a.c.here.id {
+		fn(b.a.c)
+		return
+	}
+	b.a.agg.Enqueue(b.dst, comm.Op{Bytes: bytes, Exec: fn})
+}
+
+// Call buffers fn for deferred execution on the destination locale —
+// a batched on-statement. fn receives a Ctx pinned to the destination
+// and runs there in enqueue order when the buffer flushes; it must be
+// self-contained (results are communicated through memory the caller
+// inspects after Flush).
+func (b AggBuffer) Call(fn func(ctx *Ctx)) {
+	b.enqueue(aggCallBytes, fn)
+}
+
+// Free buffers the release of addr, which must be owned by the
+// destination locale. The free executes on the owner when the buffer
+// flushes; successful releases are visible through Freed. This is the
+// aggregated form of Ctx.Free — the per-object RPC becomes a
+// scatter-list entry.
+func (b AggBuffer) Free(addr gas.Addr) {
+	if addr.Locale() != b.dst {
+		panic(fmt.Sprintf("pgas: aggregated Free(%v) into buffer for locale %d", addr, b.dst))
+	}
+	a := b.a
+	b.enqueue(aggFreeBytes, func(tc *Ctx) {
+		if tc.here.heap.Free(addr) {
+			a.freed.Add(1)
+		}
+	})
+}
+
+// Put buffers an overwrite of the object stored at addr (owned by the
+// destination). The store executes on the owner at flush; a store to a
+// slot freed in the meantime is dropped, as with Ctx.Put.
+func (b AggBuffer) Put(addr gas.Addr, obj any) {
+	if addr.Locale() != b.dst {
+		panic(fmt.Sprintf("pgas: aggregated Put(%v) into buffer for locale %d", addr, b.dst))
+	}
+	b.enqueue(aggPutBytes, func(tc *Ctx) {
+		tc.here.heap.Store(addr, obj)
+	})
+}
+
+// Add buffers a fire-and-forget atomic add on w, which must be homed
+// on the destination. At flush the add executes as a *locale-local*
+// operation on the owner — the batch already paid the network cost —
+// so N remote increments cost one bulk transfer instead of N AMO
+// round trips. The local execution still routes through the backend
+// (a processor atomic under none; a NIC atomic under ugni, where NIC
+// and CPU atomics are incoherent and mixing them would be unsound),
+// so aggregated and direct operations on one word stay coherent.
+// Use the synchronous Word64.Add when the returned value matters.
+func (b AggBuffer) Add(w *Word64, delta uint64) {
+	if w.Home() != b.dst {
+		panic(fmt.Sprintf("pgas: aggregated Add on word homed on %d into buffer for locale %d", w.Home(), b.dst))
+	}
+	b.enqueue(aggAddBytes, func(tc *Ctx) {
+		w.amo(tc, func() uint64 { return w.v.Add(delta) })
+	})
+}
+
+// Flush drains every aggregation buffer this task has filled (one bulk
+// transfer per non-empty destination) and then waits for system-wide
+// quiescence of asynchronous operations. After Flush returns, every
+// operation this task buffered or launched asynchronously has taken
+// effect — the guarantee coforall epilogues rely on to drain before
+// joining.
+//
+// Buffer draining is synchronous and complete regardless of caller.
+// The quiescence wait, however, is skipped when the calling task was
+// itself launched by AsyncOn: such a task is counted in the in-flight
+// set Quiesce waits on, so a self-inclusive wait could never return
+// (and two async tasks flushing would deadlock on each other).
+// Quiescence over async work is the launcher's join, not the async
+// task's.
+func (c *Ctx) Flush() {
+	if c.agg != nil {
+		c.agg.agg.Flush()
+	}
+	if !c.isAsync {
+		c.sys.Quiesce()
+	}
+}
+
+// PendingOps returns the total number of operations buffered by this
+// task across all destinations (diagnostic).
+func (c *Ctx) PendingOps() int {
+	if c.agg == nil {
+		return 0
+	}
+	return c.agg.agg.Pending()
+}

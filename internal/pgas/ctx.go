@@ -12,10 +12,12 @@ import (
 // helpers — receives its own Ctx. A Ctx must not be shared between
 // goroutines; spawn instead.
 type Ctx struct {
-	sys    *System
-	here   *Locale
-	taskID uint64
-	rng    uint64
+	sys     *System
+	here    *Locale
+	taskID  uint64
+	rng     uint64
+	agg     *Aggregator // lazily created per-task aggregation buffers
+	isAsync bool        // task was launched by AsyncOn (counted in asyncPending)
 }
 
 // Sys returns the owning System.
@@ -36,20 +38,7 @@ func (c *Ctx) TaskID() uint64 { return c.taskID }
 // as Chapel's compiler also elides it. The callee receives a fresh Ctx
 // whose Here() is the target.
 func (c *Ctx) On(target int, fn func(ctx *Ctx)) {
-	if target == c.here.id {
-		fn(c)
-		return
-	}
-	s := c.sys
-	s.counters.IncOnStmt()
-	s.matrix.Inc(c.here.id, target)
-	comm.Delay(s.cfg.Latency.AMRoundTripNS + s.cfg.Latency.OnStmtNS)
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		fn(s.newCtx(s.locales[target]))
-	}()
-	<-done
+	c.sys.dispatchOn(c, target, fn)
 }
 
 // CoforallLocales spawns one task per locale (each running on its
@@ -60,8 +49,7 @@ func (c *Ctx) CoforallLocales(fn func(ctx *Ctx)) {
 	var wg sync.WaitGroup
 	for _, loc := range s.locales {
 		if loc.id != c.here.id {
-			s.counters.IncOnStmt()
-			s.matrix.Inc(c.here.id, loc.id)
+			s.chargeOnStmt(c.here.id, loc.id)
 		}
 		wg.Add(1)
 		go func(l *Locale) {
@@ -116,8 +104,7 @@ func ForallCyclic[P any](c *Ctx, n, tasksPerLocale int,
 			continue // no iterations land on this locale
 		}
 		if loc.id != c.here.id {
-			s.counters.IncOnStmt()
-			s.matrix.Inc(c.here.id, loc.id)
+			s.chargeOnStmt(c.here.id, loc.id)
 		}
 		wg.Add(1)
 		go func(l *Locale) {

@@ -1,0 +1,169 @@
+package pgas
+
+import (
+	"fmt"
+	"runtime"
+
+	"gopgas/internal/comm"
+)
+
+// The dispatch layer: every simulated remote operation — on-statement,
+// 64-bit AMO, 128-bit DCAS, GET/PUT charge — is routed, counted and
+// latency-charged here, in one place, instead of inline at each call
+// site. Ctx.On, Word64 and Word128 are thin veneers over these
+// methods, and the asynchronous surface (AsyncOn, the aggregation
+// buffers in aggregate.go) reuses exactly the same accounting, so the
+// sync and async paths can never drift apart.
+
+// dispatchOn charges and executes a synchronous on-statement: fn runs
+// on the target locale and the caller waits. `on here` is elided.
+func (s *System) dispatchOn(src *Ctx, target int, fn func(*Ctx)) {
+	if target == src.here.id {
+		fn(src)
+		return
+	}
+	s.chargeOnStmt(src.here.id, target)
+	comm.Delay(s.cfg.Latency.AMRoundTripNS + s.cfg.Latency.OnStmtNS)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn(s.newCtx(s.locales[target]))
+	}()
+	<-done
+}
+
+// dispatchOnAsync launches fn on the target locale without waiting:
+// the initiator pays only the injection (the network delivers the
+// active message while the initiating task keeps running), which is
+// what turns per-op round-trip latency into overlap. The operation is
+// tracked for quiescence: Quiesce (and therefore Ctx.Flush) blocks
+// until it has completed. A local target still detaches a task.
+func (s *System) dispatchOnAsync(src *Ctx, target int, fn func(*Ctx)) {
+	// Register before checking shutdown: Shutdown sets the flag first
+	// and only then quiesces, so either this task is visible to that
+	// quiesce (and the queues outlive it) or the flag is already set
+	// here and we refuse — no window where the task outlives the
+	// progress workers.
+	s.asyncPending.Add(1)
+	if s.shutdown.Load() {
+		s.asyncPending.Add(-1)
+		panic("pgas: AsyncOn after Shutdown")
+	}
+	remote := target != src.here.id
+	if remote {
+		s.chargeOnStmt(src.here.id, target)
+	}
+	go func() {
+		defer s.asyncPending.Add(-1)
+		if remote {
+			comm.Delay(s.cfg.Latency.AMRoundTripNS + s.cfg.Latency.OnStmtNS)
+		}
+		tc := s.newCtx(s.locales[target])
+		tc.isAsync = true
+		fn(tc)
+	}()
+}
+
+// chargeOnStmt records one remote on-statement without paying its
+// latency (the payer differs between the sync and coforall paths).
+func (s *System) chargeOnStmt(src, dst int) {
+	s.counters.IncOnStmt()
+	s.matrix.Inc(src, dst)
+}
+
+// dispatchAMO64 routes a 64-bit atomic on a word homed on `home` per
+// the backend: NIC atomic under ugni (even locale-locally — Aries NIC
+// atomics are not coherent with CPU atomics), processor atomic when
+// local under none, active message to the home locale otherwise.
+func (s *System) dispatchAMO64(c *Ctx, home int, op func() uint64) uint64 {
+	switch s.cfg.Backend {
+	case comm.BackendUGNI:
+		s.counters.IncNICAMO()
+		s.matrix.Inc(c.here.id, home)
+		comm.Delay(s.cfg.Latency.NICAtomicNS)
+		return op()
+	default:
+		if home == c.here.id {
+			s.counters.IncLocalAMO()
+			comm.Delay(s.cfg.Latency.LocalAtomicNS)
+			return op()
+		}
+		s.counters.IncAMAMO()
+		s.matrix.Inc(c.here.id, home)
+		var res uint64
+		s.amCall(home, func() { res = op() })
+		return res
+	}
+}
+
+// dispatchDCAS routes a full-width 128-bit operation: no NIC offloads
+// these, so a remote cell always demotes to remote execution (an
+// active message), while a local cell runs the emulated CMPXCHG16B
+// directly.
+func (s *System) dispatchDCAS(c *Ctx, home int, op func()) {
+	if home == c.here.id {
+		s.counters.IncDCASLocal()
+		comm.Delay(s.cfg.Latency.LocalAtomicNS)
+		op()
+		return
+	}
+	s.counters.IncDCASRemote()
+	s.matrix.Inc(c.here.id, home)
+	s.amCall(home, op)
+}
+
+// ChargeGet records and charges one small remote read toward owner.
+// It is exposed for global-view containers (package dist) whose
+// storage lives outside the gas heaps; owner must differ from the
+// calling locale.
+func (c *Ctx) ChargeGet(owner int) {
+	c.sys.counters.IncGet()
+	c.sys.matrix.Inc(c.here.id, owner)
+	comm.Delay(c.sys.cfg.Latency.PutGetNS)
+}
+
+// ChargePut records and charges one small remote write toward owner.
+func (c *Ctx) ChargePut(owner int) {
+	c.sys.counters.IncPut()
+	c.sys.matrix.Inc(c.here.id, owner)
+	comm.Delay(c.sys.cfg.Latency.PutGetNS)
+}
+
+// chargeBulk records and charges one bulk transfer of `bytes` toward
+// dst (the FreeBulk/AllocBulkOn path; aggregated flushes account for
+// themselves inside comm.Aggregator).
+func (s *System) chargeBulk(src, dst int, bytes int64) {
+	s.counters.IncBulk(bytes)
+	s.matrix.Inc(src, dst)
+	comm.Delay(s.cfg.Latency.BulkStartupNS + bytes*s.cfg.Latency.BulkPerByteNS)
+}
+
+// AsyncOn launches fn on the target locale and returns immediately —
+// a fire-and-forget on-statement (Chapel's `begin on`). The spawned
+// task is tracked by the system: Ctx.Flush (or System.Quiesce) blocks
+// until every async operation launched so far has finished, which is
+// how a coforall epilogue guarantees nothing is still in flight.
+//
+// fn receives a fresh Ctx pinned to the target; it must not use the
+// initiator's Ctx.
+func (c *Ctx) AsyncOn(target int, fn func(ctx *Ctx)) {
+	if target < 0 || target >= len(c.sys.locales) {
+		panic(fmt.Sprintf("pgas: AsyncOn locale %d out of range [0, %d)", target, len(c.sys.locales)))
+	}
+	c.sys.dispatchOnAsync(c, target, fn)
+}
+
+// Quiesce blocks until every asynchronous operation launched so far
+// (AsyncOn tasks, including ones they transitively spawned) has
+// completed. New async work launched by other tasks while Quiesce
+// spins naturally extends the wait — quiescence is a system-wide
+// property, exactly as in SHMEM's quiet semantics.
+func (s *System) Quiesce() {
+	for s.asyncPending.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+// AsyncPending returns the number of asynchronous operations currently
+// in flight (diagnostic).
+func (s *System) AsyncPending() int64 { return s.asyncPending.Load() }

@@ -26,10 +26,30 @@ func (c *Ctx) AllocOn(locale int, obj any) gas.Addr {
 		return c.Alloc(obj)
 	}
 	s := c.sys
-	s.counters.IncOnStmt()
-	s.matrix.Inc(c.here.id, locale)
+	s.chargeOnStmt(c.here.id, locale)
 	comm.Delay(s.cfg.Latency.AMRoundTripNS + s.cfg.Latency.OnStmtNS)
 	return s.locales[locale].heap.Alloc(obj)
+}
+
+// AllocBulkOn stores every object in objs on the given locale's heap,
+// shipping the batch as one bulk transfer instead of one on-statement
+// per object — the allocation-side counterpart of FreeBulk, and what
+// the structures' bulk-insert paths build on. The returned addresses
+// are in objs order. A local batch is free, like Alloc.
+func (c *Ctx) AllocBulkOn(locale int, objs []any) []gas.Addr {
+	addrs := make([]gas.Addr, len(objs))
+	if len(objs) == 0 {
+		return addrs
+	}
+	s := c.sys
+	if locale != c.here.id {
+		s.chargeBulk(c.here.id, locale, int64(len(objs)*16))
+	}
+	h := s.locales[locale].heap
+	for i, obj := range objs {
+		addrs[i] = h.Alloc(obj)
+	}
+	return addrs
 }
 
 // Load fetches the object at addr. Remote addresses pay a GET. ok is
@@ -37,9 +57,7 @@ func (c *Ctx) AllocOn(locale int, obj any) gas.Addr {
 func (c *Ctx) Load(addr gas.Addr) (any, bool) {
 	owner := addr.Locale()
 	if owner != c.here.id {
-		c.sys.counters.IncGet()
-		c.sys.matrix.Inc(c.here.id, owner)
-		comm.Delay(c.sys.cfg.Latency.PutGetNS)
+		c.ChargeGet(owner)
 	}
 	return c.sys.locales[owner].heap.Load(addr)
 }
@@ -77,9 +95,7 @@ func MustDeref[T any](c *Ctx, addr gas.Addr) T {
 func (c *Ctx) Put(addr gas.Addr, obj any) bool {
 	owner := addr.Locale()
 	if owner != c.here.id {
-		c.sys.counters.IncPut()
-		c.sys.matrix.Inc(c.here.id, owner)
-		comm.Delay(c.sys.cfg.Latency.PutGetNS)
+		c.ChargePut(owner)
 	}
 	return c.sys.locales[owner].heap.Store(addr, obj)
 }
@@ -107,10 +123,7 @@ func (c *Ctx) FreeBulk(locale int, addrs []gas.Addr) int {
 	}
 	s := c.sys
 	if locale != c.here.id {
-		bytes := int64(len(addrs) * 8)
-		s.counters.IncBulk(bytes)
-		s.matrix.Inc(c.here.id, locale)
-		comm.Delay(s.cfg.Latency.BulkStartupNS + bytes*s.cfg.Latency.BulkPerByteNS)
+		s.chargeBulk(c.here.id, locale, int64(len(addrs)*8))
 	}
 	h := s.locales[locale].heap
 	n := 0

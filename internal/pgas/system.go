@@ -48,6 +48,11 @@ type Config struct {
 	// "none" curves exhibit. Defaults to 2.
 	ProgressWorkers int
 
+	// Agg configures the per-task aggregation buffers (capacity and
+	// flush policy). The zero value selects FlushOnCapacity with
+	// comm.DefaultAggCapacity operations per destination.
+	Agg comm.AggConfig
+
 	// Seed makes per-task random streams reproducible. Defaults to 1.
 	Seed uint64
 
@@ -65,6 +70,8 @@ type System struct {
 	matrix   *comm.Matrix
 
 	taskSeq atomic.Uint64 // unique task ids, also salts per-task RNG
+
+	asyncPending atomic.Int64 // in-flight AsyncOn tasks (quiescence)
 
 	privMu   sync.Mutex
 	privNext int
@@ -137,12 +144,16 @@ func (l *Locale) progressWorker() {
 	}
 }
 
-// Shutdown stops all progress workers. Any communication attempted
-// after Shutdown panics; a System is not restartable.
+// Shutdown waits for asynchronous operations to quiesce, then stops
+// all progress workers. Any communication attempted after Shutdown
+// panics; a System is not restartable. The flag is set before the
+// quiesce so a racing AsyncOn either lands inside the quiesce window
+// or is refused — it can never outlive the progress workers.
 func (s *System) Shutdown() {
 	if s.shutdown.Swap(true) {
 		return
 	}
+	s.Quiesce()
 	for _, l := range s.locales {
 		close(l.amq)
 	}

@@ -3,8 +3,6 @@ package pgas
 import (
 	"sync"
 	"sync/atomic"
-
-	"gopgas/internal/comm"
 )
 
 // Word64 is a network-atomic 64-bit word that lives in one locale's
@@ -43,27 +41,9 @@ func NewWord64(c *Ctx, home int, init uint64) *Word64 {
 // Home returns the id of the locale the word resides on.
 func (w *Word64) Home() int { return w.home }
 
-// amo routes op per the backend, returning its result.
+// amo routes op through the dispatch layer, returning its result.
 func (w *Word64) amo(c *Ctx, op func() uint64) uint64 {
-	s := c.sys
-	switch s.cfg.Backend {
-	case comm.BackendUGNI:
-		s.counters.IncNICAMO()
-		s.matrix.Inc(c.here.id, w.home)
-		comm.Delay(s.cfg.Latency.NICAtomicNS)
-		return op()
-	default:
-		if w.home == c.here.id {
-			s.counters.IncLocalAMO()
-			comm.Delay(s.cfg.Latency.LocalAtomicNS)
-			return op()
-		}
-		s.counters.IncAMAMO()
-		s.matrix.Inc(c.here.id, w.home)
-		var res uint64
-		s.amCall(w.home, func() { res = op() })
-		return res
-	}
+	return c.sys.dispatchAMO64(c, w.home, op)
 }
 
 // Read atomically loads the word.
@@ -140,16 +120,7 @@ func (w *Word128) Home() int { return w.home }
 
 // route executes op locally or via active message per locality.
 func (w *Word128) route(c *Ctx, op func()) {
-	s := c.sys
-	if w.home == c.here.id {
-		s.counters.IncDCASLocal()
-		comm.Delay(s.cfg.Latency.LocalAtomicNS)
-		op()
-		return
-	}
-	s.counters.IncDCASRemote()
-	s.matrix.Inc(c.here.id, w.home)
-	s.amCall(w.home, op)
+	c.sys.dispatchDCAS(c, w.home, op)
 }
 
 // Read atomically loads both halves.
@@ -188,24 +159,7 @@ func (w *Word128) Exchange(c *Ctx, lo, hi uint64) (oldLo, oldHi uint64) {
 // AtomicObject lets "normal" (non-ABA) operations on an ABA-protected
 // cell keep their RDMA fast path: they touch only the pointer word.
 func (w *Word128) lo64(c *Ctx, op func() uint64) uint64 {
-	s := c.sys
-	switch s.cfg.Backend {
-	case comm.BackendUGNI:
-		s.counters.IncNICAMO()
-		s.matrix.Inc(c.here.id, w.home)
-		comm.Delay(s.cfg.Latency.NICAtomicNS)
-	default:
-		if w.home != c.here.id {
-			s.counters.IncAMAMO()
-			s.matrix.Inc(c.here.id, w.home)
-			var res uint64
-			s.amCall(w.home, func() { res = op() })
-			return res
-		}
-		s.counters.IncLocalAMO()
-		comm.Delay(s.cfg.Latency.LocalAtomicNS)
-	}
-	return op()
+	return c.sys.dispatchAMO64(c, w.home, op)
 }
 
 // ReadLo64 atomically loads the low word only.

@@ -1,0 +1,87 @@
+package hashmap
+
+import (
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+// InsertBulk inserts every absent pair and reports the count;
+// duplicates within the batch insert once.
+func TestInsertBulk(t *testing.T) {
+	s := pgas.NewSystem(pgas.Config{Locales: 4, Backend: comm.BackendNone})
+	defer s.Shutdown()
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		m := New[int](c, 32, em)
+
+		const n = 300
+		pairs := make([]KV[int], 0, n+2)
+		for k := 0; k < n; k++ {
+			pairs = append(pairs, KV[int]{K: uint64(k), V: k * 10})
+		}
+		pairs = append(pairs, KV[int]{K: 0, V: -1}, KV[int]{K: 1, V: -1})
+
+		if got := m.InsertBulk(c, pairs); got != n {
+			t.Fatalf("InsertBulk inserted %d, want %d", got, n)
+		}
+		tok := em.Register(c)
+		defer tok.Unregister(c)
+		for k := 0; k < n; k++ {
+			v, ok := m.Get(c, tok, uint64(k))
+			if !ok || v != k*10 {
+				t.Fatalf("Get(%d) = %d, %v", k, v, ok)
+			}
+		}
+		if got := m.Len(c, tok); got != n {
+			t.Fatalf("Len = %d, want %d", got, n)
+		}
+	})
+}
+
+// The aggregated bulk path replaces per-pair remote CAS round trips
+// with per-destination batches: the remote AM-atomic count collapses
+// while the same inserts run locally on their bucket's owner.
+func TestInsertBulkCommVolume(t *testing.T) {
+	s := pgas.NewSystem(pgas.Config{Locales: 4, Backend: comm.BackendNone})
+	defer s.Shutdown()
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		const n = 256
+
+		direct := New[int](c, 64, em)
+		tok := em.Register(c)
+		before := s.Counters().Snapshot()
+		for k := 0; k < n; k++ {
+			direct.Insert(c, tok, uint64(k), k)
+		}
+		tok.Unregister(c)
+		dDirect := s.Counters().Snapshot().Sub(before)
+
+		bulk := New[int](c, 64, em)
+		pairs := make([]KV[int], n)
+		for k := range pairs {
+			pairs[k] = KV[int]{K: uint64(k), V: k}
+		}
+		before = s.Counters().Snapshot()
+		if got := bulk.InsertBulk(c, pairs); got != n {
+			t.Fatalf("InsertBulk inserted %d, want %d", got, n)
+		}
+		dBulk := s.Counters().Snapshot().Sub(before)
+
+		// ~3/4 of buckets are remote from locale 0: the direct path
+		// pays hundreds of AM round trips, the bulk path at most one
+		// flush per destination (3 here, n < capacity).
+		if dBulk.AggFlushes != 3 {
+			t.Fatalf("bulk insert used %d flushes, want 3 (%v)", dBulk.AggFlushes, dBulk)
+		}
+		if dBulk.AMAMOs != 0 || dBulk.Gets != 0 {
+			t.Fatalf("bulk insert leaked per-op remote traffic: %v", dBulk)
+		}
+		if dDirect.AMAMOs+dDirect.Gets < int64(n) {
+			t.Fatalf("direct insert unexpectedly cheap: %v", dDirect)
+		}
+	})
+}

@@ -12,6 +12,8 @@
 package hashmap
 
 import (
+	"sync/atomic"
+
 	"gopgas/internal/core/epoch"
 	"gopgas/internal/pgas"
 	"gopgas/internal/structures/list"
@@ -71,6 +73,39 @@ func (m *Map[V]) BucketLocale(k uint64) int {
 // Insert adds (k, v) if absent, reporting whether it inserted.
 func (m *Map[V]) Insert(c *pgas.Ctx, tok *epoch.Token, k uint64, v V) bool {
 	return m.bucket(k).Insert(c, tok, k, v)
+}
+
+// KV is one key/value pair for the bulk-insert path.
+type KV[V any] struct {
+	K uint64
+	V V
+}
+
+// InsertBulk adds every absent (k, v) pair, returning how many were
+// inserted. Pairs are routed through the calling task's aggregation
+// buffers to the locale owning their bucket and executed there — the
+// remote CAS per insert of the per-op path becomes a locale-local CAS
+// inside a per-destination batch, so the communication cost is one
+// bulk flush per destination locale (per buffer capacity) instead of
+// one round trip per pair. Each batch runs under a destination-local
+// epoch token; no caller token is needed.
+//
+// Duplicate keys within pairs insert first-come-first-served, like
+// concurrent Inserts.
+func (m *Map[V]) InsertBulk(c *pgas.Ctx, pairs []KV[V]) int {
+	var inserted atomic.Int64
+	for _, kv := range pairs {
+		kv := kv
+		c.Aggregator(m.BucketLocale(kv.K)).Call(func(tc *pgas.Ctx) {
+			m.em.Protect(tc, func(tok *epoch.Token) {
+				if m.bucket(kv.K).Insert(tc, tok, kv.K, kv.V) {
+					inserted.Add(1)
+				}
+			})
+		})
+	}
+	c.Flush()
+	return int(inserted.Load())
 }
 
 // Upsert inserts or replaces (k, v), reporting whether it replaced an

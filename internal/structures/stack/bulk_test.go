@@ -1,0 +1,98 @@
+package stack
+
+import (
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+// PushBulk is equivalent to pushing the values in order: the last
+// element of the batch pops first, and the batch is contiguous.
+func TestPushBulkOrder(t *testing.T) {
+	s := pgas.NewSystem(pgas.Config{Locales: 2, Backend: comm.BackendNone})
+	defer s.Shutdown()
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		st := New[int](c, 1, em)
+		tok := em.Register(c)
+		defer tok.Unregister(c)
+
+		st.Push(c, tok, -1)
+		st.PushBulk(c, tok, []int{1, 2, 3, 4, 5})
+		for want := 5; want >= 1; want-- {
+			got, ok := st.Pop(c, tok)
+			if !ok || got != want {
+				t.Fatalf("pop = %d (ok=%v), want %d", got, ok, want)
+			}
+		}
+		if got, ok := st.Pop(c, tok); !ok || got != -1 {
+			t.Fatalf("bottom pop = %d (ok=%v), want -1", got, ok)
+		}
+		if stats := st.Stats(); stats.Pushes != 6 || stats.Pops != 6 {
+			t.Fatalf("stats = %+v", stats)
+		}
+	})
+}
+
+// The whole batch publishes with one head CAS: communication is O(1)
+// in the batch size.
+func TestPushBulkCommVolume(t *testing.T) {
+	s := pgas.NewSystem(pgas.Config{Locales: 2, Backend: comm.BackendNone})
+	defer s.Shutdown()
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		st := New[int](c, 1, em)
+		tok := em.Register(c)
+		defer tok.Unregister(c)
+
+		const n = 200
+		before := s.Counters().Snapshot()
+		st.PushBulk(c, tok, make([]int, n))
+		d := s.Counters().Snapshot().Sub(before)
+		// Nodes are local; the head is remote and ABA-stamped, so the
+		// read + CAS are DCAS-class remote ops — but only O(1) of them.
+		if remote := d.Remote() + d.DCASRemote; remote > 6 {
+			t.Fatalf("bulk push of %d paid %d remote ops, want O(1): %v", n, remote, d)
+		}
+	})
+}
+
+// PushBulk interleaves safely with concurrent poppers.
+func TestPushBulkConcurrent(t *testing.T) {
+	s := pgas.NewSystem(pgas.Config{Locales: 1, Backend: comm.BackendNone})
+	defer s.Shutdown()
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		st := New[int](c, 0, em)
+		const tasks, batches, batchLen = 4, 8, 16
+		c.Coforall(tasks, func(tc *pgas.Ctx, tid int) {
+			em.Protect(tc, func(tok *epoch.Token) {
+				for b := 0; b < batches; b++ {
+					vals := make([]int, batchLen)
+					for i := range vals {
+						vals[i] = tid*batches*batchLen + b*batchLen + i
+					}
+					st.PushBulk(tc, tok, vals)
+				}
+			})
+		})
+		tok := em.Register(c)
+		defer tok.Unregister(c)
+		seen := map[int]bool{}
+		for {
+			v, ok := st.Pop(c, tok)
+			if !ok {
+				break
+			}
+			if seen[v] {
+				t.Fatalf("value %d popped twice", v)
+			}
+			seen[v] = true
+		}
+		if len(seen) != tasks*batches*batchLen {
+			t.Fatalf("popped %d values, want %d", len(seen), tasks*batches*batchLen)
+		}
+	})
+}

@@ -71,6 +71,39 @@ func (s *Stack[T]) Push(c *pgas.Ctx, tok *epoch.Token, v T) {
 	}
 }
 
+// PushBulk pushes every value in vals as one batch: vals[len-1] ends
+// up on top, i.e. the result is identical to pushing vals in order.
+// The nodes are allocated locally and pre-linked into a chain, so the
+// whole batch publishes with a single head CAS — one remote operation
+// for len(vals) pushes. The batch is contiguous on the stack.
+func (s *Stack[T]) PushBulk(c *pgas.Ctx, tok *epoch.Token, vals []T) {
+	if len(vals) == 0 {
+		return
+	}
+	// Build the chain bottom-up: nodes[i].next = nodes[i-1], so the
+	// last value is the new top.
+	nodes := make([]*node[T], len(vals))
+	addrs := make([]gas.Addr, len(vals))
+	for i, v := range vals {
+		nodes[i] = &node[T]{val: v}
+		addrs[i] = c.Alloc(nodes[i])
+		if i > 0 {
+			nodes[i].next = addrs[i-1]
+		}
+	}
+	top := addrs[len(addrs)-1]
+	tok.Pin(c)
+	defer tok.Unpin(c)
+	for {
+		oldHead := s.head.ReadABA(c)
+		nodes[0].next = oldHead.Object()
+		if s.head.CompareAndSwapABA(c, oldHead, top) {
+			s.pushes.Add(int64(len(vals)))
+			return
+		}
+	}
+}
+
 // Pop removes and returns the most recently pushed value; ok is false
 // when the stack is empty. The unlinked node is defer-deleted through
 // the epoch manager, never freed eagerly — the dereference another
