@@ -4,11 +4,14 @@
 // Usage:
 //
 //	benchrunner [-figure 3|4|5|6|7|ablations|all] [-scale F]
-//	            [-tasks N] [-maxlocales N] [-csv FILE] [-comm] [-quiet]
+//	            [-tasks N] [-maxlocales N] [-csv FILE] [-matrix FILE]
+//	            [-comm] [-quiet]
 //
 // Output is gnuplot-style text on stdout (seconds per sweep point);
 // -comm adds the communication-volume view; -csv additionally writes
-// the long-form machine-readable record with both metrics.
+// the long-form machine-readable record with both metrics; -matrix
+// writes the locale-pair heatmap CSV (src,dst,events per sweep point)
+// for the figures that capture it (the sharding ablation A7).
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 		maxLocales = flag.Int("maxlocales", 64, "largest locale count in sweeps")
 		maxTasks   = flag.Int("maxtasks", 32, "largest task count in the shared-memory sweep")
 		csvPath    = flag.String("csv", "", "also write long-form CSV to this file")
+		matrixPath = flag.String("matrix", "", "also write the locale-pair heatmap CSV to this file")
 		commView   = flag.Bool("comm", false, "also print communication-volume tables")
 		quiet      = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
@@ -96,5 +100,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+
+	if *matrixPath != "" {
+		w, err := os.Create(*matrixPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		rows := bench.WriteMatrixCSV(w, figures)
+		if err := w.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		if rows == 0 {
+			fmt.Fprintf(os.Stderr, "benchrunner: no selected figure captures a comm matrix (run -figure ablations); %s is empty\n", *matrixPath)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %s (%d rows)\n", *matrixPath, rows)
+		}
 	}
 }

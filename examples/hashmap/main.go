@@ -92,7 +92,7 @@ func main() {
 	mgr := em.Stats(c0)
 	fmt.Printf("  epoch: deferred=%d reclaimed=%d advances=%d\n",
 		mgr.Deferred, mgr.Reclaimed, mgr.Advances)
-	st := m.Stats()
+	st := m.Stats(c0)
 	fmt.Printf("  lists: inserts=%d removes=%d unlinks=%d\n", st.Inserts, st.Removes, st.Unlinks)
 	fmt.Printf("  comm:  %v\n", sys.Counters().Snapshot())
 	if sys.HeapStats().UAFLoads != 0 {

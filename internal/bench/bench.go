@@ -121,6 +121,17 @@ type Point struct {
 	X       int
 	Seconds float64
 	Comm    comm.Snapshot
+
+	// Matrix, when non-nil, is the (source, destination) locale-pair
+	// event delta of the timed region — captured by figures that make
+	// per-pair claims (A7's hotspot argument) and dumped by the
+	// benchrunner's -matrix CSV.
+	Matrix [][]int64
+
+	// MaxInbound is the busiest destination column total of Matrix:
+	// the hotspot metric (how much of the system's traffic lands on
+	// one locale). Zero when Matrix was not captured.
+	MaxInbound int64
 }
 
 // Series is one labelled curve.
@@ -151,6 +162,42 @@ func timed(sys *pgas.System, fn func()) (float64, comm.Snapshot) {
 	fn()
 	secs := time.Since(start).Seconds()
 	return secs, sys.Counters().Snapshot().Sub(before)
+}
+
+// timedMatrix is timed plus the locale-pair matrix delta and its
+// busiest inbound column, for figures that argue about hotspots.
+func timedMatrix(sys *pgas.System, fn func()) (float64, comm.Snapshot, [][]int64, int64) {
+	beforeM := sys.Matrix().Snapshot()
+	secs, snap := timed(sys, fn)
+	delta := subMatrix(sys.Matrix().Snapshot(), beforeM)
+	return secs, snap, delta, maxColTotal(delta)
+}
+
+// subMatrix returns the element-wise difference a - b.
+func subMatrix(a, b [][]int64) [][]int64 {
+	out := make([][]int64, len(a))
+	for i := range a {
+		out[i] = make([]int64, len(a[i]))
+		for j := range a[i] {
+			out[i][j] = a[i][j] - b[i][j]
+		}
+	}
+	return out
+}
+
+// maxColTotal returns the largest inbound (column) total of m.
+func maxColTotal(m [][]int64) int64 {
+	var best int64
+	for j := range m {
+		var col int64
+		for i := range m {
+			col += m[i][j]
+		}
+		if col > best {
+			best = col
+		}
+	}
+	return best
 }
 
 // newSystem builds a benchmark system.

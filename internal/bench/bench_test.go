@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestFigure7Structure(t *testing.T) {
 
 func TestAblationsStructure(t *testing.T) {
 	figs := Ablations(tinyConfig())
-	if len(figs) != 6 {
+	if len(figs) != 7 {
 		t.Fatalf("got %d ablations", len(figs))
 	}
 	ids := map[string]bool{}
@@ -88,7 +89,7 @@ func TestAblationsStructure(t *testing.T) {
 			t.Fatalf("ablation %s empty", f.ID)
 		}
 	}
-	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6"} {
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7"} {
 		if !ids[id] {
 			t.Fatalf("missing ablation %s (have %v)", id, ids)
 		}
@@ -134,6 +135,66 @@ func TestAblationAggregationCounters(t *testing.T) {
 	}
 }
 
+// The sharding ablation's claims, asserted on the deterministic
+// matrix and counters. This is the CI smoke gate for the privatized,
+// owner-sharded structure layer (run with -short):
+//
+//  1. the single-home queue/stack funnel traffic into their home's
+//     matrix column, which grows with locale count under weak scaling;
+//  2. the owner-sharded versions keep the busiest column O(1) — the
+//     only remote events in the whole run are the coforall launches,
+//     one per column;
+//  3. HomeOf-routed hashmap gets perform zero remote events, at any
+//     locale count.
+func TestAblationA7(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.05 // ~25 ops per locale: small but far above launch noise
+	f := AblationSharding(cfg)
+	if f.ID != "A7" || len(f.Panels) != 3 {
+		t.Fatalf("A7 shape: id=%s panels=%d", f.ID, len(f.Panels))
+	}
+	for _, panel := range f.Panels[:2] {
+		single, sharded := panel.Series[0], panel.Series[1]
+		// Single-home: the busiest (home) column grows with locales.
+		first := single.Points[0]
+		last := single.Points[len(single.Points)-1]
+		if first.MaxInbound <= 0 {
+			t.Fatalf("%s: single-home hot column empty: %+v", panel.Title, first.Comm)
+		}
+		if last.MaxInbound < 2*first.MaxInbound {
+			t.Fatalf("%s: single-home hot column did not grow with locales: %d -> %d",
+				panel.Title, first.MaxInbound, last.MaxInbound)
+		}
+		// Sharded: busiest column is O(1) — exactly the one coforall
+		// launch on-statement per remote locale, regardless of count.
+		for i, p := range sharded.Points {
+			if p.MaxInbound > 1 {
+				t.Fatalf("%s: sharded point %d busiest column = %d events (want <= 1): %v",
+					panel.Title, i, p.MaxInbound, p.Comm)
+			}
+			if ops := p.Comm.Remote() - p.Comm.OnStmts; ops != 0 {
+				t.Fatalf("%s: sharded point %d performed %d non-launch remote events: %v",
+					panel.Title, i, ops, p.Comm)
+			}
+		}
+	}
+	mapPanel := f.Panels[2]
+	local, random := mapPanel.Series[0], mapPanel.Series[1]
+	for i, p := range local.Points {
+		if p.Comm.Remote() != 0 {
+			t.Fatalf("local-bucket gets point %d performed remote events: %v", i, p.Comm)
+		}
+		if p.Comm.LocalAMOs == 0 {
+			t.Fatalf("local-bucket gets point %d did no work: %v", i, p.Comm)
+		}
+	}
+	for i, p := range random.Points {
+		if p.Comm.Remote() == 0 {
+			t.Fatalf("random-bucket gets point %d suspiciously free: %v", i, p.Comm)
+		}
+	}
+}
+
 func TestReportWriters(t *testing.T) {
 	f := Figure7(tinyConfig())
 	var text, csv, commText strings.Builder
@@ -159,6 +220,40 @@ func TestReportWriters(t *testing.T) {
 	}
 	if !strings.Contains(commText.String(), "remote communication ops") {
 		t.Fatal("comm view missing")
+	}
+
+	// Figure 7 captures no matrix: the heatmap record is empty.
+	var matrixCSV strings.Builder
+	if rows := WriteMatrixCSV(&matrixCSV, []Figure{f}); rows != 0 || matrixCSV.Len() != 0 {
+		t.Fatalf("matrix CSV for fig7: %d rows, %q", rows, matrixCSV.String())
+	}
+}
+
+func TestWriteMatrixCSV(t *testing.T) {
+	f := Figure{ID: "A7", Panels: []Panel{{Title: `p, with "quotes"`, Series: []Series{{
+		Label: "s",
+		Points: []Point{
+			{X: 2, Matrix: [][]int64{{0, 3}, {1, 0}}, MaxInbound: 3},
+			{X: 4}, // no matrix: skipped
+		},
+	}}}}}
+	var out strings.Builder
+	rows := WriteMatrixCSV(&out, []Figure{f})
+	if rows != 4 {
+		t.Fatalf("rows = %d, want 4", rows)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 || lines[0] != "figure,panel,series,x,src,dst,events" {
+		t.Fatalf("matrix CSV:\n%s", out.String())
+	}
+	// RFC 4180 quoting: embedded quotes doubled, field quoted.
+	if lines[2] != `A7,"p, with ""quotes""",s,2,0,1,3` {
+		t.Fatalf("cell row = %q", lines[2])
+	}
+	// The record round-trips through a standard CSV reader.
+	recs, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil || len(recs) != 5 || recs[2][1] != `p, with "quotes"` {
+		t.Fatalf("re-parse: %v %v", err, recs)
 	}
 }
 

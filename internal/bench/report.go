@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // WriteText renders a figure as aligned gnuplot-style data blocks: one
@@ -59,6 +61,44 @@ func WriteCSV(w io.Writer, f Figure) {
 			}
 		}
 	}
+}
+
+// WriteMatrixCSV renders the locale-pair heatmap record: one row per
+// (point, src, dst) cell for every point that captured a matrix delta
+// (currently the sharding ablation A7); points without a matrix are
+// skipped. Fields are quoted per RFC 4180 (encoding/csv), so titles
+// containing commas or quotes stay parseable. It returns the number of
+// data rows written so the caller can warn when a -matrix request
+// matched no figure.
+func WriteMatrixCSV(w io.Writer, figures []Figure) int {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	rows := 0
+	for _, f := range figures {
+		for _, p := range f.Panels {
+			for _, s := range p.Series {
+				for _, pt := range s.Points {
+					if pt.Matrix == nil {
+						continue
+					}
+					if rows == 0 {
+						cw.Write([]string{"figure", "panel", "series", "x", "src", "dst", "events"})
+					}
+					for src := range pt.Matrix {
+						for dst, n := range pt.Matrix[src] {
+							cw.Write([]string{
+								f.ID, p.Title, s.Label,
+								strconv.Itoa(pt.X), strconv.Itoa(src), strconv.Itoa(dst),
+								strconv.FormatInt(n, 10),
+							})
+							rows++
+						}
+					}
+				}
+			}
+		}
+	}
+	return rows
 }
 
 // WriteCommText renders the communication-volume view of a figure:

@@ -113,6 +113,19 @@ func (b AggBuffer) Call(fn func(ctx *Ctx)) {
 	b.enqueue(aggCallBytes, fn)
 }
 
+// CallSized is Call for operations that carry a payload: bytes is the
+// modelled wire size of everything fn ships (clamped up to the plain
+// Call size), so a buffered batch of n values charges its real volume
+// in AggBytes/BulkBytes instead of one op's worth. Callers moving
+// value slices (e.g. the sharded structures' bulk routing) must use
+// this, or the counter evidence undercounts by the batch length.
+func (b AggBuffer) CallSized(bytes int64, fn func(ctx *Ctx)) {
+	if bytes < aggCallBytes {
+		bytes = aggCallBytes
+	}
+	b.enqueue(bytes, fn)
+}
+
 // Free buffers the release of addr, which must be owned by the
 // destination locale. The free executes on the owner when the buffer
 // flushes; successful releases are visible through Freed. This is the

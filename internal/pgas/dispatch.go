@@ -129,6 +129,15 @@ func (c *Ctx) ChargePut(owner int) {
 	comm.Delay(c.sys.cfg.Latency.PutGetNS)
 }
 
+// ChargeBulk records and charges one bulk transfer of `bytes` between
+// the calling locale and owner. Like ChargeGet/ChargePut it exists for
+// global-view containers whose payloads move outside the gas heaps
+// (e.g. a sharded structure shipping a drained segment home); owner
+// must differ from the calling locale.
+func (c *Ctx) ChargeBulk(owner int, bytes int64) {
+	c.sys.chargeBulk(c.here.id, owner, bytes)
+}
+
 // chargeBulk records and charges one bulk transfer of `bytes` toward
 // dst (the FreeBulk/AllocBulkOn path; aggregated flushes account for
 // themselves inside comm.Aggregator).

@@ -13,17 +13,30 @@ package pgas
 // Privatized is the copyable handle to a per-locale replicated
 // instance of T. The zero value is invalid; create with NewPrivatized.
 type Privatized[T any] struct {
-	pid int // index into every locale's privTable; -1 when invalid
+	pid int // index into every locale's privTable; 0 via zero value is invalid-by-convention
+	ok  bool
 }
 
 // NewPrivatized replicates an instance across every locale: create is
 // invoked once on each locale (on that locale, as a coforall) and the
 // resulting handle can be copied freely between tasks and locales.
+// The constructor hook receives a Ctx pinned to the locale it builds
+// for, so per-locale state (heaps, words, limbo lists) lands on the
+// right locale.
+//
+// Destroyed ids are recycled, so long-lived systems that churn
+// privatized objects keep every locale's table dense.
 func NewPrivatized[T any](c *Ctx, create func(ctx *Ctx) *T) Privatized[T] {
 	s := c.sys
 	s.privMu.Lock()
-	pid := s.privNext
-	s.privNext++
+	var pid int
+	if n := len(s.privFree); n > 0 {
+		pid = s.privFree[n-1]
+		s.privFree = s.privFree[:n-1]
+	} else {
+		pid = s.privNext
+		s.privNext++
+	}
 	s.privMu.Unlock()
 
 	c.CoforallLocales(func(lc *Ctx) {
@@ -36,12 +49,74 @@ func NewPrivatized[T any](c *Ctx, create func(ctx *Ctx) *T) Privatized[T] {
 		l.privTable[pid] = inst
 		l.privMu.Unlock()
 	})
-	return Privatized[T]{pid: pid}
+	return Privatized[T]{pid: pid, ok: true}
+}
+
+// Valid distinguishes a handle produced by NewPrivatized from the
+// (invalid) zero value. It does not track destruction: handles are
+// values, so no copy can observe that Destroy ran — not using a
+// destroyed handle is the caller's contract (see Destroy).
+func (p Privatized[T]) Valid() bool { return p.ok }
+
+// Destroy tears the replicated object down: finalize (which may be
+// nil) runs once on every locale against that locale's instance — the
+// per-locale destructor hook, mirroring the constructor hook of
+// NewPrivatized — the table slots are cleared so the instances can be
+// collected, and the id returns to the registry's free list for reuse.
+//
+// The caller must guarantee no task will use any copy of the handle
+// after Destroy begins: a Get through a stale handle panics (nil
+// instance) or, worse, observes an unrelated object that recycled the
+// id. This is the same obligation Chapel places on deleting a
+// privatized class instance. Destroy detects the misuses it can —
+// destroying an id whose slot is already empty, or whose id is
+// already on the free list — and panics rather than corrupting the
+// registry; a double-destroy racing a recycle of the same id is
+// fundamentally indistinguishable from a valid destroy and stays on
+// the caller.
+func (p Privatized[T]) Destroy(c *Ctx, finalize func(ctx *Ctx, inst *T)) {
+	if !p.ok {
+		panic("pgas: Destroy of an invalid Privatized handle")
+	}
+	s := c.sys
+	s.privMu.Lock()
+	for _, free := range s.privFree {
+		if free == p.pid {
+			s.privMu.Unlock()
+			panic("pgas: double Destroy of a Privatized handle")
+		}
+	}
+	s.privMu.Unlock()
+	here := c.here
+	here.privMu.RLock()
+	empty := here.privTable[p.pid] == nil
+	here.privMu.RUnlock()
+	if empty {
+		panic("pgas: Destroy of an already-destroyed Privatized handle")
+	}
+	c.CoforallLocales(func(lc *Ctx) {
+		l := lc.here
+		l.privMu.Lock()
+		inst := l.privTable[p.pid]
+		l.privTable[p.pid] = nil
+		l.privMu.Unlock()
+		if finalize != nil && inst != nil {
+			finalize(lc, inst.(*T))
+		}
+	})
+	s.privMu.Lock()
+	s.privFree = append(s.privFree, p.pid)
+	s.privMu.Unlock()
 }
 
 // Get returns the instance that lives on the calling task's locale.
-// It performs no communication.
+// It performs no communication. An invalid (zero-value) handle panics
+// here rather than silently aliasing pid 0 — the first object ever
+// registered.
 func (p Privatized[T]) Get(c *Ctx) *T {
+	if !p.ok {
+		panic("pgas: Get through an invalid (zero-value) Privatized handle")
+	}
 	l := c.here
 	l.privMu.RLock()
 	inst := l.privTable[p.pid]
@@ -54,6 +129,9 @@ func (p Privatized[T]) Get(c *Ctx) *T {
 // simulated communication because in a real system the caller would be
 // running on that locale inside an on-statement.
 func (p Privatized[T]) GetOn(c *Ctx, locale int) *T {
+	if !p.ok {
+		panic("pgas: GetOn through an invalid (zero-value) Privatized handle")
+	}
 	l := c.sys.locales[locale]
 	l.privMu.RLock()
 	inst := l.privTable[p.pid]

@@ -48,6 +48,12 @@ type Config struct {
 	// "none" curves exhibit. Defaults to 2.
 	ProgressWorkers int
 
+	// AMQueueDepth is the capacity of each locale's active-message
+	// queue: how many injected-but-unserviced messages a locale absorbs
+	// before senders block, modelling the NIC's bounded rx queue.
+	// 0 selects the default of 64; negative values are rejected.
+	AMQueueDepth int
+
 	// Agg configures the per-task aggregation buffers (capacity and
 	// flush policy). The zero value selects FlushOnCapacity with
 	// comm.DefaultAggCapacity operations per destination.
@@ -75,6 +81,7 @@ type System struct {
 
 	privMu   sync.Mutex
 	privNext int
+	privFree []int // destroyed privatization ids, recycled by NewPrivatized
 
 	shutdown atomic.Bool
 	workerWG sync.WaitGroup
@@ -109,6 +116,12 @@ func NewSystem(cfg Config) *System {
 	if cfg.ProgressWorkers <= 0 {
 		cfg.ProgressWorkers = 2
 	}
+	if cfg.AMQueueDepth < 0 {
+		panic(fmt.Sprintf("pgas: AMQueueDepth must be >= 0, got %d", cfg.AMQueueDepth))
+	}
+	if cfg.AMQueueDepth == 0 {
+		cfg.AMQueueDepth = 64
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -119,7 +132,7 @@ func NewSystem(cfg Config) *System {
 			id:   i,
 			sys:  s,
 			heap: gas.NewHeap(i),
-			amq:  make(chan amReq, 64),
+			amq:  make(chan amReq, cfg.AMQueueDepth),
 		}
 		s.locales[i] = loc
 		for w := 0; w < cfg.ProgressWorkers; w++ {
@@ -140,7 +153,7 @@ func (l *Locale) progressWorker() {
 	for req := range l.amq {
 		comm.Delay(handlerNS)
 		req.fn()
-		close(req.done)
+		req.done <- struct{}{}
 	}
 }
 
@@ -213,14 +226,24 @@ func (s *System) Run(fn func(ctx *Ctx)) {
 	fn(s.Ctx(0))
 }
 
+// amDonePool recycles the completion channels of amCall: one channel
+// per in-flight active message instead of one allocation per call. The
+// channels are buffered (capacity 1) so the progress worker's signal
+// never blocks and the channel is quiescent again by the time the
+// waiter returns it to the pool.
+var amDonePool = sync.Pool{
+	New: func() any { return make(chan struct{}, 1) },
+}
+
 // amCall ships fn to the target locale's progress workers and waits
 // for it to execute. It is the transport for active-message atomics
 // and remote DCAS; callers are responsible for counting the event.
 func (s *System) amCall(target int, fn func()) {
 	comm.Delay(s.cfg.Latency.AMRoundTripNS)
-	done := make(chan struct{})
+	done := amDonePool.Get().(chan struct{})
 	s.locales[target].amq <- amReq{fn: fn, done: done}
 	<-done
+	amDonePool.Put(done)
 }
 
 func (s *System) newCtx(l *Locale) *Ctx {

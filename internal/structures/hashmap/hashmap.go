@@ -9,9 +9,19 @@
 // array — spreads both storage and contention across the system. All
 // mutation is non-blocking CAS on network-atomic words; all
 // reclamation of removed entries goes through a shared EpochManager.
+//
+// The bucket *table* is privatized: Map is a copyable record-wrapped
+// handle, and every locale holds its own replica of the (immutable)
+// bucket metadata through the pgas privatization registry. Resolving
+// key → bucket is therefore a locale-private indexed load on every
+// locale — zero communication — and an operation's only remote events
+// are the CASes/reads on the bucket's own cells, which live with the
+// bucket's owner. Callers that want those to be local too can route
+// work with HomeOf.
 package hashmap
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"gopgas/internal/core/epoch"
@@ -19,34 +29,68 @@ import (
 	"gopgas/internal/structures/list"
 )
 
-// Map is a distributed lock-free hash map from uint64 keys to V.
-type Map[V any] struct {
+// table is one locale's replica of the bucket metadata. The bucket
+// list handles are immutable after construction, so replicas never
+// need coherence traffic — exactly what makes privatization free.
+type table[V any] struct {
 	buckets []*list.List[V]
-	mask    uint64
-	em      epoch.EpochManager
-	locales int
+}
+
+// Map is a distributed lock-free hash map from uint64 keys to V. It is
+// a small copyable handle (like EpochManager): copy it into tasks and
+// across locales freely. The zero value is invalid; create with New.
+type Map[V any] struct {
+	priv     pgas.Privatized[table[V]]
+	mask     uint64
+	nbuckets int
+	em       epoch.EpochManager
+	locales  int
 }
 
 // New creates a map with the given bucket count (rounded up to a power
-// of two, minimum 1), buckets distributed cyclically across locales.
-func New[V any](c *pgas.Ctx, buckets int, em epoch.EpochManager) *Map[V] {
+// of two), buckets distributed cyclically across locales. buckets must
+// be positive: a non-positive count is always a caller bug (a map with
+// defaulted-to-one bucket silently serializes every key on one list),
+// so it panics rather than rounding up.
+func New[V any](c *pgas.Ctx, buckets int, em epoch.EpochManager) Map[V] {
+	if buckets <= 0 {
+		panic(fmt.Sprintf("hashmap: bucket count must be positive, got %d", buckets))
+	}
 	n := 1
 	for n < buckets {
 		n <<= 1
 	}
 	L := c.NumLocales()
-	m := &Map[V]{buckets: make([]*list.List[V], n), mask: uint64(n - 1), em: em, locales: L}
-	for i := range m.buckets {
-		m.buckets[i] = list.New[V](c, i%L, em)
+	// Build the shared bucket lists once: list i's head word is homed
+	// on locale i%L, so the bucket's mutable state lives with its owner
+	// regardless of which locale's replica resolved it.
+	lists := make([]*list.List[V], n)
+	for i := range lists {
+		lists[i] = list.New[V](c, i%L, em)
 	}
+	m := Map[V]{mask: uint64(n - 1), nbuckets: n, em: em, locales: L}
+	m.priv = pgas.NewPrivatized(c, func(lc *pgas.Ctx) *table[V] {
+		replica := make([]*list.List[V], n)
+		copy(replica, lists)
+		return &table[V]{buckets: replica}
+	})
 	return m
 }
 
 // Manager returns the epoch manager the map reclaims through.
-func (m *Map[V]) Manager() epoch.EpochManager { return m.em }
+func (m Map[V]) Manager() epoch.EpochManager { return m.em }
+
+// Destroy releases the map's privatized table replicas and returns its
+// registry slot for reuse. The map must be quiescent; remaining
+// entries are not reclaimed — remove them first (and let the epoch
+// manager clear) or their nodes leak in the gas heaps. No task may use
+// any copy of the handle afterwards.
+func (m Map[V]) Destroy(c *pgas.Ctx) {
+	m.priv.Destroy(c, nil)
+}
 
 // NumBuckets returns the bucket count.
-func (m *Map[V]) NumBuckets() int { return len(m.buckets) }
+func (m Map[V]) NumBuckets() int { return m.nbuckets }
 
 // hash finalizes the key (splitmix64 mixer) so adjacent keys spread
 // across buckets.
@@ -59,20 +103,27 @@ func hash(k uint64) uint64 {
 	return k
 }
 
-// bucket returns the list for k.
-func (m *Map[V]) bucket(k uint64) *list.List[V] {
-	return m.buckets[hash(k)&m.mask]
+// bucket returns the list for k, resolved through the calling locale's
+// privatized table replica — zero communication.
+func (m Map[V]) bucket(c *pgas.Ctx, k uint64) *list.List[V] {
+	return m.priv.Get(c).buckets[hash(k)&m.mask]
 }
 
-// BucketLocale reports which locale owns k's bucket, for
-// locality-aware callers.
-func (m *Map[V]) BucketLocale(k uint64) int {
+// HomeOf reports which locale owns k's bucket. Callers co-locate work
+// with it (run the mutation in an on-statement or aggregation batch
+// toward HomeOf(k)) to make the bucket CAS locale-local; InsertBulk
+// does exactly this. Zero communication: the routing map is replicated
+// with the table.
+func (m Map[V]) HomeOf(k uint64) int {
 	return int(hash(k)&m.mask) % m.locales
 }
 
+// BucketLocale is HomeOf under its historical name.
+func (m Map[V]) BucketLocale(k uint64) int { return m.HomeOf(k) }
+
 // Insert adds (k, v) if absent, reporting whether it inserted.
-func (m *Map[V]) Insert(c *pgas.Ctx, tok *epoch.Token, k uint64, v V) bool {
-	return m.bucket(k).Insert(c, tok, k, v)
+func (m Map[V]) Insert(c *pgas.Ctx, tok *epoch.Token, k uint64, v V) bool {
+	return m.bucket(c, k).Insert(c, tok, k, v)
 }
 
 // KV is one key/value pair for the bulk-insert path.
@@ -92,13 +143,13 @@ type KV[V any] struct {
 //
 // Duplicate keys within pairs insert first-come-first-served, like
 // concurrent Inserts.
-func (m *Map[V]) InsertBulk(c *pgas.Ctx, pairs []KV[V]) int {
+func (m Map[V]) InsertBulk(c *pgas.Ctx, pairs []KV[V]) int {
 	var inserted atomic.Int64
 	for _, kv := range pairs {
 		kv := kv
-		c.Aggregator(m.BucketLocale(kv.K)).Call(func(tc *pgas.Ctx) {
+		c.Aggregator(m.HomeOf(kv.K)).Call(func(tc *pgas.Ctx) {
 			m.em.Protect(tc, func(tok *epoch.Token) {
-				if m.bucket(kv.K).Insert(tc, tok, kv.K, kv.V) {
+				if m.bucket(tc, kv.K).Insert(tc, tok, kv.K, kv.V) {
 					inserted.Add(1)
 				}
 			})
@@ -110,31 +161,31 @@ func (m *Map[V]) InsertBulk(c *pgas.Ctx, pairs []KV[V]) int {
 
 // Upsert inserts or replaces (k, v), reporting whether it replaced an
 // existing value.
-func (m *Map[V]) Upsert(c *pgas.Ctx, tok *epoch.Token, k uint64, v V) bool {
-	return m.bucket(k).Upsert(c, tok, k, v)
+func (m Map[V]) Upsert(c *pgas.Ctx, tok *epoch.Token, k uint64, v V) bool {
+	return m.bucket(c, k).Upsert(c, tok, k, v)
 }
 
 // Remove deletes k, reporting whether it was present.
-func (m *Map[V]) Remove(c *pgas.Ctx, tok *epoch.Token, k uint64) bool {
-	return m.bucket(k).Remove(c, tok, k)
+func (m Map[V]) Remove(c *pgas.Ctx, tok *epoch.Token, k uint64) bool {
+	return m.bucket(c, k).Remove(c, tok, k)
 }
 
 // Get returns the value for k.
-func (m *Map[V]) Get(c *pgas.Ctx, tok *epoch.Token, k uint64) (V, bool) {
-	return m.bucket(k).Get(c, tok, k)
+func (m Map[V]) Get(c *pgas.Ctx, tok *epoch.Token, k uint64) (V, bool) {
+	return m.bucket(c, k).Get(c, tok, k)
 }
 
 // Contains reports whether k is present.
-func (m *Map[V]) Contains(c *pgas.Ctx, tok *epoch.Token, k uint64) bool {
-	return m.bucket(k).Contains(c, tok, k)
+func (m Map[V]) Contains(c *pgas.Ctx, tok *epoch.Token, k uint64) bool {
+	return m.bucket(c, k).Contains(c, tok, k)
 }
 
 // ForEach visits every live entry under one pin (a weakly consistent
 // snapshot, like iterating Go's sync.Map: entries inserted or removed
 // concurrently may or may not be observed). Iteration order is bucket
 // order then key order. fn returning false stops early.
-func (m *Map[V]) ForEach(c *pgas.Ctx, tok *epoch.Token, fn func(k uint64, v V) bool) {
-	for _, b := range m.buckets {
+func (m Map[V]) ForEach(c *pgas.Ctx, tok *epoch.Token, fn func(k uint64, v V) bool) {
+	for _, b := range m.priv.Get(c).buckets {
 		stop := false
 		for _, k := range b.Keys(c, tok) {
 			if v, ok := b.Get(c, tok, k); ok {
@@ -151,18 +202,20 @@ func (m *Map[V]) ForEach(c *pgas.Ctx, tok *epoch.Token, fn func(k uint64, v V) b
 }
 
 // Len counts entries across all buckets (O(n), diagnostic).
-func (m *Map[V]) Len(c *pgas.Ctx, tok *epoch.Token) int {
+func (m Map[V]) Len(c *pgas.Ctx, tok *epoch.Token) int {
 	n := 0
-	for _, b := range m.buckets {
+	for _, b := range m.priv.Get(c).buckets {
 		n += b.Len(c, tok)
 	}
 	return n
 }
 
-// Stats sums the bucket lists' operation counters.
-func (m *Map[V]) Stats() list.Stats {
+// Stats sums the bucket lists' operation counters. It takes a Ctx
+// because the bucket handles are resolved through the calling locale's
+// privatized replica.
+func (m Map[V]) Stats(c *pgas.Ctx) list.Stats {
 	var s list.Stats
-	for _, b := range m.buckets {
+	for _, b := range m.priv.Get(c).buckets {
 		bs := b.Stats()
 		s.Inserts += bs.Inserts
 		s.Removes += bs.Removes

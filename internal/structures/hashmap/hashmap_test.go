@@ -44,6 +44,9 @@ func TestMapBasicOps(t *testing.T) {
 		if m.Contains(c, tok, 1) {
 			t.Fatal("contains after remove")
 		}
+		tok.Unregister(c)
+		em.Clear(c)
+		m.Destroy(c) // empty and quiescent: releases the table replicas
 	})
 }
 
@@ -54,8 +57,68 @@ func TestMapBucketRounding(t *testing.T) {
 		if got := New[int](c, 12, em).NumBuckets(); got != 16 {
 			t.Fatalf("buckets = %d, want 16", got)
 		}
-		if got := New[int](c, 0, em).NumBuckets(); got != 1 {
+		if got := New[int](c, 1, em).NumBuckets(); got != 1 {
 			t.Fatalf("buckets = %d, want 1", got)
+		}
+	})
+}
+
+// A non-positive bucket count is a caller bug, not a request for a
+// one-bucket map: New rejects it.
+func TestMapRejectsNonPositiveBuckets(t *testing.T) {
+	s := newTestSystem(t, 1, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		for _, n := range []int{0, -4} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("New with %d buckets did not panic", n)
+					}
+				}()
+				New[int](c, n, em)
+			}()
+		}
+	})
+}
+
+// HomeOf is the routing map: it matches where bucket CASes actually
+// land, and local-bucket lookups perform zero remote communication.
+func TestMapHomeOfColocation(t *testing.T) {
+	s := newTestSystem(t, 4, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		m := New[int](c, 64, em)
+		tok := em.Register(c)
+		defer tok.Unregister(c)
+		for k := uint64(0); k < 128; k++ {
+			m.Insert(c, tok, k, int(k))
+		}
+		// From each locale, Gets on keys it owns must not communicate.
+		// Sequential (one locale at a time) so the counter windows are
+		// exact.
+		for l := 0; l < 4; l++ {
+			lc := s.Ctx(l)
+			ltok := em.Register(lc)
+			before := s.Counters().Snapshot()
+			hits := 0
+			for k := uint64(0); k < 128; k++ {
+				if m.HomeOf(k) != l {
+					continue
+				}
+				if v, ok := m.Get(lc, ltok, k); !ok || v != int(k) {
+					t.Errorf("local get %d = (%d,%v)", k, v, ok)
+				}
+				hits++
+			}
+			delta := s.Counters().Snapshot().Sub(before)
+			ltok.Unregister(lc)
+			if hits == 0 {
+				t.Errorf("locale %d owns no keys", l)
+			}
+			if delta.Remote() != 0 {
+				t.Errorf("locale %d local-bucket gets performed remote events: %v", l, delta)
+			}
 		}
 	})
 }

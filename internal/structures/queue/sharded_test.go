@@ -1,0 +1,162 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+func TestShardedLocalOpsAreZeroComm(t *testing.T) {
+	s := newTestSystem(t, 4, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		q := NewSharded[int](c, em)
+		before := s.Counters().Snapshot()
+		c.CoforallLocales(func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				for i := 0; i < 50; i++ {
+					q.Enqueue(lc, tok, lc.Here()*1000+i)
+				}
+				for i := 0; i < 50; i++ {
+					v, ok := q.Dequeue(lc, tok)
+					if !ok || v != lc.Here()*1000+i {
+						t.Errorf("locale %d dequeue %d = (%d,%v)", lc.Here(), i, v, ok)
+					}
+				}
+			})
+		})
+		delta := s.Counters().Snapshot().Sub(before)
+		// Only the coforall launch crosses locales; every enqueue and
+		// dequeue is segment-local.
+		if got := delta.Remote() - delta.OnStmts; got != 0 {
+			t.Fatalf("local sharded ops performed %d remote events: %v", got, delta)
+		}
+	})
+}
+
+func TestShardedFIFOPerSegment(t *testing.T) {
+	s := newTestSystem(t, 2, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		q := NewSharded[int](c, em)
+		tok := em.Register(c)
+		defer tok.Unregister(c)
+		q.EnqueueBulk(c, tok, []int{1, 2, 3})
+		for want := 1; want <= 3; want++ {
+			if v, ok := q.Dequeue(c, tok); !ok || v != want {
+				t.Fatalf("dequeue = (%d,%v), want %d", v, ok, want)
+			}
+		}
+		if _, ok := q.Dequeue(c, tok); ok {
+			t.Fatal("dequeue from empty local segment succeeded")
+		}
+	})
+}
+
+func TestShardedStealAndDrain(t *testing.T) {
+	s := newTestSystem(t, 4, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		q := NewSharded[int](c, em)
+		// Fill only locale 2's segment, from locale 2.
+		c.On(2, func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				q.EnqueueBulk(lc, tok, []int{10, 20, 30})
+			})
+		})
+		if n := q.Len(c); n != 3 {
+			t.Fatalf("Len = %d, want 3", n)
+		}
+		// A task on locale 0 finds its segment empty and steals.
+		tok := em.Register(c)
+		v, from, ok := q.TryDequeueAny(c, tok)
+		if !ok || from != 2 || v != 10 {
+			t.Fatalf("steal = (%d, from=%d, %v), want (10, 2, true)", v, from, ok)
+		}
+		tok.Unregister(c)
+		// Drain collects the rest, grouped by segment, order preserved.
+		batches := q.Drain(c)
+		if len(batches) != 4 {
+			t.Fatalf("drain groups = %d", len(batches))
+		}
+		if got := batches[2]; len(got) != 2 || got[0] != 20 || got[1] != 30 {
+			t.Fatalf("drained segment 2 = %v", got)
+		}
+		if q.Len(c) != 0 {
+			t.Fatal("queue not empty after drain")
+		}
+		st := q.Stats(c)
+		if st.Enqueues != 3 || st.Dequeues != 3 {
+			t.Fatalf("stats = %+v", st)
+		}
+		q.Destroy(c) // drained and quiescent: releases the registry slots
+	})
+}
+
+func TestShardedEnqueueBulkOn(t *testing.T) {
+	s := newTestSystem(t, 4, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		q := NewSharded[int](c, em)
+		before := s.Counters().Snapshot()
+		q.EnqueueBulkOn(c, 3, []int{7, 8, 9})
+		c.Flush()
+		delta := s.Counters().Snapshot().Sub(before)
+		if delta.AggFlushes != 1 {
+			t.Fatalf("routed batch used %d flushes, want 1 (%v)", delta.AggFlushes, delta)
+		}
+		// The batch charges its real payload volume, not one op's worth.
+		if want := int64(3 * 16); delta.AggBytes != want {
+			t.Fatalf("routed batch charged %d agg bytes, want %d (%v)", delta.AggBytes, want, delta)
+		}
+		c.On(3, func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				for want := 7; want <= 9; want++ {
+					if v, ok := q.Dequeue(lc, tok); !ok || v != want {
+						t.Errorf("owner dequeue = (%d,%v), want %d", v, ok, want)
+					}
+				}
+			})
+		})
+	})
+}
+
+func TestShardedConcurrentChurn(t *testing.T) {
+	s := newTestSystem(t, 4, comm.BackendNone)
+	em := epoch.NewEpochManager(s.Ctx(0))
+	q := NewSharded[int](s.Ctx(0), em)
+	const perTask = 300
+	var wg sync.WaitGroup
+	for l := 0; l < 4; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			c := s.Ctx(l)
+			tok := em.Register(c)
+			defer tok.Unregister(c)
+			for i := 0; i < perTask; i++ {
+				q.Enqueue(c, tok, i)
+				if i%3 == 0 {
+					q.TryDequeueAny(c, tok)
+				}
+				if i%64 == 0 {
+					tok.TryReclaim(c)
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	c := s.Ctx(0)
+	st := q.Stats(c)
+	if got := q.Len(c); int64(got) != st.Enqueues-st.Dequeues {
+		t.Fatalf("Len=%d but stats say %d", got, st.Enqueues-st.Dequeues)
+	}
+	q.Drain(c)
+	em.Clear(c)
+	if uaf := s.HeapStats().UAFLoads; uaf != 0 {
+		t.Fatalf("%d use-after-free loads", uaf)
+	}
+}

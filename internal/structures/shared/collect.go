@@ -1,0 +1,90 @@
+package shared
+
+import (
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+// Owner-sharded collection plumbing: the global views every sharded
+// container (queue, stack, anything with a per-locale segment holding
+// removable values) needs — work stealing, drain, approximate size —
+// written once against a per-shard pop function instead of once per
+// structure.
+
+// PopFunc removes one value from a shard, on the shard's locale, under
+// a locale-local token; ok is false when the shard appeared empty.
+type PopFunc[S, T any] func(lc *pgas.Ctx, tok *epoch.Token, s *S) (T, bool)
+
+// ValueBytes is the modelled wire size of one collected value — the
+// aggregation layer's per-op payload convention, used by Drain's bulk
+// accounting.
+const ValueBytes = 16
+
+// TryTakeAny pops from the calling locale's shard if it has work, and
+// otherwise steals: it visits the other shards (next locale first,
+// wrapping) with one synchronous on-statement each, popping on the
+// victim's locale under a victim-local token. It returns the shard the
+// value came from; ok is false only when every shard appeared empty.
+// tok is the caller's token, used only for the local attempt.
+func TryTakeAny[S, T any](c *pgas.Ctx, o Object[S], tok *epoch.Token, pop PopFunc[S, T]) (v T, from int, ok bool) {
+	if val, got := pop(c, tok, o.Local(c)); got {
+		return val, c.Here(), true
+	}
+	L := c.NumLocales()
+	for i := 1; i < L; i++ {
+		victim := (c.Here() + i) % L
+		o.OnOwner(c, victim, func(lc *pgas.Ctx, s *S) {
+			o.Protect(lc, func(vtok *epoch.Token) {
+				v, ok = pop(lc, vtok, s)
+			})
+		})
+		if ok {
+			return v, victim, true
+		}
+	}
+	return v, -1, false
+}
+
+// Drain empties every shard and returns the remaining values grouped
+// by owning shard (index = locale id; per-shard removal order is
+// preserved). Each shard drains on its own locale under a local token;
+// each non-empty remote batch then ships home as one bulk transfer of
+// ValueBytes per value. Drain runs concurrently with other operations
+// but only guarantees emptiness of what it observed, like any
+// lock-free traversal.
+func Drain[S, T any](c *pgas.Ctx, o Object[S], pop PopFunc[S, T]) [][]T {
+	batches := make([][]T, c.NumLocales())
+	o.ForEachShard(c, func(lc *pgas.Ctx, s *S) {
+		o.Protect(lc, func(tok *epoch.Token) {
+			var vals []T
+			for {
+				v, ok := pop(lc, tok, s)
+				if !ok {
+					break
+				}
+				vals = append(vals, v)
+			}
+			batches[lc.Here()] = vals
+		})
+	})
+	for owner, batch := range batches {
+		if owner != c.Here() && len(batch) > 0 {
+			c.ChargeBulk(owner, int64(len(batch))*ValueBytes)
+		}
+	}
+	return batches
+}
+
+// ApproxSum totals a per-shard statistic (typically adds-minus-removes
+// for an approximate size) with one small remote read per remote shard
+// and no traversal. Exact when the structure is quiescent.
+func ApproxSum[S any](c *pgas.Ctx, o Object[S], read func(s *S) int64) int64 {
+	var n int64
+	for l := 0; l < c.NumLocales(); l++ {
+		if l != c.Here() {
+			c.ChargeGet(l)
+		}
+		n += read(o.Shard(c, l))
+	}
+	return n
+}

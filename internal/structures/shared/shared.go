@@ -1,0 +1,157 @@
+// Package shared is the distributed-object framework the structure
+// layer is built on: the boilerplate every privatized, owner-sharded
+// structure used to repeat — a shared EpochManager, token plumbing,
+// per-locale instance resolution, owner-computed routing — extracted
+// into one place.
+//
+// An Object[S] replicates one shard of type S per locale through the
+// pgas privatization registry. The handle is a small value: copy it
+// freely into tasks and across locales; resolving the calling task's
+// shard (Local) is a plain indexed load into locale-private memory —
+// zero communication, the paper's privatization device. Everything
+// that *does* communicate goes through the owner-computed routing
+// helpers, which are thin veneers over the pgas dispatch and
+// aggregation layers, so the comm counters see every event exactly
+// once:
+//
+//	Local(c)            the calling locale's shard, free
+//	Shard(c, i)         a peer's shard by id, free (diagnostic peek)
+//	OnOwner(c, i, fn)   synchronous on-statement to shard i's locale
+//	AsyncOnOwner        fire-and-forget on-statement (quiesce-tracked)
+//	AggOnOwner          buffered op toward shard i (one flush per batch)
+//	ForEachShard        coforall over every shard, on its locale
+//	Gather / Sum        owner-computed reduction over all shards
+//
+// The framework deliberately knows nothing about what a shard *is*:
+// queue segments, stack segments and hashmap bucket tables all sit on
+// the same ten lines of plumbing.
+package shared
+
+import (
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+// Object is the copyable handle to a distributed object with one shard
+// of type S per locale. The zero value is invalid; create with New.
+type Object[S any] struct {
+	priv pgas.Privatized[S]
+	em   epoch.EpochManager
+}
+
+// New replicates the object: create runs once per locale, on that
+// locale, and builds the shard that locale owns (the per-locale
+// constructor hook — allocate the shard's cells with lc so they land
+// on the owning locale's heap). em is the shared reclamation manager
+// every shard defers deletions through; Protect and Manager expose it
+// so callers never plumb it separately.
+func New[S any](c *pgas.Ctx, em epoch.EpochManager, create func(lc *pgas.Ctx, shard int) *S) Object[S] {
+	return Object[S]{
+		em: em,
+		priv: pgas.NewPrivatized(c, func(lc *pgas.Ctx) *S {
+			return create(lc, lc.Here())
+		}),
+	}
+}
+
+// Valid reports whether the handle was produced by New.
+func (o Object[S]) Valid() bool { return o.priv.Valid() }
+
+// Manager returns the shared epoch manager.
+func (o Object[S]) Manager() epoch.EpochManager { return o.em }
+
+// Protect runs fn with a registered, pinned token on the calling
+// task's locale — the token plumbing every structure operation needs,
+// delegated to the shared manager.
+func (o Object[S]) Protect(c *pgas.Ctx, fn func(tok *epoch.Token)) {
+	o.em.Protect(c, fn)
+}
+
+// Local returns the calling task's shard. Zero communication.
+func (o Object[S]) Local(c *pgas.Ctx) *S {
+	return o.priv.Get(c)
+}
+
+// Shard returns shard `owner` without shipping execution there — a
+// diagnostic peek (tests, stats), like Privatized.GetOn. Code that
+// mutates a peer's shard must route through OnOwner/AggOnOwner so the
+// work, and its communication, happen on the owner.
+func (o Object[S]) Shard(c *pgas.Ctx, owner int) *S {
+	return o.priv.GetOn(c, owner)
+}
+
+// OnOwner runs fn against shard `owner` on its locale and waits — a
+// synchronous owner-computed on-statement (elided when owner is the
+// calling locale). fn receives a Ctx pinned to the owner.
+func (o Object[S]) OnOwner(c *pgas.Ctx, owner int, fn func(lc *pgas.Ctx, s *S)) {
+	c.On(owner, func(lc *pgas.Ctx) {
+		fn(lc, o.priv.Get(lc))
+	})
+}
+
+// AsyncOnOwner launches fn against shard `owner` on its locale without
+// waiting; completion is tracked by system quiescence (Ctx.Flush).
+func (o Object[S]) AsyncOnOwner(c *pgas.Ctx, owner int, fn func(lc *pgas.Ctx, s *S)) {
+	c.AsyncOn(owner, func(lc *pgas.Ctx) {
+		fn(lc, o.priv.Get(lc))
+	})
+}
+
+// AggOnOwner buffers fn into the calling task's aggregation buffer for
+// shard `owner`'s locale: the op executes there when the buffer
+// flushes (at capacity, or at Ctx.Flush), riding one bulk transfer per
+// batch instead of one round trip per op. Local destinations run
+// inline, so callers aggregate uniformly.
+func (o Object[S]) AggOnOwner(c *pgas.Ctx, owner int, fn func(lc *pgas.Ctx, s *S)) {
+	c.Aggregator(owner).Call(func(lc *pgas.Ctx) {
+		fn(lc, o.priv.Get(lc))
+	})
+}
+
+// AggOnOwnerSized is AggOnOwner for ops that carry a payload: bytes is
+// the modelled wire size of what fn ships (a batch of n values is
+// n*ValueBytes), charged to the aggregated-volume counters so the
+// communication evidence reflects real data movement.
+func (o Object[S]) AggOnOwnerSized(c *pgas.Ctx, owner int, bytes int64, fn func(lc *pgas.Ctx, s *S)) {
+	c.Aggregator(owner).CallSized(bytes, func(lc *pgas.Ctx) {
+		fn(lc, o.priv.Get(lc))
+	})
+}
+
+// ForEachShard runs fn once per shard, on the shard's locale, in
+// parallel (a coforall over locales: one on-statement per remote
+// locale). It returns when every shard has been visited.
+func (o Object[S]) ForEachShard(c *pgas.Ctx, fn func(lc *pgas.Ctx, s *S)) {
+	c.CoforallLocales(func(lc *pgas.Ctx) {
+		fn(lc, o.priv.Get(lc))
+	})
+}
+
+// Destroy tears the object down: finalize (may be nil) runs once per
+// shard on its locale, then the privatized slots are released for
+// reuse. No task may use any copy of the handle afterwards.
+func (o Object[S]) Destroy(c *pgas.Ctx, finalize func(lc *pgas.Ctx, s *S)) {
+	o.priv.Destroy(c, finalize)
+}
+
+// Gather computes f over every shard, on the shard's locale, and
+// returns the results indexed by shard id — the owner-computed
+// reduction global views (Stats, approximate Len) are built from.
+// Cost: one on-statement per remote locale.
+func Gather[S, R any](c *pgas.Ctx, o Object[S], f func(lc *pgas.Ctx, s *S) R) []R {
+	out := make([]R, c.NumLocales())
+	o.ForEachShard(c, func(lc *pgas.Ctx, s *S) {
+		out[lc.Here()] = f(lc, s)
+	})
+	return out
+}
+
+// Sum is Gather for int64 totals: the common case of summing
+// per-shard operation counters into a structure-wide statistic.
+func Sum[S any](c *pgas.Ctx, o Object[S], f func(s *S) int64) int64 {
+	var total int64
+	for _, v := range Gather(c, o, func(_ *pgas.Ctx, s *S) int64 { return f(s) }) {
+		total += v
+	}
+	return total
+}

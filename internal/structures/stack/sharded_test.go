@@ -1,0 +1,110 @@
+package stack
+
+import (
+	"sync"
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+func TestShardedLocalOpsAreZeroComm(t *testing.T) {
+	s := newTestSystem(t, 4, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		st := NewSharded[int](c, em)
+		before := s.Counters().Snapshot()
+		c.CoforallLocales(func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				for i := 0; i < 50; i++ {
+					st.Push(lc, tok, i)
+				}
+				for i := 49; i >= 0; i-- {
+					v, ok := st.Pop(lc, tok)
+					if !ok || v != i {
+						t.Errorf("locale %d pop = (%d,%v), want %d", lc.Here(), v, ok, i)
+					}
+				}
+			})
+		})
+		delta := s.Counters().Snapshot().Sub(before)
+		if got := delta.Remote() - delta.OnStmts; got != 0 {
+			t.Fatalf("local sharded ops performed %d remote events: %v", got, delta)
+		}
+	})
+}
+
+func TestShardedStealDrainAndBulkOn(t *testing.T) {
+	s := newTestSystem(t, 3, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		st := NewSharded[int](c, em)
+		// Route a batch to locale 1's segment through the aggregator.
+		st.PushBulkOn(c, 1, []int{1, 2, 3})
+		c.Flush()
+		if n := st.Len(c); n != 3 {
+			t.Fatalf("Len = %d, want 3", n)
+		}
+		// Locale 0's segment is empty: TryPopAny steals from 1 (LIFO:
+		// the last pushed value comes first).
+		tok := em.Register(c)
+		v, from, ok := st.TryPopAny(c, tok)
+		if !ok || from != 1 || v != 3 {
+			t.Fatalf("steal = (%d, from=%d, %v), want (3, 1, true)", v, from, ok)
+		}
+		if _, _, ok := st.TryPopAny(c, tok); !ok {
+			t.Fatal("second steal failed with work remaining")
+		}
+		tok.Unregister(c)
+		batches := st.Drain(c)
+		if got := batches[1]; len(got) != 1 || got[0] != 1 {
+			t.Fatalf("drained segment 1 = %v", got)
+		}
+		if st.Len(c) != 0 {
+			t.Fatal("stack not empty after drain")
+		}
+		stats := st.Stats(c)
+		if stats.Pushes != 3 || stats.Pops != 3 {
+			t.Fatalf("stats = %+v", stats)
+		}
+		st.Destroy(c) // drained and quiescent: releases the registry slots
+	})
+}
+
+func TestShardedConcurrentChurn(t *testing.T) {
+	s := newTestSystem(t, 4, comm.BackendNone)
+	em := epoch.NewEpochManager(s.Ctx(0))
+	st := NewSharded[int](s.Ctx(0), em)
+	const perTask = 300
+	var wg sync.WaitGroup
+	for l := 0; l < 4; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			c := s.Ctx(l)
+			tok := em.Register(c)
+			defer tok.Unregister(c)
+			for i := 0; i < perTask; i++ {
+				st.Push(c, tok, i)
+				if i%3 == 0 {
+					st.TryPopAny(c, tok)
+				}
+				if i%64 == 0 {
+					tok.TryReclaim(c)
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	c := s.Ctx(0)
+	stats := st.Stats(c)
+	if got := st.Len(c); int64(got) != stats.Pushes-stats.Pops {
+		t.Fatalf("Len=%d but stats say %d", got, stats.Pushes-stats.Pops)
+	}
+	st.Drain(c)
+	em.Clear(c)
+	if uaf := s.HeapStats().UAFLoads; uaf != 0 {
+		t.Fatalf("%d use-after-free loads", uaf)
+	}
+}
