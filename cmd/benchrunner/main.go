@@ -53,6 +53,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchrunner: -scale must be > 0, got %v\n", *scale)
 		os.Exit(2)
 	}
+	for _, check := range []struct {
+		flag string
+		val  int
+	}{
+		{"-tasks", *tasks},
+		{"-maxlocales", *maxLocales},
+		{"-maxtasks", *maxTasks},
+	} {
+		if check.val <= 0 {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s must be > 0, got %d\n", check.flag, check.val)
+			fmt.Fprintf(os.Stderr, "usage: benchrunner [-figure 3|4|5|6|7|ablations|all] [-scale F] [-tasks N] [-maxlocales N] [-maxtasks N] [-csv FILE] [-matrix FILE] [-comm] [-quiet]\n")
+			os.Exit(2)
+		}
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale

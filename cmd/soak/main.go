@@ -1,172 +1,111 @@
-// Command soak stress-tests every structure in the library at once on
-// one simulated system: Treiber stack, Michael–Scott queue, Harris
-// list, hash map and RCU array all churn concurrently, sharing a
-// single EpochManager, while an invariant checker watches for
-// use-after-free, double free, counter drift, and leaks.
+// Command soak is the long-running confidence run, rebuilt on the
+// workload scenario engine: every structure in turn is churned under a
+// time-based mixed-op scenario — Zipfian keys, work stealing and bulk
+// routing where supported, in-phase epoch reclamation, and
+// destroy/recreate churn rounds — while the gas heaps watch for
+// use-after-free and double free. A clean exit is the assertion a
+// downstream adopter wants before deploying:
 //
-// This is the long-running confidence run a downstream adopter would
-// want before deploying: `go run ./cmd/soak -seconds 30 -locales 8`.
+//	go run ./cmd/soak -seconds 30 -locales 8
+//
+// -structure limits the soak to one target; -slow-factor adds the
+// slow-locale fault plan on top. Exit status 1 means an invariant was
+// violated.
+//
+// The engine covers the four scenario targets (hashmap, sharded
+// queue/stack, skiplist); rcuarray and the bare Harris list keep
+// their dedicated stress coverage in their packages' property and
+// destroy/churn tests.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sync"
-	"sync/atomic"
-	"time"
 
-	"gopgas/internal/comm"
-	"gopgas/internal/core/epoch"
-	"gopgas/internal/pgas"
-	"gopgas/internal/structures/hashmap"
-	"gopgas/internal/structures/list"
-	"gopgas/internal/structures/queue"
-	"gopgas/internal/structures/rcuarray"
-	"gopgas/internal/structures/skiplist"
-	"gopgas/internal/structures/stack"
+	"gopgas/internal/workload"
 )
 
 func main() {
-	locales := flag.Int("locales", 8, "number of simulated locales")
-	seconds := flag.Float64("seconds", 10, "soak duration")
-	tasks := flag.Int("tasks", 2, "worker tasks per locale")
-	backendName := flag.String("backend", "ugni", "network-atomic backend: ugni or none")
-	seed := flag.Uint64("seed", 1, "workload seed")
+	var (
+		locales   = flag.Int("locales", 8, "number of simulated locales")
+		seconds   = flag.Float64("seconds", 10, "soak duration (split across structures)")
+		tasks     = flag.Int("tasks", 2, "worker tasks per locale")
+		backend   = flag.String("backend", "ugni", "network-atomic backend: ugni or none")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		structure = flag.String("structure", "", "soak only this structure (default: all)")
+		slowFac   = flag.Float64("slow-factor", 0, "also inject a slow locale 0 by this factor (0 = off)")
+	)
 	flag.Parse()
 
-	backend, err := comm.ParseBackend(*backendName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	targets := workload.Structures()
+	if *structure != "" {
+		targets = []workload.Structure{workload.Structure(*structure)}
 	}
-
-	sys := pgas.NewSystem(pgas.Config{
-		Locales: *locales,
-		Backend: backend,
-		Latency: comm.DefaultProfile(),
-		Seed:    *seed,
-	})
-	defer sys.Shutdown()
-	c0 := sys.Ctx(0)
-
-	em := epoch.NewEpochManager(c0)
-	st := stack.New[int](c0, 0, em)
-	q := queue.New[int](c0, 1%*locales, em)
-	l := list.New[int](c0, 2%*locales, em)
-	m := hashmap.New[int](c0, 64, em)
-	arr := rcuarray.New[int](c0, 3%*locales, 16, em)
-	sl := skiplist.New[int](c0, 4%*locales, em)
-	boot := em.Register(c0)
-	arr.Resize(c0, boot, 256)
-	boot.Unregister(c0)
-
-	fmt.Printf("soak: %d locales × %d tasks, backend=%v, %.0fs\n", *locales, *tasks, backend, *seconds)
-	deadline := time.Now().Add(time.Duration(*seconds * float64(time.Second)))
-	var ops atomic.Int64
-	var stackBalance, queueBalance atomic.Int64
-	var wg sync.WaitGroup
-	for loc := 0; loc < *locales; loc++ {
-		for t := 0; t < *tasks; t++ {
-			wg.Add(1)
-			go func(loc int) {
-				defer wg.Done()
-				c := sys.Ctx(loc)
-				tok := em.Register(c)
-				defer tok.Unregister(c)
-				for time.Now().Before(deadline) {
-					for burst := 0; burst < 64; burst++ {
-						k := c.RandUint64() % 512
-						switch c.RandIntn(15) {
-						case 0:
-							st.Push(c, tok, int(k))
-							stackBalance.Add(1)
-						case 1:
-							if _, ok := st.Pop(c, tok); ok {
-								stackBalance.Add(-1)
-							}
-						case 2:
-							q.Enqueue(c, tok, int(k))
-							queueBalance.Add(1)
-						case 3:
-							if _, ok := q.Dequeue(c, tok); ok {
-								queueBalance.Add(-1)
-							}
-						case 4:
-							l.Insert(c, tok, k%128, int(k))
-						case 5:
-							l.Remove(c, tok, k%128)
-						case 6:
-							l.Contains(c, tok, k%128)
-						case 7:
-							m.Upsert(c, tok, k, int(k))
-						case 8:
-							m.Remove(c, tok, k)
-						case 9:
-							m.Get(c, tok, k)
-						case 10:
-							arr.Read(c, tok, int(k%256))
-						case 11:
-							arr.Write(c, tok, int(k%256), int(k))
-						case 12:
-							sl.Insert(c, tok, k%192, int(k))
-						case 13:
-							sl.Remove(c, tok, k%192)
-						default:
-							sl.Contains(c, tok, k%192)
-						}
-						ops.Add(1)
-					}
-					if c.RandIntn(16) == 0 {
-						tok.TryReclaim(c)
-					}
-				}
-			}(loc)
-		}
-	}
-	wg.Wait()
-	em.Clear(c0)
-
-	heap := sys.HeapStats()
-	mgr := em.Stats(c0)
-	fmt.Printf("ops:   %d (%.0f ops/s)\n", ops.Load(), float64(ops.Load())/(*seconds))
-	fmt.Printf("epoch: deferred=%d reclaimed=%d advances=%d backoffs=%d/%d blocked=%d\n",
-		mgr.Deferred, mgr.Reclaimed, mgr.Advances, mgr.LocalBackoff, mgr.GlobalBackoff, mgr.AdvanceFail)
-	fmt.Printf("heap:  %v\n", heap)
-	fmt.Printf("comm:  %v\n", sys.Counters().Snapshot())
+	perStructure := *seconds / float64(len(targets))
 
 	failures := 0
-	check := func(name string, ok bool, detail string) {
-		if ok {
-			fmt.Printf("PASS  %s\n", name)
+	var totalOps int64
+	for _, s := range targets {
+		spec := soakSpec(s, *locales, *tasks, *backend, *seed, perStructure, *slowFac)
+		rep, err := workload.Run(spec, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soak:", err)
+			os.Exit(2)
+		}
+		rep.WriteSummary(os.Stdout)
+		totalOps += rep.TotalOps
+		if rep.Heap.Safe() {
+			fmt.Printf("PASS  %s: no use-after-free, no double free\n", s)
 		} else {
-			fmt.Printf("FAIL  %s: %s\n", name, detail)
+			fmt.Printf("FAIL  %s: %d poisoned loads, %d double frees\n", s, rep.Heap.UAFLoads, rep.Heap.UAFFrees)
+			failures++
+		}
+		if rep.Epoch.Balanced() {
+			fmt.Printf("PASS  %s: all deferred reclaimed (%d)\n", s, rep.Epoch.Deferred)
+		} else {
+			fmt.Printf("FAIL  %s: reclaimed %d of %d deferred\n", s, rep.Epoch.Reclaimed, rep.Epoch.Deferred)
 			failures++
 		}
 	}
-	check("no use-after-free", heap.UAFLoads == 0, fmt.Sprintf("%d poisoned loads", heap.UAFLoads))
-	check("no double free", heap.UAFFrees == 0, fmt.Sprintf("%d double frees", heap.UAFFrees))
-	check("all deferred reclaimed", mgr.Reclaimed == mgr.Deferred,
-		fmt.Sprintf("reclaimed %d of %d", mgr.Reclaimed, mgr.Deferred))
-	tok := em.Register(c0)
-	check("stack balance", int64(st.Len(c0, tok)) == stackBalance.Load(),
-		fmt.Sprintf("len %d vs balance %d", st.Len(c0, tok), stackBalance.Load()))
-	check("queue balance", int64(q.Len(c0, tok)) == queueBalance.Load(),
-		fmt.Sprintf("len %d vs balance %d", q.Len(c0, tok), queueBalance.Load()))
-	check("array intact", arr.Len(c0, tok) == 256, "length drifted")
-	slN := sl.Len(c0, tok)
-	slCount := 0
-	for k := uint64(0); k < 192; k++ {
-		if sl.Contains(c0, tok, k) {
-			slCount++
-		}
-	}
-	check("skiplist consistent", slN == slCount,
-		fmt.Sprintf("Len=%d vs Contains sweep=%d", slN, slCount))
-	tok.Unregister(c0)
+	fmt.Printf("soak total: %d ops across %d structures\n", totalOps, len(targets))
 	if failures > 0 {
 		fmt.Printf("%d invariant(s) violated\n", failures)
 		os.Exit(1)
 	}
 	fmt.Println("all invariants held")
+}
+
+// soakSpec builds the churn scenario for one structure: half the time
+// in a steady mixed-op phase, half across destroy/recreate churn
+// rounds, both with in-phase reclamation.
+func soakSpec(s workload.Structure, locales, tasks int, backend string, seed uint64, seconds, slowFac float64) workload.Spec {
+	var mix workload.Mix
+	switch s {
+	case workload.StructureQueue, workload.StructureStack:
+		mix = workload.Mix{Enqueue: 5, Remove: 4, Steal: 1, Bulk: 0.05}
+	case workload.StructureHashmap:
+		mix = workload.Mix{Insert: 3, Get: 4, Remove: 2, Bulk: 0.05}
+	default: // skiplist
+		mix = workload.Mix{Insert: 3, Get: 4, Remove: 2}
+	}
+	var faults workload.Faults
+	if slowFac > 0 {
+		faults = workload.Faults{SlowFactor: slowFac, SlowLocale: 0}
+	}
+	return workload.Spec{
+		Name:           "soak-" + string(s),
+		Structure:      s,
+		Locales:        locales,
+		TasksPerLocale: tasks,
+		Backend:        backend,
+		Seed:           seed,
+		Keyspace:       1 << 12,
+		Dist:           workload.KeyDist{Kind: workload.DistZipfian, Theta: 0.99},
+		Faults:         faults,
+		Phases: []workload.Phase{
+			{Name: "steady", Mix: mix, Seconds: seconds / 2, ReclaimEvery: 256},
+			{Name: "churn", Mix: mix, Seconds: seconds / 8, Rounds: 4, Churn: true, ReclaimEvery: 256},
+		},
+	}
 }

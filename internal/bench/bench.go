@@ -169,12 +169,15 @@ func timed(sys *pgas.System, fn func()) (float64, comm.Snapshot) {
 func timedMatrix(sys *pgas.System, fn func()) (float64, comm.Snapshot, [][]int64, int64) {
 	beforeM := sys.Matrix().Snapshot()
 	secs, snap := timed(sys, fn)
-	delta := subMatrix(sys.Matrix().Snapshot(), beforeM)
-	return secs, snap, delta, maxColTotal(delta)
+	delta := SubMatrix(sys.Matrix().Snapshot(), beforeM)
+	return secs, snap, delta, MaxInboundOf(delta)
 }
 
-// subMatrix returns the element-wise difference a - b.
-func subMatrix(a, b [][]int64) [][]int64 {
+// SubMatrix returns the element-wise difference a - b of two comm
+// matrix snapshots — the per-pair delta of a timed or measured region.
+// Exported for the workload engine, which captures the same evidence
+// per phase.
+func SubMatrix(a, b [][]int64) [][]int64 {
 	out := make([][]int64, len(a))
 	for i := range a {
 		out[i] = make([]int64, len(a[i]))
@@ -185,8 +188,10 @@ func subMatrix(a, b [][]int64) [][]int64 {
 	return out
 }
 
-// maxColTotal returns the largest inbound (column) total of m.
-func maxColTotal(m [][]int64) int64 {
+// MaxInboundOf returns the largest inbound (column) total of m: the
+// hotspot metric — how much of the system's traffic lands on the
+// busiest single locale.
+func MaxInboundOf(m [][]int64) int64 {
 	var best int64
 	for j := range m {
 		var col int64

@@ -65,6 +65,7 @@ type Aggregator struct {
 	counters *Counters
 	matrix   *Matrix
 	lat      LatencyProfile
+	perturb  Perturbation
 	deliver  func(dst int, batch []Op)
 	bufs     [][]Op
 	bytes    []int64
@@ -92,6 +93,12 @@ func NewAggregator(src, nDest int, cfg AggConfig, counters *Counters, matrix *Ma
 
 // Capacity returns the effective per-destination capacity.
 func (a *Aggregator) Capacity() int { return a.cfg.Capacity }
+
+// SetPerturbation installs a per-locale latency fault plan: every
+// flush's bulk cost is scaled by the slower of (src, dst), mirroring
+// how the dispatch layer perturbs unaggregated operations. Counters
+// are unaffected. Call before the first Enqueue.
+func (a *Aggregator) SetPerturbation(p Perturbation) { a.perturb = p }
 
 // Enqueue buffers op for dst, flushing the destination's buffer first
 // if the policy is FlushOnCapacity and the buffer is full.
@@ -137,7 +144,11 @@ func (a *Aggregator) FlushDst(dst int) {
 	if a.matrix != nil && dst != a.src {
 		a.matrix.Inc(a.src, dst)
 	}
-	Delay(a.lat.BulkStartupNS + bytes*a.lat.BulkPerByteNS)
+	ns := a.lat.BulkStartupNS + bytes*a.lat.BulkPerByteNS
+	if a.perturb.Enabled() {
+		ns = int64(float64(ns) * a.perturb.PairScale(a.src, dst))
+	}
+	Delay(ns)
 	a.deliver(dst, batch)
 }
 

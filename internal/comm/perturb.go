@@ -1,0 +1,76 @@
+package comm
+
+// Perturbation is per-locale latency fault injection: a multiplier per
+// locale applied to every injected delay whose source or destination
+// is that locale. It is the policy half of the workload engine's fault
+// modes — a "slow locale" (one node with a degraded NIC or a noisy
+// neighbour) is a Perturbation with one scale above 1.0, and a
+// uniformly stretched network is one with every scale above 1.0. The
+// pgas dispatch layer consults PairScale at every delay site, and the
+// Aggregator applies it to flush costs, so a perturbed locale slows
+// both the traffic it initiates and the traffic aimed at it — exactly
+// how a slow node hurts a real PGAS job.
+//
+// Perturbation scales only injected *latency*; communication counters
+// are unaffected, so counter-asserted evidence stays exact under any
+// fault plan.
+//
+// The zero value (no scales) is "no perturbation" and costs one branch
+// per delay.
+type Perturbation struct {
+	// Scales[i] multiplies every delay touching locale i. Entries <= 0
+	// and locales beyond the slice are treated as the nominal 1.0.
+	Scales []float64 `json:"scales,omitempty"`
+}
+
+// Enabled reports whether any perturbation is configured.
+func (p Perturbation) Enabled() bool { return len(p.Scales) > 0 }
+
+// ScaleFor returns the multiplier for one locale (1.0 when the locale
+// has no entry or a non-positive one).
+func (p Perturbation) ScaleFor(locale int) float64 {
+	if locale < 0 || locale >= len(p.Scales) || p.Scales[locale] <= 0 {
+		return 1.0
+	}
+	return p.Scales[locale]
+}
+
+// PairScale returns the multiplier for a communication event between
+// src and dst: the slower endpoint dominates, as a message is only as
+// fast as the slowest NIC it crosses.
+func (p Perturbation) PairScale(src, dst int) float64 {
+	s, d := p.ScaleFor(src), p.ScaleFor(dst)
+	if d > s {
+		return d
+	}
+	return s
+}
+
+// ProfileFor returns base scaled for events local to one locale — the
+// per-locale view of a perturbed latency profile.
+func (p Perturbation) ProfileFor(base LatencyProfile, locale int) LatencyProfile {
+	return base.Scale(p.ScaleFor(locale))
+}
+
+// SlowLocale builds the classic fault plan: locale `slow` of n runs
+// `factor` times slower than the rest. factor <= 1 still builds the
+// plan (a "fast locale" is occasionally useful in tests).
+func SlowLocale(n, slow int, factor float64) Perturbation {
+	scales := make([]float64, n)
+	for i := range scales {
+		scales[i] = 1.0
+	}
+	if slow >= 0 && slow < n {
+		scales[slow] = factor
+	}
+	return Perturbation{Scales: scales}
+}
+
+// UniformPerturbation slows (or speeds) every locale of n by factor.
+func UniformPerturbation(n int, factor float64) Perturbation {
+	scales := make([]float64, n)
+	for i := range scales {
+		scales[i] = factor
+	}
+	return Perturbation{Scales: scales}
+}

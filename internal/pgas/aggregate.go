@@ -53,6 +53,7 @@ func newAggregator(c *Ctx) *Aggregator {
 				op.Exec.(func(*Ctx))(tc)
 			}
 		})
+	a.agg.SetPerturbation(s.cfg.Perturb)
 	return a
 }
 

@@ -2,8 +2,6 @@ package pgas
 
 import (
 	"sync"
-
-	"gopgas/internal/comm"
 )
 
 // Ctx is a task's view of the system: which locale it is executing on
@@ -55,7 +53,7 @@ func (c *Ctx) CoforallLocales(fn func(ctx *Ctx)) {
 		go func(l *Locale) {
 			defer wg.Done()
 			if l.id != c.here.id {
-				comm.Delay(s.cfg.Latency.AMRoundTripNS + s.cfg.Latency.OnStmtNS)
+				s.delay(c.here.id, l.id, s.cfg.Latency.AMRoundTripNS+s.cfg.Latency.OnStmtNS)
 			}
 			fn(s.newCtx(l))
 		}(loc)
@@ -110,7 +108,7 @@ func ForallCyclic[P any](c *Ctx, n, tasksPerLocale int,
 		go func(l *Locale) {
 			defer wg.Done()
 			if l.id != c.here.id {
-				comm.Delay(s.cfg.Latency.AMRoundTripNS + s.cfg.Latency.OnStmtNS)
+				s.delay(c.here.id, l.id, s.cfg.Latency.AMRoundTripNS+s.cfg.Latency.OnStmtNS)
 			}
 			// Iterations owned by locale l: l.id, l.id+L, l.id+2L, ...
 			// Split them contiguously among the locale's tasks.

@@ -23,7 +23,7 @@ func (s *System) dispatchOn(src *Ctx, target int, fn func(*Ctx)) {
 		return
 	}
 	s.chargeOnStmt(src.here.id, target)
-	comm.Delay(s.cfg.Latency.AMRoundTripNS + s.cfg.Latency.OnStmtNS)
+	s.delay(src.here.id, target, s.cfg.Latency.AMRoundTripNS+s.cfg.Latency.OnStmtNS)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -49,14 +49,15 @@ func (s *System) dispatchOnAsync(src *Ctx, target int, fn func(*Ctx)) {
 		s.asyncPending.Add(-1)
 		panic("pgas: AsyncOn after Shutdown")
 	}
-	remote := target != src.here.id
+	srcID := src.here.id
+	remote := target != srcID
 	if remote {
-		s.chargeOnStmt(src.here.id, target)
+		s.chargeOnStmt(srcID, target)
 	}
 	go func() {
 		defer s.asyncPending.Add(-1)
 		if remote {
-			comm.Delay(s.cfg.Latency.AMRoundTripNS + s.cfg.Latency.OnStmtNS)
+			s.delay(srcID, target, s.cfg.Latency.AMRoundTripNS+s.cfg.Latency.OnStmtNS)
 		}
 		tc := s.newCtx(s.locales[target])
 		tc.isAsync = true
@@ -80,18 +81,18 @@ func (s *System) dispatchAMO64(c *Ctx, home int, op func() uint64) uint64 {
 	case comm.BackendUGNI:
 		s.counters.IncNICAMO()
 		s.matrix.Inc(c.here.id, home)
-		comm.Delay(s.cfg.Latency.NICAtomicNS)
+		s.delay(c.here.id, home, s.cfg.Latency.NICAtomicNS)
 		return op()
 	default:
 		if home == c.here.id {
 			s.counters.IncLocalAMO()
-			comm.Delay(s.cfg.Latency.LocalAtomicNS)
+			s.delay(home, home, s.cfg.Latency.LocalAtomicNS)
 			return op()
 		}
 		s.counters.IncAMAMO()
 		s.matrix.Inc(c.here.id, home)
 		var res uint64
-		s.amCall(home, func() { res = op() })
+		s.amCall(c.here.id, home, func() { res = op() })
 		return res
 	}
 }
@@ -103,13 +104,13 @@ func (s *System) dispatchAMO64(c *Ctx, home int, op func() uint64) uint64 {
 func (s *System) dispatchDCAS(c *Ctx, home int, op func()) {
 	if home == c.here.id {
 		s.counters.IncDCASLocal()
-		comm.Delay(s.cfg.Latency.LocalAtomicNS)
+		s.delay(home, home, s.cfg.Latency.LocalAtomicNS)
 		op()
 		return
 	}
 	s.counters.IncDCASRemote()
 	s.matrix.Inc(c.here.id, home)
-	s.amCall(home, op)
+	s.amCall(c.here.id, home, op)
 }
 
 // ChargeGet records and charges one small remote read toward owner.
@@ -119,14 +120,14 @@ func (s *System) dispatchDCAS(c *Ctx, home int, op func()) {
 func (c *Ctx) ChargeGet(owner int) {
 	c.sys.counters.IncGet()
 	c.sys.matrix.Inc(c.here.id, owner)
-	comm.Delay(c.sys.cfg.Latency.PutGetNS)
+	c.sys.delay(c.here.id, owner, c.sys.cfg.Latency.PutGetNS)
 }
 
 // ChargePut records and charges one small remote write toward owner.
 func (c *Ctx) ChargePut(owner int) {
 	c.sys.counters.IncPut()
 	c.sys.matrix.Inc(c.here.id, owner)
-	comm.Delay(c.sys.cfg.Latency.PutGetNS)
+	c.sys.delay(c.here.id, owner, c.sys.cfg.Latency.PutGetNS)
 }
 
 // ChargeBulk records and charges one bulk transfer of `bytes` between
@@ -144,7 +145,7 @@ func (c *Ctx) ChargeBulk(owner int, bytes int64) {
 func (s *System) chargeBulk(src, dst int, bytes int64) {
 	s.counters.IncBulk(bytes)
 	s.matrix.Inc(src, dst)
-	comm.Delay(s.cfg.Latency.BulkStartupNS + bytes*s.cfg.Latency.BulkPerByteNS)
+	s.delay(src, dst, s.cfg.Latency.BulkStartupNS+bytes*s.cfg.Latency.BulkPerByteNS)
 }
 
 // AsyncOn launches fn on the target locale and returns immediately —

@@ -3,7 +3,6 @@ package pgas
 import (
 	"fmt"
 
-	"gopgas/internal/comm"
 	"gopgas/internal/gas"
 )
 
@@ -27,7 +26,7 @@ func (c *Ctx) AllocOn(locale int, obj any) gas.Addr {
 	}
 	s := c.sys
 	s.chargeOnStmt(c.here.id, locale)
-	comm.Delay(s.cfg.Latency.AMRoundTripNS + s.cfg.Latency.OnStmtNS)
+	s.delay(c.here.id, locale, s.cfg.Latency.AMRoundTripNS+s.cfg.Latency.OnStmtNS)
 	return s.locales[locale].heap.Alloc(obj)
 }
 
@@ -108,7 +107,7 @@ func (c *Ctx) Free(addr gas.Addr) bool {
 	if owner != c.here.id {
 		c.sys.counters.IncOnStmt()
 		c.sys.matrix.Inc(c.here.id, owner)
-		comm.Delay(c.sys.cfg.Latency.AMRoundTripNS)
+		c.sys.delay(c.here.id, owner, c.sys.cfg.Latency.AMRoundTripNS)
 	}
 	return c.sys.locales[owner].heap.Free(addr)
 }

@@ -59,6 +59,12 @@ type Config struct {
 	// comm.DefaultAggCapacity operations per destination.
 	Agg comm.AggConfig
 
+	// Perturb is the per-locale latency fault plan (workload fault
+	// injection): every injected delay touching a perturbed locale is
+	// scaled by its factor. The zero value disables perturbation.
+	// Counters are never affected.
+	Perturb comm.Perturbation
+
 	// Seed makes per-task random streams reproducible. Defaults to 1.
 	Seed uint64
 
@@ -146,10 +152,11 @@ func NewSystem(cfg Config) *System {
 // progressWorker drains the locale's active-message queue. Handlers
 // are small and terminal (an atomic op plus the modelled occupancy
 // cost); they never issue further communication, so a bounded pool
-// cannot deadlock.
+// cannot deadlock. The occupancy cost is scaled by the locale's own
+// perturbation factor: a slow locale services its inbound AMs slowly.
 func (l *Locale) progressWorker() {
 	defer l.sys.workerWG.Done()
-	handlerNS := l.sys.cfg.Latency.AMHandlerNS
+	handlerNS := int64(float64(l.sys.cfg.Latency.AMHandlerNS) * l.sys.cfg.Perturb.ScaleFor(l.id))
 	for req := range l.amq {
 		comm.Delay(handlerNS)
 		req.fn()
@@ -235,15 +242,27 @@ var amDonePool = sync.Pool{
 	New: func() any { return make(chan struct{}, 1) },
 }
 
-// amCall ships fn to the target locale's progress workers and waits
-// for it to execute. It is the transport for active-message atomics
-// and remote DCAS; callers are responsible for counting the event.
-func (s *System) amCall(target int, fn func()) {
-	comm.Delay(s.cfg.Latency.AMRoundTripNS)
+// amCall ships fn from src to the target locale's progress workers and
+// waits for it to execute. It is the transport for active-message
+// atomics and remote DCAS; callers are responsible for counting the
+// event.
+func (s *System) amCall(src, target int, fn func()) {
+	s.delay(src, target, s.cfg.Latency.AMRoundTripNS)
 	done := amDonePool.Get().(chan struct{})
 	s.locales[target].amq <- amReq{fn: fn, done: done}
 	<-done
 	amDonePool.Put(done)
+}
+
+// delay injects ns of simulated latency for an event between src and
+// dst, scaled by the configured perturbation plan (fault injection).
+// All dispatch-layer delay sites route through here so a fault plan
+// covers every class of communication uniformly.
+func (s *System) delay(src, dst int, ns int64) {
+	if s.cfg.Perturb.Enabled() {
+		ns = int64(float64(ns) * s.cfg.Perturb.PairScale(src, dst))
+	}
+	comm.Delay(ns)
 }
 
 func (s *System) newCtx(l *Locale) *Ctx {

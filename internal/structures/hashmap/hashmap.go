@@ -80,12 +80,19 @@ func New[V any](c *pgas.Ctx, buckets int, em epoch.EpochManager) Map[V] {
 // Manager returns the epoch manager the map reclaims through.
 func (m Map[V]) Manager() epoch.EpochManager { return m.em }
 
-// Destroy releases the map's privatized table replicas and returns its
-// registry slot for reuse. The map must be quiescent; remaining
-// entries are not reclaimed — remove them first (and let the epoch
-// manager clear) or their nodes leak in the gas heaps. No task may use
-// any copy of the handle afterwards.
+// Destroy tears the map down: every bucket list frees its remaining
+// nodes (one bulk free per bucket toward its home), then the
+// privatized table replicas are released and the registry slot is
+// returned for reuse. The bucket lists are shared across replicas, so
+// they are destroyed exactly once, before the replica teardown. The
+// map must be quiescent; entries already removed were retired through
+// the epoch manager — let it clear to reclaim them. No task may use
+// any copy of the handle afterwards. Churn scenarios rely on this
+// leaving zero gas-heap or registry residue.
 func (m Map[V]) Destroy(c *pgas.Ctx) {
+	for _, b := range m.priv.Get(c).buckets {
+		b.Destroy(c)
+	}
 	m.priv.Destroy(c, nil)
 }
 

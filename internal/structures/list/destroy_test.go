@@ -1,0 +1,68 @@
+package list
+
+import (
+	"testing"
+
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+// churnRound creates a list, works it, and tears it down.
+func churnRound(t *testing.T, c *pgas.Ctx, em epoch.EpochManager) {
+	t.Helper()
+	l := New[int](c, 1, em)
+	tok := em.Register(c)
+	for k := uint64(0); k < 50; k++ {
+		if !l.Insert(c, tok, k, int(k)) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	for k := uint64(0); k < 20; k++ {
+		if !l.Remove(c, tok, k) {
+			t.Fatalf("remove %d failed", k)
+		}
+	}
+	tok.Unregister(c)
+	l.Destroy(c)
+	em.Clear(c) // reclaim the removed (deferred) nodes
+}
+
+// Destroy must return every gas-heap slot the list holds, so churn
+// (create → work → destroy, repeatedly) reaches a steady heap instead
+// of leaking per round. The first round warms the epoch manager's
+// limbo-cell pool (manager-lifetime state, recycled not freed);
+// every subsequent round must leave the heap exactly where it was.
+func TestDestroyChurnReachesSteadyHeap(t *testing.T) {
+	sys := pgas.NewSystem(pgas.Config{Locales: 2})
+	defer sys.Shutdown()
+	sys.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		churnRound(t, c, em)
+		steady := sys.HeapStats().Live
+		for round := 0; round < 3; round++ {
+			churnRound(t, c, em)
+			if live := sys.HeapStats().Live; live != steady {
+				t.Fatalf("round %d: heap live = %d, want steady %d", round, live, steady)
+			}
+		}
+		if st := sys.HeapStats(); st.UAFFrees != 0 || st.UAFLoads != 0 {
+			t.Fatalf("safety violations: %v", st)
+		}
+	})
+}
+
+func TestDestroyTwicePanics(t *testing.T) {
+	sys := pgas.NewSystem(pgas.Config{Locales: 1})
+	defer sys.Shutdown()
+	sys.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		l := New[int](c, 0, em)
+		l.Destroy(c)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second Destroy did not panic")
+			}
+		}()
+		l.Destroy(c)
+	})
+}

@@ -52,9 +52,10 @@ type List[V any] struct {
 	em   epoch.EpochManager
 	home int
 
-	inserts atomic.Int64
-	removes atomic.Int64
-	unlinks atomic.Int64 // physical unlinks (may exceed removes via helping)
+	inserts   atomic.Int64
+	removes   atomic.Int64
+	unlinks   atomic.Int64 // physical unlinks (may exceed removes via helping)
+	destroyed atomic.Bool
 }
 
 // New creates an empty list homed on the given locale.
@@ -265,6 +266,34 @@ func (l *List[V]) Keys(c *pgas.Ctx, tok *epoch.Token) []uint64 {
 		curr = succ
 	}
 	return keys
+}
+
+// Destroy frees every node still reachable from the head (one bulk
+// free toward the home locale) and empties the list, so churn
+// scenarios can create and drop lists without leaking gas-heap slots.
+// The list must be quiescent: no concurrent operation may be in
+// flight, and no task may use the list afterwards. Marked nodes are
+// skipped — a marked node has been retired through the epoch manager,
+// which owns its free (at quiescence none remain linked anyway).
+// Nodes already unlinked and deferred are likewise the manager's:
+// reclaim them by letting it clear (epoch.EpochManager.Clear) before
+// or after Destroy. Destroy panics on a second call.
+func (l *List[V]) Destroy(c *pgas.Ctx) {
+	if l.destroyed.Swap(true) {
+		panic("list: Destroy called twice")
+	}
+	var addrs []gas.Addr
+	curr, _ := unpack(l.head.Read(c))
+	for !curr.IsNil() {
+		cn := pgas.MustDeref[*node[V]](c, curr)
+		succ, marked := unpack(cn.next.Read(c))
+		if !marked {
+			addrs = append(addrs, curr)
+		}
+		curr = succ
+	}
+	l.head.Write(c, 0)
+	c.FreeBulk(l.home, addrs)
 }
 
 // Stats reports operation totals.

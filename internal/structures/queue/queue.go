@@ -60,6 +60,25 @@ func New[T any](c *pgas.Ctx, home int, em epoch.EpochManager) *Queue[T] {
 // Manager returns the epoch manager the queue reclaims through.
 func (q *Queue[T]) Manager() epoch.EpochManager { return q.em }
 
+// destroy frees every node still linked from the head — the MS dummy
+// plus any undequeued values — in one bulk free toward the home
+// locale. The queue must be quiescent and is unusable afterwards.
+// Nodes already dequeued are not in this chain; they were retired
+// through the epoch manager, which owns their frees. Sharded.Destroy
+// runs this per segment so churn scenarios leak nothing.
+func (q *Queue[T]) destroy(c *pgas.Ctx) {
+	var addrs []gas.Addr
+	addr := q.head.Read(c)
+	for !addr.IsNil() {
+		n := pgas.MustDeref[*node[T]](c, addr)
+		addrs = append(addrs, addr)
+		addr = gas.Addr(n.next.Read(c))
+	}
+	q.head.Write(c, 0)
+	q.tail.Write(c, 0)
+	c.FreeBulk(q.home, addrs)
+}
+
 // Enqueue appends v. Standard Michael–Scott: link the node after the
 // tail, helping a lagging tail forward when necessary.
 func (q *Queue[T]) Enqueue(c *pgas.Ctx, tok *epoch.Token, v T) {

@@ -118,13 +118,17 @@ func (q Sharded[T]) Len(c *pgas.Ctx) int {
 	}))
 }
 
-// Destroy releases the queue's privatized registry slots (recycled by
-// the next structure created). The queue must be quiescent; remaining
-// elements are not reclaimed — Drain first (and let the epoch manager
-// clear) or their nodes leak in the gas heaps. No task may use any
-// copy of the handle afterwards.
+// Destroy tears the queue down: each segment frees its remaining
+// nodes (dummy included) on its own locale, then the privatized
+// registry slots are released (recycled by the next structure
+// created). The queue must be quiescent; nodes already dequeued were
+// retired through the epoch manager — let it clear to reclaim them.
+// No task may use any copy of the handle afterwards. Churn scenarios
+// rely on this leaving zero gas-heap or registry residue.
 func (q Sharded[T]) Destroy(c *pgas.Ctx) {
-	q.obj.Destroy(c, nil)
+	q.obj.Destroy(c, func(lc *pgas.Ctx, s *segment[T]) {
+		s.q.destroy(lc)
+	})
 }
 
 // SegmentLocale reports which locale owns the segment a value enqueued

@@ -53,9 +53,10 @@ type List[V any] struct {
 	em   epoch.EpochManager
 	home int
 
-	inserts atomic.Int64
-	removes atomic.Int64
-	unlinks atomic.Int64
+	inserts   atomic.Int64
+	removes   atomic.Int64
+	unlinks   atomic.Int64
+	destroyed atomic.Bool
 }
 
 // New creates an empty skip list homed on the given locale.
@@ -300,6 +301,34 @@ func (l *List[V]) Keys(c *pgas.Ctx, tok *epoch.Token) []uint64 {
 		curr = succ
 	}
 	return keys
+}
+
+// Destroy frees every tower still linked at the bottom level (one
+// bulk free toward the home locale) and empties the list, so churn
+// scenarios can create and drop skip lists without leaking gas-heap
+// slots. The list must be quiescent and no task may use it afterwards.
+// Marked towers are skipped: a marked tower has been retired through
+// the epoch manager, which owns its free (at quiescence none remain
+// linked anyway) — let the manager clear to reclaim the deferred set.
+// Destroy panics on a second call.
+func (l *List[V]) Destroy(c *pgas.Ctx) {
+	if l.destroyed.Swap(true) {
+		panic("skiplist: Destroy called twice")
+	}
+	var addrs []gas.Addr
+	curr, _ := unpack(l.head[0].Read(c))
+	for !curr.IsNil() {
+		cn := pgas.MustDeref[*node[V]](c, curr)
+		succ, marked := unpack(cn.next[0].Read(c))
+		if !marked {
+			addrs = append(addrs, curr)
+		}
+		curr = succ
+	}
+	for i := range l.head {
+		l.head[i].Write(c, 0)
+	}
+	c.FreeBulk(l.home, addrs)
 }
 
 // Stats reports operation totals.

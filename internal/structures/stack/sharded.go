@@ -111,13 +111,17 @@ func (s Sharded[T]) Len(c *pgas.Ctx) int {
 	}))
 }
 
-// Destroy releases the stack's privatized registry slots (recycled by
-// the next structure created). The stack must be quiescent; remaining
-// elements are not reclaimed — Drain first (and let the epoch manager
-// clear) or their nodes leak in the gas heaps. No task may use any
-// copy of the handle afterwards.
+// Destroy tears the stack down: each segment frees its remaining
+// nodes on their owning locales, then the privatized registry slots
+// are released (recycled by the next structure created). The stack
+// must be quiescent; nodes already popped were retired through the
+// epoch manager — let it clear to reclaim them. No task may use any
+// copy of the handle afterwards. Churn scenarios rely on this leaving
+// zero gas-heap or registry residue.
 func (s Sharded[T]) Destroy(c *pgas.Ctx) {
-	s.obj.Destroy(c, nil)
+	s.obj.Destroy(c, func(lc *pgas.Ctx, seg *segment[T]) {
+		seg.s.destroy(lc)
+	})
 }
 
 // Stats sums the per-segment operation counters (owner-computed: one

@@ -54,6 +54,27 @@ func New[T any](c *pgas.Ctx, home int, em epoch.EpochManager) *Stack[T] {
 // Manager returns the epoch manager the stack reclaims through.
 func (s *Stack[T]) Manager() epoch.EpochManager { return s.em }
 
+// destroy frees every node still linked from the head in one bulk
+// free per owning locale (push allocates on the pusher's locale, so
+// the chain may span the system). The stack must be quiescent and is
+// unusable afterwards. Popped nodes are not in this chain; they were
+// retired through the epoch manager, which owns their frees.
+// Sharded.Destroy runs this per segment so churn scenarios leak
+// nothing.
+func (s *Stack[T]) destroy(c *pgas.Ctx) {
+	byLocale := make(map[int][]gas.Addr)
+	addr := s.head.ReadABA(c).Object()
+	for !addr.IsNil() {
+		n := pgas.MustDeref[*node[T]](c, addr)
+		byLocale[addr.Locale()] = append(byLocale[addr.Locale()], addr)
+		addr = n.next
+	}
+	s.head.Write(c, 0)
+	for locale, addrs := range byLocale {
+		c.FreeBulk(locale, addrs)
+	}
+}
+
 // Push adds v. The node is allocated on the calling task's locale —
 // pushes never communicate beyond the head CAS itself.
 func (s *Stack[T]) Push(c *pgas.Ctx, tok *epoch.Token, v T) {

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"fmt"
+
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+	"gopgas/internal/structures/hashmap"
+	"gopgas/internal/structures/queue"
+	"gopgas/internal/structures/skiplist"
+	"gopgas/internal/structures/stack"
+)
+
+// Driver binds the abstract scenario vocabulary to one structure. A
+// driver is created once per run; Setup/Destroy bracket each churn
+// round. Apply and ApplyBulk are called concurrently from many tasks
+// and must only touch the structure through its own concurrent API.
+type Driver interface {
+	Structure() Structure
+	// Supports reports whether the structure implements the kind;
+	// Spec.Validate rejects mixes that weight unsupported kinds.
+	Supports(k OpKind) bool
+	// Setup creates the structure on the system (called on locale 0).
+	Setup(c *pgas.Ctx, em epoch.EpochManager, spec Spec)
+	// Apply executes one keyed op under the task's token.
+	Apply(c *pgas.Ctx, tok *epoch.Token, kind OpKind, key uint64)
+	// ApplyBulk routes a batch of keys toward `owner` (structures with
+	// their own routing, like the hashmap, may ignore it).
+	ApplyBulk(c *pgas.Ctx, owner int, keys []uint64)
+	// Destroy tears the structure down (quiescent; locale 0).
+	Destroy(c *pgas.Ctx)
+}
+
+// NewDriver returns the driver for a structure.
+func NewDriver(s Structure) (Driver, error) {
+	switch s {
+	case StructureHashmap:
+		return &hashmapDriver{}, nil
+	case StructureQueue:
+		return &queueDriver{}, nil
+	case StructureStack:
+		return &stackDriver{}, nil
+	case StructureSkiplist:
+		return &skiplistDriver{}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown structure %q (want one of %v)", s, Structures())
+	}
+}
+
+// hashmapDriver drives hashmap.Map: keyed inserts/gets/removes plus
+// InsertBulk, which routes pairs to their bucket owners through the
+// aggregation buffers.
+type hashmapDriver struct {
+	m hashmap.Map[int64]
+}
+
+func (d *hashmapDriver) Structure() Structure { return StructureHashmap }
+
+func (d *hashmapDriver) Supports(k OpKind) bool {
+	switch k {
+	case OpInsert, OpGet, OpRemove, OpBulk:
+		return true
+	}
+	return false
+}
+
+func (d *hashmapDriver) Setup(c *pgas.Ctx, em epoch.EpochManager, spec Spec) {
+	d.m = hashmap.New[int64](c, spec.Buckets, em)
+}
+
+func (d *hashmapDriver) Apply(c *pgas.Ctx, tok *epoch.Token, kind OpKind, key uint64) {
+	switch kind {
+	case OpInsert:
+		d.m.Upsert(c, tok, key, int64(key))
+	case OpGet:
+		d.m.Get(c, tok, key)
+	case OpRemove:
+		d.m.Remove(c, tok, key)
+	}
+}
+
+func (d *hashmapDriver) ApplyBulk(c *pgas.Ctx, _ int, keys []uint64) {
+	pairs := make([]hashmap.KV[int64], len(keys))
+	for i, k := range keys {
+		pairs[i] = hashmap.KV[int64]{K: k, V: int64(k)}
+	}
+	d.m.InsertBulk(c, pairs)
+}
+
+func (d *hashmapDriver) Destroy(c *pgas.Ctx) { d.m.Destroy(c) }
+
+// queueDriver drives queue.Sharded: enqueue/dequeue on the calling
+// locale's segment, work-stealing dequeues, and bulk enqueues routed
+// toward a drawn owner.
+type queueDriver struct {
+	q queue.Sharded[int64]
+}
+
+func (d *queueDriver) Structure() Structure { return StructureQueue }
+
+func (d *queueDriver) Supports(k OpKind) bool {
+	switch k {
+	case OpEnqueue, OpRemove, OpSteal, OpBulk:
+		return true
+	}
+	return false
+}
+
+func (d *queueDriver) Setup(c *pgas.Ctx, em epoch.EpochManager, spec Spec) {
+	d.q = queue.NewSharded[int64](c, em)
+}
+
+func (d *queueDriver) Apply(c *pgas.Ctx, tok *epoch.Token, kind OpKind, key uint64) {
+	switch kind {
+	case OpEnqueue:
+		d.q.Enqueue(c, tok, int64(key))
+	case OpRemove:
+		d.q.Dequeue(c, tok)
+	case OpSteal:
+		d.q.TryDequeueAny(c, tok)
+	}
+}
+
+func (d *queueDriver) ApplyBulk(c *pgas.Ctx, owner int, keys []uint64) {
+	vals := make([]int64, len(keys))
+	for i, k := range keys {
+		vals[i] = int64(k)
+	}
+	d.q.EnqueueBulkOn(c, owner, vals)
+}
+
+func (d *queueDriver) Destroy(c *pgas.Ctx) { d.q.Destroy(c) }
+
+// stackDriver drives stack.Sharded, mirroring queueDriver (Enqueue is
+// push, Remove is pop).
+type stackDriver struct {
+	s stack.Sharded[int64]
+}
+
+func (d *stackDriver) Structure() Structure { return StructureStack }
+
+func (d *stackDriver) Supports(k OpKind) bool {
+	switch k {
+	case OpEnqueue, OpRemove, OpSteal, OpBulk:
+		return true
+	}
+	return false
+}
+
+func (d *stackDriver) Setup(c *pgas.Ctx, em epoch.EpochManager, spec Spec) {
+	d.s = stack.NewSharded[int64](c, em)
+}
+
+func (d *stackDriver) Apply(c *pgas.Ctx, tok *epoch.Token, kind OpKind, key uint64) {
+	switch kind {
+	case OpEnqueue:
+		d.s.Push(c, tok, int64(key))
+	case OpRemove:
+		d.s.Pop(c, tok)
+	case OpSteal:
+		d.s.TryPopAny(c, tok)
+	}
+}
+
+func (d *stackDriver) ApplyBulk(c *pgas.Ctx, owner int, keys []uint64) {
+	vals := make([]int64, len(keys))
+	for i, k := range keys {
+		vals[i] = int64(k)
+	}
+	d.s.PushBulkOn(c, owner, vals)
+}
+
+func (d *stackDriver) Destroy(c *pgas.Ctx) { d.s.Destroy(c) }
+
+// skiplistDriver drives skiplist.List, a single-home structure: every
+// op communicates with the home locale, the deliberate hotspot
+// counterpart to the sharded targets.
+type skiplistDriver struct {
+	l *skiplist.List[int64]
+}
+
+func (d *skiplistDriver) Structure() Structure { return StructureSkiplist }
+
+func (d *skiplistDriver) Supports(k OpKind) bool {
+	switch k {
+	case OpInsert, OpGet, OpRemove:
+		return true
+	}
+	return false
+}
+
+func (d *skiplistDriver) Setup(c *pgas.Ctx, em epoch.EpochManager, spec Spec) {
+	d.l = skiplist.New[int64](c, spec.Home, em)
+}
+
+func (d *skiplistDriver) Apply(c *pgas.Ctx, tok *epoch.Token, kind OpKind, key uint64) {
+	switch kind {
+	case OpInsert:
+		d.l.Insert(c, tok, key, int64(key))
+	case OpGet:
+		d.l.Get(c, tok, key)
+	case OpRemove:
+		d.l.Remove(c, tok, key)
+	}
+}
+
+func (d *skiplistDriver) ApplyBulk(c *pgas.Ctx, owner int, keys []uint64) {}
+
+func (d *skiplistDriver) Destroy(c *pgas.Ctx) { d.l.Destroy(c) }

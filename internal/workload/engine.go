@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gopgas/internal/bench"
+	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+// Run executes a scenario on a fresh simulated System and returns its
+// Report. progress, when non-nil, receives one line per completed
+// phase. The System is built from the spec — locales, backend,
+// latency profile (LatencyScale × the calibrated default) and the
+// fault-injection perturbation — and torn down before Run returns.
+func Run(spec Spec, progress io.Writer) (*Report, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	backend, err := comm.ParseBackend(spec.Backend)
+	if err != nil {
+		return nil, err
+	}
+	var latency comm.LatencyProfile
+	if spec.LatencyScale > 0 {
+		latency = comm.DefaultProfile().Scale(spec.LatencyScale)
+	}
+	sys := pgas.NewSystem(pgas.Config{
+		Locales: spec.Locales,
+		Backend: backend,
+		Latency: latency,
+		Perturb: spec.Faults.perturbation(spec.Locales),
+		Seed:    spec.Seed,
+	})
+	defer sys.Shutdown()
+	c0 := sys.Ctx(0)
+
+	em := epoch.NewEpochManager(c0)
+	drv, err := NewDriver(spec.Structure)
+	if err != nil {
+		return nil, err
+	}
+	drv.Setup(c0, em, spec)
+
+	// The Zipfian generator's construction is an O(keyspace) zeta sum;
+	// (keyspace, theta) are spec-level, so build it once and share it
+	// across phases and tasks (immutable after construction).
+	var zipf *zipfGen
+	if spec.Dist.Kind == DistZipfian {
+		zipf = newZipfGen(spec.Keyspace, spec.Dist.Theta)
+	}
+
+	rep := &Report{Spec: spec}
+	for pi, ph := range spec.Phases {
+		pr := runPhase(sys, c0, em, drv, spec, pi, ph, zipf)
+		rep.Phases = append(rep.Phases, pr)
+		rep.TotalOps += pr.Ops
+		rep.TotalSeconds += pr.Seconds
+		if progress != nil {
+			fmt.Fprintf(progress, "workload %s/%s: %d ops in %.2fs (%.0f ops/s)\n",
+				spec.Name, pr.Name, pr.Ops, pr.Seconds, pr.Throughput)
+		}
+	}
+
+	// Final teardown: reclaim everything still deferred so the heap
+	// and epoch verdicts reflect leaks, not pending reclamation.
+	em.Clear(c0)
+	h := sys.HeapStats()
+	rep.Heap = HeapReport{
+		Live: h.Live, Allocs: h.Allocs, Frees: h.Frees,
+		UAFLoads: h.UAFLoads, UAFFrees: h.UAFFrees,
+	}
+	est := em.Stats(c0)
+	rep.Epoch = EpochReport{Deferred: est.Deferred, Reclaimed: est.Reclaimed, Advances: est.Advances}
+	return rep, nil
+}
+
+// runPhase executes one phase (all rounds) and assembles its report.
+func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver, spec Spec, phaseIdx int, ph Phase, zipf *zipfGen) PhaseReport {
+	workers := spec.Locales * spec.TasksPerLocale
+	hists := make([]*bench.Histogram, workers)
+	for i := range hists {
+		hists[i] = &bench.Histogram{}
+	}
+	counts := make([]atomic.Int64, numOps)
+	var digest atomic.Uint64
+
+	before := sys.Counters().Snapshot()
+	beforeM := sys.Matrix().Snapshot()
+	start := time.Now()
+	for round := 0; round < ph.rounds(); round++ {
+		var wg sync.WaitGroup
+		for loc := 0; loc < spec.Locales; loc++ {
+			for t := 0; t < spec.TasksPerLocale; t++ {
+				wg.Add(1)
+				go func(loc, t int) {
+					defer wg.Done()
+					runTask(sys, em, drv, spec, phaseIdx, round, loc, t, ph, zipf,
+						hists[loc*spec.TasksPerLocale+t], counts, &digest)
+				}(loc, t)
+			}
+		}
+		wg.Wait()
+		if ph.Churn && round != ph.rounds()-1 {
+			// Between rounds: reclaim the deferred set, tear the
+			// structure down (registry slots recycle), rebuild.
+			em.Clear(c0)
+			drv.Destroy(c0)
+			drv.Setup(c0, em, spec)
+		}
+	}
+	seconds := time.Since(start).Seconds()
+
+	merged := &bench.Histogram{}
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+	byKind := make(map[string]int64)
+	var ops int64
+	for k := range counts {
+		if n := counts[k].Load(); n > 0 {
+			byKind[OpKind(k).String()] = n
+			ops += n
+		}
+	}
+	snap := sys.Counters().Snapshot().Sub(before)
+	matrix := bench.SubMatrix(sys.Matrix().Snapshot(), beforeM)
+	throughput := 0.0
+	if seconds > 0 {
+		throughput = float64(ops) / seconds
+	}
+	return PhaseReport{
+		Name:       ph.Name,
+		Rounds:     ph.rounds(),
+		Ops:        ops,
+		OpsByKind:  byKind,
+		Seconds:    seconds,
+		Throughput: throughput,
+		Latency:    merged.Summary(),
+		Comm:       snap,
+		RemoteOps:  snap.Remote(),
+		Matrix:     matrix,
+		MaxInbound: bench.MaxInboundOf(matrix),
+		Digest:     digest.Load(),
+	}
+}
+
+// runTask is one worker task of one phase round: it draws ops from its
+// private stream and applies them through the driver, recording wall
+// latency per op.
+func runTask(sys *pgas.System, em epoch.EpochManager, drv Driver, spec Spec,
+	phaseIdx, round, loc, task int, ph Phase, zipf *zipfGen,
+	hist *bench.Histogram, counts []atomic.Int64, digest *atomic.Uint64) {
+
+	c := sys.Ctx(loc)
+	tok := em.Register(c)
+	defer tok.Unregister(c)
+	st := NewStream(spec.Seed, phaseIdx, round, loc, task, spec.Keyspace, spec.Dist, ph.Mix, zipf)
+
+	var deadline time.Time
+	if ph.Seconds > 0 {
+		deadline = time.Now().Add(time.Duration(ph.Seconds * float64(time.Second)))
+	}
+	var interval time.Duration
+	var next time.Time
+	if ph.TargetRate > 0 {
+		interval = time.Duration(float64(time.Second) / ph.TargetRate)
+		next = time.Now()
+	}
+	var sum uint64
+	for i := 0; ; i++ {
+		if ph.OpsPerTask > 0 {
+			if i >= ph.OpsPerTask {
+				break
+			}
+		} else if !time.Now().Before(deadline) {
+			break
+		}
+		if ph.TargetRate > 0 {
+			// Open-loop pacing: hold the issue schedule. Missed slots
+			// are forgiven (the schedule re-anchors at now), so a stall
+			// is followed by the steady rate, not a catch-up burst.
+			now := time.Now()
+			if now.Before(next) {
+				time.Sleep(next.Sub(now))
+				next = next.Add(interval)
+			} else {
+				next = now.Add(interval)
+			}
+		}
+		kind := st.NextOp()
+		if kind == OpBulk {
+			keys := st.NextKeys(ph.bulkSize())
+			owner := int(st.next() % uint64(spec.Locales))
+			t0 := time.Now()
+			drv.ApplyBulk(c, owner, keys)
+			hist.Record(time.Since(t0).Nanoseconds())
+			for _, k := range keys {
+				sum += opDigest(kind, k)
+			}
+		} else {
+			key := st.NextKey()
+			t0 := time.Now()
+			drv.Apply(c, tok, kind, key)
+			hist.Record(time.Since(t0).Nanoseconds())
+			sum += opDigest(kind, key)
+		}
+		counts[kind].Add(1)
+		if ph.ReclaimEvery > 0 && (i+1)%ph.ReclaimEvery == 0 {
+			tok.TryReclaim(c)
+		}
+	}
+	// Ship anything still sitting in this task's aggregation buffers
+	// (bulk routing) before the round joins.
+	c.Flush()
+	digest.Add(sum)
+}

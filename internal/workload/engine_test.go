@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// scenarioFor builds a small three-phase Zipfian scenario exercising
+// every op kind the structure supports.
+func scenarioFor(s Structure) Spec {
+	var load, run Mix
+	switch s {
+	case StructureHashmap:
+		load = Mix{Insert: 1}
+		run = Mix{Insert: 2, Get: 6, Remove: 1, Bulk: 0.05}
+	case StructureSkiplist:
+		load = Mix{Insert: 1}
+		run = Mix{Insert: 2, Get: 6, Remove: 1}
+	default: // queue, stack
+		load = Mix{Enqueue: 1}
+		run = Mix{Enqueue: 4, Remove: 3, Steal: 1, Bulk: 0.05}
+	}
+	return Spec{
+		Name:           "test-" + string(s),
+		Structure:      s,
+		Locales:        4,
+		TasksPerLocale: 2,
+		Backend:        "none",
+		Seed:           0xABCD,
+		Keyspace:       1 << 10,
+		Dist:           KeyDist{Kind: DistZipfian, Theta: 0.99},
+		Phases: []Phase{
+			{Name: "load", Mix: load, OpsPerTask: 300},
+			{Name: "run", Mix: run, OpsPerTask: 500, BulkSize: 16},
+			{Name: "churn", Mix: run, OpsPerTask: 150, Rounds: 3, Churn: true, BulkSize: 16},
+		},
+	}
+}
+
+// TestScenarioPerStructure runs the acceptance scenario — a Zipfian
+// mixed-op workload with a churn phase — against every structure and
+// checks the report carries the full evidence set: per-phase
+// throughput, latency percentiles, comm counter and matrix deltas.
+func TestScenarioPerStructure(t *testing.T) {
+	for _, s := range Structures() {
+		t.Run(string(s), func(t *testing.T) {
+			rep, err := Run(scenarioFor(s), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Phases) != 3 {
+				t.Fatalf("got %d phases", len(rep.Phases))
+			}
+			for _, p := range rep.Phases {
+				if p.Ops <= 0 || p.Seconds <= 0 || p.Throughput <= 0 {
+					t.Fatalf("phase %s lacks throughput evidence: %+v", p.Name, p)
+				}
+				if p.Latency.Count != p.Ops {
+					t.Fatalf("phase %s: latency count %d != ops %d", p.Name, p.Latency.Count, p.Ops)
+				}
+				if p.Latency.P50NS > p.Latency.P99NS || p.Latency.P99NS > p.Latency.P999NS ||
+					p.Latency.P999NS > p.Latency.MaxNS {
+					t.Fatalf("phase %s: percentiles not monotone: %+v", p.Name, p.Latency)
+				}
+				if len(p.Matrix) != 4 || len(p.Matrix[0]) != 4 {
+					t.Fatalf("phase %s: matrix shape %dx?", p.Name, len(p.Matrix))
+				}
+				if p.Digest == 0 {
+					t.Fatalf("phase %s: zero digest", p.Name)
+				}
+			}
+			// Every structure but the sharded-local-only mixes performs
+			// remote communication under this mix; the skiplist (single
+			// home) and hashmap (remote buckets) certainly do.
+			if s == StructureSkiplist || s == StructureHashmap {
+				if rep.Phases[1].RemoteOps == 0 {
+					t.Fatalf("%s run phase reports zero remote ops", s)
+				}
+			}
+			if !rep.Heap.Safe() {
+				t.Fatalf("safety violations: %+v", rep.Heap)
+			}
+			if !rep.Epoch.Balanced() {
+				t.Fatalf("epoch leak: reclaimed %d of %d deferred", rep.Epoch.Reclaimed, rep.Epoch.Deferred)
+			}
+		})
+	}
+}
+
+// deterministicParts strips the wall-clock fields from a report,
+// leaving what one seed must reproduce exactly.
+type deterministicParts struct {
+	Ops       []int64
+	ByKind    []map[string]int64
+	Digests   []uint64
+	Comm      []interface{}
+	Matrices  [][][]int64
+	HeapLive  int64
+	HeapAlloc int64
+}
+
+func partsOf(r *Report) deterministicParts {
+	var p deterministicParts
+	for _, ph := range r.Phases {
+		p.Ops = append(p.Ops, ph.Ops)
+		p.ByKind = append(p.ByKind, ph.OpsByKind)
+		p.Digests = append(p.Digests, ph.Digest)
+		p.Comm = append(p.Comm, ph.Comm)
+		p.Matrices = append(p.Matrices, ph.Matrix)
+	}
+	p.HeapLive = r.Heap.Live
+	p.HeapAlloc = r.Heap.Allocs
+	return p
+}
+
+// TestSeededRunBitIdentical counter-asserts the acceptance criterion:
+// two invocations of one seeded scenario produce identical op streams,
+// identical communication counters, identical comm matrices and
+// identical heap accounting. The scenario is contention-free by
+// construction (one task per locale, locale-local sharded-queue ops,
+// no in-phase reclaim), so even the CAS-level counters cannot drift
+// with goroutine scheduling.
+func TestSeededRunBitIdentical(t *testing.T) {
+	spec := Spec{
+		Name:           "determinism",
+		Structure:      StructureQueue,
+		Locales:        4,
+		TasksPerLocale: 1,
+		Backend:        "none",
+		Seed:           0x5EED,
+		Keyspace:       1 << 12,
+		Dist:           KeyDist{Kind: DistZipfian, Theta: 0.8},
+		Phases: []Phase{
+			{Name: "load", Mix: Mix{Enqueue: 1}, OpsPerTask: 400},
+			{Name: "run", Mix: Mix{Enqueue: 1, Remove: 1}, OpsPerTask: 600},
+		},
+	}
+	a, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := partsOf(a), partsOf(b)
+	if !reflect.DeepEqual(pa, pb) {
+		t.Fatalf("seeded runs diverged:\n run A: %+v\n run B: %+v", pa, pb)
+	}
+	// The local-only mix must also be communication-free: the sharded
+	// queue's Enqueue/Dequeue never cross a locale boundary.
+	for _, ph := range a.Phases {
+		if ph.RemoteOps != 0 {
+			t.Fatalf("local-only phase %s performed %d remote ops", ph.Name, ph.RemoteOps)
+		}
+	}
+}
+
+// TestChurnReachesSteadyHeap checks that churn rounds recycle
+// everything: heap live after N destroy/recreate rounds stays bounded
+// by one round's working set instead of accumulating per round.
+func TestChurnReachesSteadyHeap(t *testing.T) {
+	base := Spec{
+		Structure:      StructureSkiplist,
+		Locales:        2,
+		TasksPerLocale: 1,
+		Backend:        "none",
+		Seed:           5,
+		Keyspace:       1 << 14, // sparse: inserts mostly hit distinct keys
+		Dist:           KeyDist{Kind: DistUniform},
+	}
+	perRound := 200
+	run := func(rounds int) int64 {
+		s := base
+		s.Phases = []Phase{{Name: "churn", Mix: Mix{Insert: 1}, OpsPerTask: perRound, Rounds: rounds, Churn: true}}
+		rep, err := Run(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Heap.Safe() {
+			t.Fatalf("safety violations: %+v", rep.Heap)
+		}
+		return rep.Heap.Live
+	}
+	one := run(1)
+	many := run(5)
+	// The final round's survivors remain live in both cases; churn
+	// must not stack earlier rounds on top.
+	if many > one+int64(perRound) {
+		t.Fatalf("heap grows with churn rounds: 1 round -> %d live, 5 rounds -> %d live", one, many)
+	}
+}
+
+// TestSlowLocaleFaultInjection runs the same scenario with and without
+// a slow-locale fault against the single-home skiplist (every op
+// touches the home) and checks the fault slows the run down without
+// changing the op stream or safety.
+func TestSlowLocaleFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	// LatencyScale 2 makes the injected delays dominate any host or
+	// instrumentation (-race) overhead, so the slowdown ratio reflects
+	// the fault plan, not CPU noise.
+	base := Spec{
+		Structure:      StructureSkiplist,
+		Locales:        2,
+		TasksPerLocale: 1,
+		Backend:        "ugni",
+		Seed:           77,
+		Keyspace:       256,
+		Home:           1,
+		Dist:           KeyDist{Kind: DistUniform},
+		LatencyScale:   2,
+		Phases:         []Phase{{Name: "run", Mix: Mix{Insert: 1, Get: 2}, OpsPerTask: 200}},
+	}
+	fast, err := Run(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := base
+	slow.Faults = Faults{SlowFactor: 16, SlowLocale: 1}
+	perturbed, err := Run(slow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perturbed.Phases[0].Digest != fast.Phases[0].Digest {
+		t.Fatal("fault injection changed the op stream")
+	}
+	if !perturbed.Heap.Safe() {
+		t.Fatalf("safety violations under fault: %+v", perturbed.Heap)
+	}
+	// The home is 16x slower and every op touches it; the run must be
+	// several times slower (generous margin — CI hosts are noisy).
+	if perturbed.Phases[0].Seconds < fast.Phases[0].Seconds*2.5 {
+		t.Fatalf("slow-locale fault had no effect: %.3fs vs %.3fs",
+			perturbed.Phases[0].Seconds, fast.Phases[0].Seconds)
+	}
+}
+
+// TestOpenLoopPacing checks TargetRate holds the issue rate near the
+// target instead of running closed-loop.
+func TestOpenLoopPacing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	spec := Spec{
+		Structure:      StructureQueue,
+		Locales:        2,
+		TasksPerLocale: 1,
+		Backend:        "none",
+		Seed:           3,
+		Dist:           KeyDist{Kind: DistUniform},
+		Phases: []Phase{{
+			Name: "paced", Mix: Mix{Enqueue: 1},
+			OpsPerTask: 100, TargetRate: 200, // 2 tasks ≈ 0.5s
+		}},
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Phases[0]
+	// 2 tasks × 200 ops/s each = 400 ops/s aggregate target; a
+	// closed-loop run would finish orders of magnitude faster.
+	if p.Throughput > 800 {
+		t.Fatalf("open-loop phase ran at %.0f ops/s, target 400", p.Throughput)
+	}
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Deterministic op/key streams. Each task owns one Stream seeded from
+// (spec seed, phase, round, locale, task): identical seeds reproduce
+// identical op streams byte-for-byte, on any host, which is what makes
+// a scenario regression replayable. The generator is splitmix64 — the
+// same primitive the pgas per-task RNG uses — with YCSB-style Zipfian
+// and hot-set shaping layered on top.
+
+// OpKind is one abstract operation of the scenario vocabulary. Drivers
+// map kinds onto their structure's calls (Remove doubles as
+// dequeue/pop for the LIFO/FIFO structures).
+type OpKind int
+
+const (
+	OpInsert OpKind = iota
+	OpGet
+	OpRemove
+	OpEnqueue
+	OpSteal
+	OpBulk
+	numOps
+)
+
+// String returns the spec-facing name of the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpGet:
+		return "get"
+	case OpRemove:
+		return "remove"
+	case OpEnqueue:
+		return "enqueue"
+	case OpSteal:
+		return "steal"
+	case OpBulk:
+		return "bulk"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// zipfGen draws Zipfian ranks with the incremental method of Gray et
+// al. (the generator YCSB popularized): rank r in [0, n) appears with
+// probability proportional to 1/(r+1)^theta. Construction is O(n) (one
+// zeta sum), so the engine builds one per phase and shares it across
+// tasks — it is immutable after construction.
+type zipfGen struct {
+	n                 uint64
+	theta             float64
+	alpha, zetan, eta float64
+	zeta2             float64
+}
+
+func newZipfGen(n uint64, theta float64) *zipfGen {
+	z := &zipfGen{n: n, theta: theta}
+	for i := uint64(1); i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), theta)
+	}
+	z.zeta2 = 1 + math.Pow(0.5, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// rank maps a uniform u in [0, 1) to a Zipfian rank in [0, n).
+func (z *zipfGen) rank(u float64) uint64 {
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.zeta2 {
+		return 1
+	}
+	r := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// Stream is one task's deterministic op/key source. Not safe for
+// concurrent use; each task owns its own.
+type Stream struct {
+	state    uint64
+	keyspace uint64
+	dist     KeyDist
+	zipf     *zipfGen // shared, read-only; nil unless DistZipfian
+	cdf      [numOps]float64
+}
+
+// streamSeed mixes the scenario coordinates into an initial splitmix64
+// state, scrambling once so adjacent coordinates diverge immediately.
+func streamSeed(seed uint64, phase, round, locale, task int) uint64 {
+	x := seed
+	x ^= uint64(phase+1) * 0x9e3779b97f4a7c15
+	x ^= uint64(round+1) * 0xbf58476d1ce4e5b9
+	x ^= uint64(locale+1) * 0x94d049bb133111eb
+	x ^= uint64(task+1) * 0xd6e8feb86659fd93
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewStream builds the stream for one task of one phase round. zipf
+// may be nil unless dist.Kind is DistZipfian (the engine precomputes
+// it once per phase; tests may pass their own).
+func NewStream(seed uint64, phase, round, locale, task int, keyspace uint64, dist KeyDist, mix Mix, zipf *zipfGen) *Stream {
+	st := &Stream{
+		state:    streamSeed(seed, phase, round, locale, task),
+		keyspace: keyspace,
+		dist:     dist,
+		zipf:     zipf,
+	}
+	var cum float64
+	w := mix.weights()
+	for k := range w {
+		cum += w[k]
+		st.cdf[k] = cum
+	}
+	total := cum
+	if total > 0 {
+		for k := range st.cdf {
+			st.cdf[k] /= total
+		}
+	}
+	return st
+}
+
+// next advances the splitmix64 state.
+func (st *Stream) next() uint64 {
+	st.state += 0x9e3779b97f4a7c15
+	z := st.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float returns the next uniform float64 in [0, 1).
+func (st *Stream) Float() float64 {
+	return float64(st.next()>>11) / (1 << 53)
+}
+
+// NextOp draws the next op kind per the mix's cumulative weights.
+func (st *Stream) NextOp() OpKind {
+	u := st.Float()
+	for k := OpKind(0); k < numOps; k++ {
+		if u < st.cdf[k] {
+			return k
+		}
+	}
+	return numOps - 1
+}
+
+// NextKey draws the next key per the configured distribution.
+func (st *Stream) NextKey() uint64 {
+	switch st.dist.Kind {
+	case DistZipfian:
+		return st.zipf.rank(st.Float())
+	case DistHotSet:
+		hot := uint64(st.dist.HotFraction * float64(st.keyspace))
+		if hot < 1 {
+			hot = 1
+		}
+		if hot >= st.keyspace {
+			return st.next() % st.keyspace
+		}
+		if st.Float() < st.dist.HotProb {
+			return st.next() % hot
+		}
+		return hot + st.next()%(st.keyspace-hot)
+	default: // DistUniform
+		return st.next() % st.keyspace
+	}
+}
+
+// NextKeys draws n keys (the Bulk batch path).
+func (st *Stream) NextKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = st.NextKey()
+	}
+	return keys
+}
+
+// opDigest folds one (kind, key) into a mixed word. Per-task digest
+// sums are combined with wrapping addition across tasks, so the
+// phase-level digest is order-insensitive: identical op multisets give
+// identical digests regardless of goroutine interleaving — the
+// fingerprint the determinism test counter-asserts.
+func opDigest(kind OpKind, key uint64) uint64 {
+	x := (uint64(kind) + 1) * 0x9e3779b97f4a7c15
+	x ^= key * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

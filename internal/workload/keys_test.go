@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// encodeStream renders n (kind, key) draws as bytes — the
+// byte-for-byte reproducibility witness.
+func encodeStream(st *Stream, n int) []byte {
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		k := st.NextOp()
+		binary.Write(&buf, binary.LittleEndian, uint32(k))
+		binary.Write(&buf, binary.LittleEndian, st.NextKey())
+	}
+	return buf.Bytes()
+}
+
+func TestStreamIdenticalSeedsIdenticalBytes(t *testing.T) {
+	mix := Mix{Insert: 2, Get: 5, Remove: 1}
+	dist := KeyDist{Kind: DistZipfian, Theta: 0.99}
+	z := newZipfGen(4096, 0.99)
+	a := encodeStream(NewStream(42, 1, 0, 3, 2, 4096, dist, mix, z), 10_000)
+	b := encodeStream(NewStream(42, 1, 0, 3, 2, 4096, dist, mix, z), 10_000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical seeds must reproduce identical op streams byte-for-byte")
+	}
+	// Any coordinate change must produce a different stream.
+	for name, st := range map[string]*Stream{
+		"seed":   NewStream(43, 1, 0, 3, 2, 4096, dist, mix, z),
+		"phase":  NewStream(42, 2, 0, 3, 2, 4096, dist, mix, z),
+		"round":  NewStream(42, 1, 1, 3, 2, 4096, dist, mix, z),
+		"locale": NewStream(42, 1, 0, 4, 2, 4096, dist, mix, z),
+		"task":   NewStream(42, 1, 0, 3, 3, 4096, dist, mix, z),
+	} {
+		if bytes.Equal(a, encodeStream(st, 10_000)) {
+			t.Fatalf("changing %s did not change the stream", name)
+		}
+	}
+}
+
+// TestZipfianShape verifies the rank-frequency curve: under Zipf with
+// skew θ, rank r appears with frequency ∝ 1/(r+1)^θ, so
+// freq(0)/freq(2^k - 1 → ...) follows a power law. We check the
+// empirical ratios between well-separated ranks against the analytic
+// ones within tolerance.
+func TestZipfianShape(t *testing.T) {
+	const (
+		n     = 1024
+		theta = 0.99
+		draws = 400_000
+	)
+	z := newZipfGen(n, theta)
+	st := NewStream(7, 0, 0, 0, 0, n, KeyDist{Kind: DistZipfian, Theta: theta}, Mix{Get: 1}, z)
+	freq := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := st.NextKey()
+		if k >= n {
+			t.Fatalf("key %d outside keyspace %d", k, n)
+		}
+		freq[k]++
+	}
+	// The head must dominate: rank 0 is the hottest.
+	if freq[0] < freq[1] || freq[1] < freq[4] || freq[4] < freq[64] {
+		t.Fatalf("rank frequencies not descending: f0=%d f1=%d f4=%d f64=%d",
+			freq[0], freq[1], freq[4], freq[64])
+	}
+	// Analytic ratio check at well-populated ranks.
+	for _, r := range []int{1, 3, 7, 15} {
+		want := math.Pow(float64(r+1), theta) // freq(0)/freq(r)
+		got := float64(freq[0]) / float64(freq[r])
+		if got < want*0.7 || got > want*1.3 {
+			t.Errorf("freq(0)/freq(%d) = %.2f, want %.2f ±30%%", r, got, want)
+		}
+	}
+	// Mass concentration: under θ=0.99, the top 1% of ranks carries
+	// well over a third of the traffic.
+	top := 0
+	for r := 0; r < n/100; r++ {
+		top += freq[r]
+	}
+	if frac := float64(top) / draws; frac < 0.35 {
+		t.Errorf("top 1%% of ranks carries %.2f of traffic, want >= 0.35", frac)
+	}
+}
+
+func TestHotSetShape(t *testing.T) {
+	const n = 10_000
+	dist := KeyDist{Kind: DistHotSet, HotFraction: 0.1, HotProb: 0.9}
+	st := NewStream(9, 0, 0, 0, 0, n, dist, Mix{Get: 1}, nil)
+	hot := 0
+	const draws = 200_000
+	for i := 0; i < draws; i++ {
+		k := st.NextKey()
+		if k >= n {
+			t.Fatalf("key %d outside keyspace %d", k, n)
+		}
+		if k < n/10 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / draws; frac < 0.88 || frac > 0.92 {
+		t.Fatalf("hot-set fraction = %.3f, want ≈0.90", frac)
+	}
+}
+
+func TestUniformCoversKeyspace(t *testing.T) {
+	const n = 64
+	st := NewStream(3, 0, 0, 0, 0, n, KeyDist{Kind: DistUniform}, Mix{Get: 1}, nil)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 20_000; i++ {
+		k := st.NextKey()
+		if k >= n {
+			t.Fatalf("key %d outside keyspace %d", k, n)
+		}
+		seen[k] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("uniform draw covered %d of %d keys", len(seen), n)
+	}
+}
+
+func TestNextOpRespectsMix(t *testing.T) {
+	mix := Mix{Insert: 1, Get: 8, Remove: 1}
+	st := NewStream(11, 0, 0, 0, 0, 100, KeyDist{Kind: DistUniform}, mix, nil)
+	var counts [numOps]int
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		counts[st.NextOp()]++
+	}
+	if counts[OpEnqueue] != 0 || counts[OpSteal] != 0 || counts[OpBulk] != 0 {
+		t.Fatalf("zero-weighted kinds drawn: %v", counts)
+	}
+	if frac := float64(counts[OpGet]) / draws; frac < 0.78 || frac > 0.82 {
+		t.Fatalf("get fraction = %.3f, want ≈0.80", frac)
+	}
+	if counts[OpInsert] == 0 || counts[OpRemove] == 0 {
+		t.Fatalf("nonzero-weighted kinds never drawn: %v", counts)
+	}
+}
+
+func TestOpDigestOrderInsensitiveCombine(t *testing.T) {
+	// The phase digest is a wrapping sum of per-op digests, so any
+	// permutation of the same multiset must agree.
+	ops := [][2]uint64{{0, 5}, {1, 9}, {2, 5}, {0, 5}, {4, 77}}
+	var fwd, rev uint64
+	for _, o := range ops {
+		fwd += opDigest(OpKind(o[0]), o[1])
+	}
+	for i := len(ops) - 1; i >= 0; i-- {
+		rev += opDigest(OpKind(ops[i][0]), ops[i][1])
+	}
+	if fwd != rev {
+		t.Fatal("digest combine is order-sensitive")
+	}
+	if opDigest(OpInsert, 5) == opDigest(OpGet, 5) {
+		t.Fatal("digest ignores the op kind")
+	}
+	if opDigest(OpInsert, 5) == opDigest(OpInsert, 6) {
+		t.Fatal("digest ignores the key")
+	}
+}

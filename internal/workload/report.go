@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gopgas/internal/bench"
+	"gopgas/internal/comm"
+)
+
+// Report is the machine-readable record of one scenario run: the spec
+// that produced it (with defaults applied), one entry per phase, and
+// the end-of-run heap safety verdict. It serializes as JSON — the
+// artifact CI uploads and the BENCH_* trajectory tracks.
+type Report struct {
+	Spec   Spec          `json:"spec"`
+	Phases []PhaseReport `json:"phases"`
+
+	TotalOps     int64   `json:"total_ops"`
+	TotalSeconds float64 `json:"total_seconds"`
+
+	Heap  HeapReport  `json:"heap"`
+	Epoch EpochReport `json:"epoch"`
+}
+
+// EpochReport is the end-of-run reclamation verdict, captured after
+// the final clear: every deferred deletion must have been physically
+// reclaimed, or the epoch machinery leaked.
+type EpochReport struct {
+	Deferred  int64 `json:"deferred"`
+	Reclaimed int64 `json:"reclaimed"`
+	Advances  int64 `json:"advances"`
+}
+
+// Balanced reports whether every deferred object was reclaimed.
+func (e EpochReport) Balanced() bool { return e.Reclaimed == e.Deferred }
+
+// PhaseReport is the evidence one phase produced. Throughput and the
+// latency percentiles are wall-clock (they include the injected
+// simulated latencies, so they reflect simulated op cost); Ops,
+// OpsByKind, Comm, Matrix and Digest are exact and — for closed-loop
+// contention-free phases — identical across runs of one seed.
+type PhaseReport struct {
+	Name   string `json:"name"`
+	Rounds int    `json:"rounds"`
+
+	// Ops counts driver calls (a Bulk batch counts once; its keys are
+	// all folded into Digest).
+	Ops       int64            `json:"ops"`
+	OpsByKind map[string]int64 `json:"ops_by_kind"`
+
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"throughput_ops_per_sec"`
+
+	// Latency digests the per-op wall latency histogram (HDR-style
+	// log buckets, <=~3% quantization).
+	Latency bench.LatencySummary `json:"latency"`
+
+	// Comm is the communication counter delta of the phase; RemoteOps
+	// is its locale-boundary-crossing total.
+	Comm      comm.Snapshot `json:"comm"`
+	RemoteOps int64         `json:"remote_ops"`
+
+	// Matrix is the (source, destination) locale-pair event delta;
+	// MaxInbound is its busiest destination column (the hotspot
+	// metric).
+	Matrix     [][]int64 `json:"matrix"`
+	MaxInbound int64     `json:"max_inbound"`
+
+	// Digest is the order-insensitive fingerprint of every (kind, key)
+	// the phase's tasks drew — the replay witness.
+	Digest uint64 `json:"digest"`
+}
+
+// HeapReport is the end-of-run gas-heap verdict: UAFLoads/UAFFrees
+// must be zero on any healthy run (the heaps poison freed slots), and
+// Live is what remains allocated after the final epoch clear.
+type HeapReport struct {
+	Live     int64 `json:"live"`
+	Allocs   int64 `json:"allocs"`
+	Frees    int64 `json:"frees"`
+	UAFLoads int64 `json:"uaf_loads"`
+	UAFFrees int64 `json:"uaf_frees"`
+}
+
+// Safe reports whether the run completed without a detected
+// use-after-free or double free.
+func (h HeapReport) Safe() bool { return h.UAFLoads == 0 && h.UAFFrees == 0 }
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteSummary renders the human-readable run digest: one line per
+// phase plus the safety verdict.
+func (r *Report) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "scenario %q: %s on %d locales × %d tasks, backend=%s, dist=%s\n",
+		r.Spec.Name, r.Spec.Structure, r.Spec.Locales, r.Spec.TasksPerLocale,
+		r.Spec.Backend, r.Spec.Dist.Kind)
+	for _, p := range r.Phases {
+		fmt.Fprintf(w, "  %-10s %9d ops in %6.2fs  %10.0f ops/s  p50=%s p99=%s p999=%s  remote=%d maxInbound=%d\n",
+			p.Name, p.Ops, p.Seconds, p.Throughput,
+			fmtNS(p.Latency.P50NS), fmtNS(p.Latency.P99NS), fmtNS(p.Latency.P999NS),
+			p.RemoteOps, p.MaxInbound)
+	}
+	fmt.Fprintf(w, "  total: %d ops in %.2fs; heap live=%d uafLoads=%d uafFrees=%d; epoch reclaimed=%d/%d\n",
+		r.TotalOps, r.TotalSeconds, r.Heap.Live, r.Heap.UAFLoads, r.Heap.UAFFrees,
+		r.Epoch.Reclaimed, r.Epoch.Deferred)
+}
+
+// fmtNS renders nanoseconds with a readable unit.
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,347 @@
+// Package workload is the declarative scenario engine: the role
+// YCSB-style drivers play for key-value stores and Arkouda's server
+// benchmarks play for Chapel, aimed at the structures this repository
+// builds. A Spec describes *what* to run — op mix, key distribution,
+// arrival model, phases, fault plan — entirely as data (JSON-friendly),
+// a Driver binds it to one structure, and Run executes it on a fresh
+// simulated System, recording per-phase throughput, HDR-style latency
+// percentiles, and the exact communication counter and matrix deltas
+// the bench layer already treats as primary evidence. The whole run
+// serializes as a Report, the machine-readable perf record CI tracks.
+//
+// Scenarios are seeded: every task draws its ops and keys from a
+// private splitmix64 stream derived from (spec seed, phase, round,
+// locale, task), so a given spec replays the identical op stream on
+// every invocation — regressions found by a scenario are debuggable by
+// construction, and contention-free scenarios are counter-exact across
+// runs.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"gopgas/internal/comm"
+)
+
+// Structure names a scenario target.
+type Structure string
+
+const (
+	StructureHashmap  Structure = "hashmap"  // hashmap.Map
+	StructureQueue    Structure = "queue"    // queue.Sharded
+	StructureStack    Structure = "stack"    // stack.Sharded
+	StructureSkiplist Structure = "skiplist" // skiplist.List (single home)
+)
+
+// Structures lists every scenario target, for CLIs and sweeps.
+func Structures() []Structure {
+	return []Structure{StructureHashmap, StructureQueue, StructureStack, StructureSkiplist}
+}
+
+// DistKind selects a key distribution.
+type DistKind string
+
+const (
+	// DistUniform draws keys uniformly from the keyspace.
+	DistUniform DistKind = "uniform"
+	// DistZipfian draws ranks from a Zipfian distribution with skew
+	// Theta (YCSB's default regime; rank r is drawn with probability
+	// ∝ 1/(r+1)^Theta) and uses the rank as the key, so key 0 is the
+	// hottest.
+	DistZipfian DistKind = "zipfian"
+	// DistHotSet sends HotProb of the traffic to the first
+	// HotFraction of the keyspace and spreads the rest uniformly.
+	DistHotSet DistKind = "hotset"
+)
+
+// KeyDist is a declarative key distribution.
+type KeyDist struct {
+	Kind DistKind `json:"kind"`
+	// Theta is the Zipfian skew, in (0, 1); 0 selects the YCSB
+	// default 0.99. Only meaningful for DistZipfian.
+	Theta float64 `json:"theta,omitempty"`
+	// HotFraction is the fraction of the keyspace that is hot, in
+	// (0, 1); 0 selects 0.1. Only meaningful for DistHotSet.
+	HotFraction float64 `json:"hot_fraction,omitempty"`
+	// HotProb is the probability an op targets the hot set, in
+	// (0, 1]; 0 selects 0.9. Only meaningful for DistHotSet.
+	HotProb float64 `json:"hot_prob,omitempty"`
+}
+
+// Mix is the op-kind weighting of a phase. Weights are relative (they
+// need not sum to 1); a zero weight disables the kind. Which kinds a
+// structure supports is the Driver's contract — Validate rejects a
+// mix that weights an unsupported kind.
+type Mix struct {
+	Insert  float64 `json:"insert,omitempty"`  // map/skiplist keyed insert
+	Get     float64 `json:"get,omitempty"`     // map/skiplist keyed lookup
+	Remove  float64 `json:"remove,omitempty"`  // keyed remove, or dequeue/pop
+	Enqueue float64 `json:"enqueue,omitempty"` // queue enqueue / stack push
+	Steal   float64 `json:"steal,omitempty"`   // TryDequeueAny / TryPopAny
+	Bulk    float64 `json:"bulk,omitempty"`    // bulk insert/enqueue/push toward a drawn owner
+}
+
+func (m Mix) weights() [numOps]float64 {
+	return [numOps]float64{
+		OpInsert: m.Insert, OpGet: m.Get, OpRemove: m.Remove,
+		OpEnqueue: m.Enqueue, OpSteal: m.Steal, OpBulk: m.Bulk,
+	}
+}
+
+// total returns the sum of all weights.
+func (m Mix) total() float64 {
+	var t float64
+	for _, w := range m.weights() {
+		t += w
+	}
+	return t
+}
+
+// Phase is one stage of a scenario (the classic shape is load → run →
+// churn). Exactly one of OpsPerTask (closed-loop, deterministic) or
+// Seconds (time-based, for soaks) must be set.
+type Phase struct {
+	Name string `json:"name"`
+	Mix  Mix    `json:"mix"`
+
+	// OpsPerTask is the closed-loop op budget of each task. A
+	// closed-loop phase replays identically under one seed.
+	OpsPerTask int `json:"ops_per_task,omitempty"`
+
+	// Seconds runs each task until the deadline instead — the soak
+	// arrival model. Op counts then depend on wall time.
+	Seconds float64 `json:"seconds,omitempty"`
+
+	// TargetRate, when positive, paces each task at this many ops/sec
+	// (open-loop arrival): tasks sleep between ops to hold the rate
+	// instead of issuing back-to-back. 0 is closed-loop (as fast as
+	// the simulated system allows).
+	TargetRate float64 `json:"target_rate,omitempty"`
+
+	// Rounds repeats the phase body; 0 means 1.
+	Rounds int `json:"rounds,omitempty"`
+
+	// Churn destroys and recreates the structure between rounds,
+	// exercising Destroy/registry recycling under the scenario's mix.
+	Churn bool `json:"churn,omitempty"`
+
+	// BulkSize is the batch length of Bulk ops; 0 means 64.
+	BulkSize int `json:"bulk_size,omitempty"`
+
+	// ReclaimEvery makes each task attempt an epoch reclaim every N
+	// ops; 0 never reclaims inside the phase (deferred nodes are
+	// cleared between phases). Reclaim elections race across locales,
+	// so a phase that wants counter-exact replays leaves this 0.
+	ReclaimEvery int `json:"reclaim_every,omitempty"`
+}
+
+// rounds returns the effective round count.
+func (p Phase) rounds() int {
+	if p.Rounds < 1 {
+		return 1
+	}
+	return p.Rounds
+}
+
+// bulkSize returns the effective bulk batch length.
+func (p Phase) bulkSize() int {
+	if p.BulkSize < 1 {
+		return 64
+	}
+	return p.BulkSize
+}
+
+// Faults is the scenario's fault-injection plan, applied as a
+// comm.Perturbation on the System: latency scales, counters exact.
+type Faults struct {
+	// SlowFactor, when positive, makes locale SlowLocale run that many
+	// times slower (the "slow locale" mode: every delay touching it is
+	// scaled).
+	SlowFactor float64 `json:"slow_factor,omitempty"`
+	SlowLocale int     `json:"slow_locale,omitempty"`
+
+	// Scales is an explicit per-locale multiplier plan; entries <= 0
+	// mean nominal. Overrides SlowFactor/SlowLocale when non-empty.
+	Scales []float64 `json:"scales,omitempty"`
+}
+
+// perturbation lowers the fault plan to the comm layer.
+func (f Faults) perturbation(locales int) comm.Perturbation {
+	if len(f.Scales) > 0 {
+		return comm.Perturbation{Scales: f.Scales}
+	}
+	if f.SlowFactor > 0 {
+		return comm.SlowLocale(locales, f.SlowLocale, f.SlowFactor)
+	}
+	return comm.Perturbation{}
+}
+
+// Spec is one complete declarative scenario.
+type Spec struct {
+	Name           string    `json:"name"`
+	Structure      Structure `json:"structure"`
+	Locales        int       `json:"locales"`
+	TasksPerLocale int       `json:"tasks_per_locale"`
+	// Backend is the network-atomic regime, "ugni" or "none".
+	Backend string `json:"backend"`
+	// Seed drives every task's op/key stream. 0 means 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Keyspace is the number of distinct keys; 0 means 1<<16.
+	Keyspace uint64 `json:"keyspace,omitempty"`
+	// Buckets sizes the hashmap; 0 means 4 per locale.
+	Buckets int `json:"buckets,omitempty"`
+	// Home is the owning locale of single-home structures (skiplist).
+	Home int     `json:"home,omitempty"`
+	Dist KeyDist `json:"dist"`
+	// LatencyScale scales the calibrated comm.DefaultProfile: 1 is the
+	// calibrated network, 0 disables injected latency entirely (fast
+	// and exact — the unit-test regime).
+	LatencyScale float64 `json:"latency_scale,omitempty"`
+	Faults       Faults  `json:"faults,omitempty"`
+	Phases       []Phase `json:"phases"`
+}
+
+// WithDefaults returns a copy of s with zero-valued knobs replaced by
+// their documented defaults. Run applies it; callers only need it to
+// inspect the effective scenario.
+func (s Spec) WithDefaults() Spec {
+	if s.Name == "" {
+		s.Name = string(s.Structure)
+	}
+	if s.Locales == 0 {
+		s.Locales = 4
+	}
+	if s.TasksPerLocale == 0 {
+		s.TasksPerLocale = 1
+	}
+	if s.Backend == "" {
+		s.Backend = "none"
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Keyspace == 0 {
+		s.Keyspace = 1 << 16
+	}
+	if s.Buckets == 0 {
+		s.Buckets = 4 * s.Locales
+	}
+	if s.Dist.Kind == "" {
+		s.Dist.Kind = DistUniform
+	}
+	if s.Dist.Kind == DistZipfian && s.Dist.Theta == 0 {
+		s.Dist.Theta = 0.99
+	}
+	if s.Dist.Kind == DistHotSet {
+		if s.Dist.HotFraction == 0 {
+			s.Dist.HotFraction = 0.1
+		}
+		if s.Dist.HotProb == 0 {
+			s.Dist.HotProb = 0.9
+		}
+	}
+	return s
+}
+
+// Validate rejects malformed scenarios with a descriptive error. It
+// expects defaults to have been applied (Run does both).
+func (s Spec) Validate() error {
+	drv, err := NewDriver(s.Structure)
+	if err != nil {
+		return err
+	}
+	if s.Locales < 1 {
+		return fmt.Errorf("workload: locales must be >= 1, got %d", s.Locales)
+	}
+	if s.TasksPerLocale < 1 {
+		return fmt.Errorf("workload: tasks_per_locale must be >= 1, got %d", s.TasksPerLocale)
+	}
+	if _, err := comm.ParseBackend(s.Backend); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	if s.Keyspace < 1 {
+		return fmt.Errorf("workload: keyspace must be >= 1, got %d", s.Keyspace)
+	}
+	if s.Buckets < 1 {
+		return fmt.Errorf("workload: buckets must be >= 1, got %d", s.Buckets)
+	}
+	if s.Home < 0 || s.Home >= s.Locales {
+		return fmt.Errorf("workload: home %d out of range [0, %d)", s.Home, s.Locales)
+	}
+	if s.LatencyScale < 0 {
+		return fmt.Errorf("workload: latency_scale must be >= 0, got %v", s.LatencyScale)
+	}
+	switch s.Dist.Kind {
+	case DistUniform:
+	case DistZipfian:
+		if s.Dist.Theta <= 0 || s.Dist.Theta >= 1 {
+			return fmt.Errorf("workload: zipfian theta must be in (0, 1), got %v", s.Dist.Theta)
+		}
+	case DistHotSet:
+		if s.Dist.HotFraction <= 0 || s.Dist.HotFraction >= 1 {
+			return fmt.Errorf("workload: hot_fraction must be in (0, 1), got %v", s.Dist.HotFraction)
+		}
+		if s.Dist.HotProb <= 0 || s.Dist.HotProb > 1 {
+			return fmt.Errorf("workload: hot_prob must be in (0, 1], got %v", s.Dist.HotProb)
+		}
+	default:
+		return fmt.Errorf("workload: unknown key distribution %q", s.Dist.Kind)
+	}
+	if f := s.Faults; f.SlowFactor < 0 {
+		return fmt.Errorf("workload: slow_factor must be >= 0, got %v", f.SlowFactor)
+	} else if f.SlowFactor > 0 && (f.SlowLocale < 0 || f.SlowLocale >= s.Locales) {
+		return fmt.Errorf("workload: slow_locale %d out of range [0, %d)", f.SlowLocale, s.Locales)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("workload: scenario has no phases")
+	}
+	for i, p := range s.Phases {
+		where := fmt.Sprintf("phase %d (%q)", i, p.Name)
+		if (p.OpsPerTask > 0) == (p.Seconds > 0) {
+			return fmt.Errorf("workload: %s must set exactly one of ops_per_task and seconds", where)
+		}
+		if p.OpsPerTask < 0 || p.Seconds < 0 || p.TargetRate < 0 || p.Rounds < 0 || p.BulkSize < 0 || p.ReclaimEvery < 0 {
+			return fmt.Errorf("workload: %s has a negative knob", where)
+		}
+		for k, w := range p.Mix.weights() {
+			if w < 0 {
+				return fmt.Errorf("workload: %s weights %s negatively", where, OpKind(k))
+			}
+			if w > 0 && !drv.Supports(OpKind(k)) {
+				return fmt.Errorf("workload: %s weights %s, which %s does not support", where, OpKind(k), s.Structure)
+			}
+		}
+		if p.Mix.total() <= 0 {
+			return fmt.Errorf("workload: %s has an empty op mix", where)
+		}
+	}
+	return nil
+}
+
+// LoadSpec reads a Spec from a JSON file, rejecting unknown fields so
+// a typo'd knob fails loudly instead of silently running the default.
+func LoadSpec(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("workload: parsing %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// WriteJSON writes the spec as indented JSON (the format LoadSpec
+// reads back).
+func (s Spec) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Structure: StructureHashmap,
+		Phases: []Phase{
+			{Name: "load", Mix: Mix{Insert: 1}, OpsPerTask: 10},
+			{Name: "run", Mix: Mix{Insert: 1, Get: 8, Remove: 1}, OpsPerTask: 10},
+		},
+	}.WithDefaults()
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"unknown structure", func(s *Spec) { s.Structure = "btree" }, "unknown structure"},
+		{"zero locales", func(s *Spec) { s.Locales = -1 }, "locales"},
+		{"zero tasks", func(s *Spec) { s.TasksPerLocale = -1 }, "tasks_per_locale"},
+		{"bad backend", func(s *Spec) { s.Backend = "tcp" }, "backend"},
+		{"bad home", func(s *Spec) { s.Home = 99 }, "home"},
+		{"no phases", func(s *Spec) { s.Phases = nil }, "no phases"},
+		{"empty mix", func(s *Spec) { s.Phases[0].Mix = Mix{} }, "empty op mix"},
+		{"unsupported kind", func(s *Spec) { s.Phases[0].Mix = Mix{Steal: 1} }, "does not support"},
+		{"ops and seconds", func(s *Spec) { s.Phases[0].Seconds = 2 }, "exactly one"},
+		{"neither ops nor seconds", func(s *Spec) { s.Phases[0].OpsPerTask = 0 }, "exactly one"},
+		{"negative weight", func(s *Spec) { s.Phases[0].Mix.Get = -1 }, "negatively"},
+		{"theta too big", func(s *Spec) { s.Dist = KeyDist{Kind: DistZipfian, Theta: 1.5} }, "theta"},
+		{"bad hot fraction", func(s *Spec) { s.Dist = KeyDist{Kind: DistHotSet, HotFraction: 2, HotProb: 0.5} }, "hot_fraction"},
+		{"unknown dist", func(s *Spec) { s.Dist.Kind = "pareto" }, "distribution"},
+		{"negative latency scale", func(s *Spec) { s.LatencyScale = -1 }, "latency_scale"},
+		{"slow locale out of range", func(s *Spec) { s.Faults = Faults{SlowFactor: 4, SlowLocale: 64} }, "slow_locale"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := validSpec()
+			c.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("mutation %q accepted", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := validSpec()
+	s.Dist = KeyDist{Kind: DistZipfian, Theta: 0.9}
+	s.Faults = Faults{SlowFactor: 4, SlowLocale: 1}
+	s.Phases[1].Churn = true
+	s.Phases[1].Rounds = 3
+
+	path := filepath.Join(t.TempDir(), "spec.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	back, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Structure != s.Structure || back.Dist != s.Dist ||
+		back.Faults.SlowFactor != s.Faults.SlowFactor ||
+		len(back.Phases) != len(s.Phases) || back.Phases[1] != s.Phases[1] {
+		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", back, s)
+	}
+}
+
+func TestLoadSpecRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "typo.json")
+	if err := os.WriteFile(path, []byte(`{"structure": "queue", "lcoales": 4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(path); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestFaultsPerturbation(t *testing.T) {
+	p := Faults{SlowFactor: 6, SlowLocale: 2}.perturbation(4)
+	if got := p.ScaleFor(2); got != 6 {
+		t.Fatalf("slow locale scale = %v, want 6", got)
+	}
+	if got := p.ScaleFor(0); got != 1 {
+		t.Fatalf("nominal locale scale = %v, want 1", got)
+	}
+	// Explicit scales override the slow-locale shorthand.
+	p = Faults{SlowFactor: 6, SlowLocale: 2, Scales: []float64{1, 9}}.perturbation(4)
+	if p.ScaleFor(1) != 9 || p.ScaleFor(2) != 1 {
+		t.Fatalf("explicit scales not honoured: %+v", p)
+	}
+	if (Faults{}).perturbation(4).Enabled() {
+		t.Fatal("empty fault plan must be disabled")
+	}
+}
