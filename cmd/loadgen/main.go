@@ -14,7 +14,15 @@
 //	        [-dist uniform|zipfian|hotset] [-theta F] [-ops N]
 //	        [-bulk N] [-rate F] [-latency-scale F]
 //	        [-slow-locale I -slow-factor F]
+//	        [-cache] [-cache-slots N]
 //	        [-out report.json] [-print-spec] [-quiet]
+//
+// -cache enables the hashmap's per-locale read replication cache
+// (hashmap only): gets are served from locale-private replicas,
+// mutations write through with broadcast invalidation, and the report
+// gains cache hit/miss/invalidation counters — compare the run phase's
+// maxInbound with and without it under a hot-set distribution to see
+// the owner hotspot disappear.
 //
 // -print-spec writes the effective spec JSON to stdout (pipe it to a
 // file, tweak, and feed it back with -spec). The run summary prints to
@@ -49,6 +57,8 @@ func main() {
 		latScale  = flag.Float64("latency-scale", 0, "x the calibrated latency profile (0 = no injected latency)")
 		slowLoc   = flag.Int("slow-locale", 0, "locale slowed by -slow-factor")
 		slowFac   = flag.Float64("slow-factor", 0, "fault injection: slow one locale by this factor (0 = off)")
+		useCache  = flag.Bool("cache", false, "enable the hot-key read replication cache (hashmap only)")
+		cacheSlot = flag.Int("cache-slots", 0, "per-locale cache slots (0 = 256)")
 		outPath   = flag.String("out", "", "write the full report JSON here")
 		printSpec = flag.Bool("print-spec", false, "print the effective spec JSON to stdout and exit")
 		quiet     = flag.Bool("quiet", false, "suppress per-phase progress lines")
@@ -66,6 +76,10 @@ func main() {
 	} else {
 		spec = flagSpec(*structure, *locales, *tasks, *backend, *seed, *keyspace,
 			*dist, *theta, *ops, *bulkSize, *rate, *latScale, *slowLoc, *slowFac)
+		if *useCache {
+			spec.Cache = &workload.CacheSpec{Enabled: true, Slots: *cacheSlot}
+			spec.Name += "-cached"
+		}
 	}
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {

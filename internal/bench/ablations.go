@@ -6,6 +6,7 @@ import (
 	"gopgas/internal/core/epoch"
 	"gopgas/internal/gas"
 	"gopgas/internal/pgas"
+	"gopgas/internal/structures/cache"
 	"gopgas/internal/structures/hashmap"
 	"gopgas/internal/structures/queue"
 	"gopgas/internal/structures/stack"
@@ -518,6 +519,182 @@ func AblationSharding(cfg Config) Figure {
 	}
 }
 
+// a8HotKeys picks `count` keys that are all homed on locale 0 of the
+// given map and fall into distinct sets of the replication cache.
+// Homing every hot key on one locale concentrates the uncached
+// traffic into a single matrix column — the clean O(L) hotspot the
+// cache is supposed to erase — and one key per set makes the warmed
+// cached runs a pure all-hit steady state (even a 2-way set holds at
+// most two colliding hot keys, so the ablation removes the variable
+// entirely).
+func a8HotKeys(m hashmap.Map[int], ca cache.Cache[int], count int) []uint64 {
+	keys := make([]uint64, 0, count)
+	seen := make(map[int]bool, count)
+	for k := uint64(0); len(keys) < count; k++ {
+		if m.HomeOf(k) == 0 && !seen[ca.SetOf(k)] {
+			seen[ca.SetOf(k)] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// AblationReplication measures the failure mode the owner-computed
+// design leaves open — every Get on a hot key lands on its owner — and
+// the read replication cache that closes it. Panel 1 is weak scaling
+// of a hot-key get storm with all hot keys homed on locale 0: the
+// uncached runs funnel every remote locale's gets into locale 0's
+// matrix column, which grows O(L), while the cached runs (replicas
+// warmed outside the measured window) serve every get locale-locally
+// and the busiest column stays at the single coforall launch event.
+// Panel 2 is the invalidation storm: readers hammer hot keys through
+// the cache while writers mutate them (write-through broadcast
+// invalidation) and reclaimers advance epochs — the crucible for the
+// epoch-coherence claim, whose safety verdicts (zero UAF, deferred ==
+// reclaimed) TestAblationA8 asserts via replicationStorm.
+func AblationReplication(cfg Config) Figure {
+	reps := cfg.ops(1 << 9)
+	const hotKeys = 8
+	const cacheSlots = 4 * hotKeys
+
+	hotPanel := Panel{Title: "Hot-key gets per locale: owner-computed vs replicated (none)", XLabel: "Locales"}
+	runHot := func(locales int, cached bool) Point {
+		sys := cfg.newSystem(locales, comm.BackendNone)
+		defer sys.Shutdown()
+		var pt Point
+		sys.Run(func(c *pgas.Ctx) {
+			em := epoch.NewEpochManager(c)
+			m := hashmap.New[int](c, 8*locales, em)
+			// Both arms build the view so both pick identical hot keys;
+			// the uncached arm simply never routes through it.
+			cv := m.Cached(c, cacheSlots)
+			hot := a8HotKeys(m, cv.Cache(), hotKeys)
+			em.Protect(c, func(tok *epoch.Token) {
+				for _, k := range hot {
+					m.Insert(c, tok, k, int(k))
+				}
+			})
+			if cached {
+				// Warm every replica outside the measured window: the
+				// steady state under scrutiny is the all-hit regime, so
+				// the one cold miss per (locale, key) is setup, exactly
+				// like the inserts above.
+				c.CoforallLocales(func(lc *pgas.Ctx) {
+					em.Protect(lc, func(tok *epoch.Token) {
+						for _, k := range hot {
+							cv.Get(lc, tok, k)
+						}
+					})
+				})
+			}
+			pt.Seconds, pt.Comm, pt.Matrix, pt.MaxInbound = timedMatrix(sys, func() {
+				c.CoforallLocales(func(lc *pgas.Ctx) {
+					em.Protect(lc, func(tok *epoch.Token) {
+						for rep := 0; rep < reps; rep++ {
+							k := hot[rep%hotKeys]
+							if cached {
+								cv.Get(lc, tok, k)
+							} else {
+								m.Get(lc, tok, k)
+							}
+						}
+					})
+				})
+			})
+			em.Clear(c)
+		})
+		pt.X = locales
+		return pt
+	}
+
+	stormPanel := Panel{Title: "Invalidation storm: cached gets vs write-through mutations (none)", XLabel: "Locales"}
+	uncached := Series{Label: "owner-computed gets (hot column)"}
+	cachedS := Series{Label: "replicated gets (warmed cache)"}
+	storm := Series{Label: "cached mix + invalidation storm"}
+	for _, locales := range cfg.localeSweep(2) {
+		p := cfg.best(func() Point { return runHot(locales, false) })
+		uncached.Points = append(uncached.Points, p)
+		cfg.progressf("ablH uncached locales=%-3d %8.4fs  hotCol=%-8d [%v]\n", locales, p.Seconds, p.MaxInbound, p.Comm)
+
+		p = cfg.best(func() Point { return runHot(locales, true) })
+		cachedS.Points = append(cachedS.Points, p)
+		cfg.progressf("ablH cached   locales=%-3d %8.4fs  hotCol=%-8d [%v]\n", locales, p.Seconds, p.MaxInbound, p.Comm)
+
+		p, _ = replicationStorm(cfg, locales)
+		storm.Points = append(storm.Points, p)
+		cfg.progressf("ablH storm    locales=%-3d %8.4fs  [%v]\n", locales, p.Seconds, p.Comm)
+	}
+	hotPanel.Series = []Series{uncached, cachedS}
+	stormPanel.Series = []Series{storm}
+	return Figure{
+		ID:      "A8",
+		Title:   "Ablation: hot-key read replication cache",
+		Caption: "Owner-computed gets funnel hot-key traffic into the owner's matrix column, which grows O(L); per-locale replicas with epoch-coherent write-through invalidation serve repeat gets locally, pinning the busiest column at the single launch event while the poisoned heaps verify no cached read ever observes reclaimed memory.",
+		Panels:  []Panel{hotPanel, stormPanel},
+	}
+}
+
+// stormVerdict carries the safety evidence of one replicationStorm
+// run: the poisoned-heap totals and the epoch manager's reclamation
+// balance after the final clear.
+type stormVerdict struct {
+	Heap  gas.Stats
+	Epoch epoch.Stats
+}
+
+// replicationStorm drives the seeded invalidation-storm scenario: on
+// every locale one task issues a hot-key mix through a CachedView —
+// mostly gets, with periodic write-through Upserts and Removes (each
+// broadcasting invalidations) and periodic reclaim attempts, so cached
+// reads race entry retirement and epoch advancement the whole run. It
+// returns the timed Point and the safety verdicts: any use-after-free
+// would be detected by the poisoned heaps, and every retired entry
+// must be physically reclaimed by the end.
+func replicationStorm(cfg Config, locales int) (Point, stormVerdict) {
+	sys := cfg.newSystem(locales, comm.BackendNone)
+	defer sys.Shutdown()
+	ops := cfg.ops(1 << 11)
+	const stormKeys = 16
+	var pt Point
+	var v stormVerdict
+	sys.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		m := hashmap.New[int](c, 8*locales, em)
+		cv := m.Cached(c, 64)
+		em.Protect(c, func(tok *epoch.Token) {
+			for k := uint64(0); k < stormKeys; k++ {
+				m.Insert(c, tok, k, int(k))
+			}
+		})
+		pt.Seconds, pt.Comm, pt.Matrix, pt.MaxInbound = timedMatrix(sys, func() {
+			c.CoforallLocales(func(lc *pgas.Ctx) {
+				tok := em.Register(lc)
+				defer tok.Unregister(lc)
+				for i := 0; i < ops; i++ {
+					k := uint64(lc.RandIntn(stormKeys))
+					switch {
+					case i%16 == 0:
+						cv.Upsert(lc, tok, k, i)
+					case i%23 == 0:
+						cv.Remove(lc, tok, k)
+					default:
+						cv.Get(lc, tok, k)
+					}
+					if i%128 == 0 {
+						tok.TryReclaim(lc)
+					}
+				}
+				lc.Flush() // ship this task's remaining invalidations
+			})
+		})
+		em.Clear(c)
+		v.Heap = sys.HeapStats()
+		v.Epoch = em.Stats(c)
+	})
+	pt.X = locales
+	return pt, v
+}
+
 // Ablations runs every ablation study.
 func Ablations(cfg Config) []Figure {
 	return []Figure{
@@ -528,5 +705,6 @@ func Ablations(cfg Config) []Figure {
 		AblationReclamation(cfg),
 		AblationAggregation(cfg),
 		AblationSharding(cfg),
+		AblationReplication(cfg),
 	}
 }

@@ -79,7 +79,7 @@ func TestFigure7Structure(t *testing.T) {
 
 func TestAblationsStructure(t *testing.T) {
 	figs := Ablations(tinyConfig())
-	if len(figs) != 7 {
+	if len(figs) != 8 {
 		t.Fatalf("got %d ablations", len(figs))
 	}
 	ids := map[string]bool{}
@@ -89,7 +89,7 @@ func TestAblationsStructure(t *testing.T) {
 			t.Fatalf("ablation %s empty", f.ID)
 		}
 	}
-	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7"} {
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"} {
 		if !ids[id] {
 			t.Fatalf("missing ablation %s (have %v)", id, ids)
 		}
@@ -195,6 +195,58 @@ func TestAblationA7(t *testing.T) {
 	}
 }
 
+func TestAblationA8(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.05 // ~25 hot gets per locale: small but far above launch noise
+	f := AblationReplication(cfg)
+	if f.ID != "A8" || len(f.Panels) != 2 {
+		t.Fatalf("A8 shape: id=%s panels=%d", f.ID, len(f.Panels))
+	}
+	uncached, cached := f.Panels[0].Series[0], f.Panels[0].Series[1]
+	// Uncached: every hot key is homed on locale 0, so its inbound
+	// column carries all (L-1) remote locales' gets and grows with L.
+	first := uncached.Points[0]
+	last := uncached.Points[len(uncached.Points)-1]
+	if first.MaxInbound <= 0 {
+		t.Fatalf("uncached hot column empty: %+v", first.Comm)
+	}
+	if last.MaxInbound < 2*first.MaxInbound {
+		t.Fatalf("uncached hot column did not grow with locales: %d -> %d",
+			first.MaxInbound, last.MaxInbound)
+	}
+	// Cached: with warmed replicas the measured phase is all hits —
+	// the busiest inbound column is exactly the one coforall launch
+	// on-statement, O(1) at every locale count.
+	for i, p := range cached.Points {
+		if p.MaxInbound > 1 {
+			t.Fatalf("cached point %d busiest column = %d events (want <= 1): %v",
+				i, p.MaxInbound, p.Comm)
+		}
+		if ops := p.Comm.Remote() - p.Comm.OnStmts; ops != 0 {
+			t.Fatalf("cached point %d performed %d non-launch remote events: %v", i, ops, p.Comm)
+		}
+		if p.Comm.CacheHits == 0 {
+			t.Fatalf("cached point %d served no hits: %v", i, p.Comm)
+		}
+		if p.Comm.CacheMiss != 0 {
+			t.Fatalf("cached point %d missed %d times after warming: %v", i, p.Comm.CacheMiss, p.Comm)
+		}
+	}
+	// The seeded invalidation storm: cached reads race write-through
+	// retirement and epoch advancement; the poisoned heaps must detect
+	// zero UAF and every retired entry must be physically reclaimed.
+	pt, v := replicationStorm(cfg, 4)
+	if v.Heap.UAFLoads != 0 || v.Heap.UAFFrees != 0 {
+		t.Fatalf("storm heap verdict: %+v", v.Heap)
+	}
+	if v.Epoch.Deferred != v.Epoch.Reclaimed {
+		t.Fatalf("storm epoch verdict: deferred=%d reclaimed=%d", v.Epoch.Deferred, v.Epoch.Reclaimed)
+	}
+	if pt.Comm.CacheInval == 0 || pt.Comm.CacheHits == 0 {
+		t.Fatalf("storm exercised nothing: %v", pt.Comm)
+	}
+}
+
 func TestReportWriters(t *testing.T) {
 	f := Figure7(tinyConfig())
 	var text, csv, commText strings.Builder
@@ -214,7 +266,7 @@ func TestReportWriters(t *testing.T) {
 		t.Fatalf("csv header = %q", lines[0])
 	}
 	for _, l := range lines[1:] {
-		if got := strings.Count(l, ","); got != 17 {
+		if got := strings.Count(l, ","); got != 20 {
 			t.Fatalf("csv row has %d commas: %q", got, l)
 		}
 	}

@@ -48,16 +48,17 @@ func colWidth(label string) int {
 // communication columns — the machine-readable record EXPERIMENTS.md
 // references.
 func WriteCSV(w io.Writer, f Figure) {
-	fmt.Fprintln(w, "figure,panel,series,x,seconds,puts,gets,nic_amos,am_amos,local_amos,on_stmts,bulk_xfers,bulk_bytes,dcas_local,dcas_remote,agg_flushes,agg_ops,agg_bytes")
+	fmt.Fprintln(w, "figure,panel,series,x,seconds,puts,gets,nic_amos,am_amos,local_amos,on_stmts,bulk_xfers,bulk_bytes,dcas_local,dcas_remote,agg_flushes,agg_ops,agg_bytes,cache_hits,cache_miss,cache_inval")
 	for _, p := range f.Panels {
 		for _, s := range p.Series {
 			for _, pt := range s.Points {
-				fmt.Fprintf(w, "%s,%q,%q,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				fmt.Fprintf(w, "%s,%q,%q,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 					f.ID, p.Title, s.Label, pt.X, pt.Seconds,
 					pt.Comm.Puts, pt.Comm.Gets, pt.Comm.NICAMOs, pt.Comm.AMAMOs,
 					pt.Comm.LocalAMOs, pt.Comm.OnStmts, pt.Comm.BulkXfers,
 					pt.Comm.BulkBytes, pt.Comm.DCASLocal, pt.Comm.DCASRemote,
-					pt.Comm.AggFlushes, pt.Comm.AggOps, pt.Comm.AggBytes)
+					pt.Comm.AggFlushes, pt.Comm.AggOps, pt.Comm.AggBytes,
+					pt.Comm.CacheHits, pt.Comm.CacheMiss, pt.Comm.CacheInval)
 			}
 		}
 	}
@@ -65,8 +66,8 @@ func WriteCSV(w io.Writer, f Figure) {
 
 // WriteMatrixCSV renders the locale-pair heatmap record: one row per
 // (point, src, dst) cell for every point that captured a matrix delta
-// (currently the sharding ablation A7); points without a matrix are
-// skipped. Fields are quoted per RFC 4180 (encoding/csv), so titles
+// (the sharding ablation A7 and the replication ablation A8); points
+// without a matrix are skipped. Fields are quoted per RFC 4180 (encoding/csv), so titles
 // containing commas or quotes stay parseable. It returns the number of
 // data rows written so the caller can warn when a -matrix request
 // matched no figure.

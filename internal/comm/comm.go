@@ -1,16 +1,3 @@
-// Package comm models the communication layer of a PGAS system.
-//
-// The paper's evaluation toggles CHPL_NETWORK_ATOMICS between "ugni"
-// (Cray Gemini/Aries NIC-offloaded RDMA atomics) and "none"
-// (active-message atomics executed by the recipient's progress thread).
-// This package captures the two regimes as Backend values, carries the
-// calibrated latency profile used to simulate them inside one process,
-// and exposes communication-diagnostic counters in the spirit of
-// Chapel's commDiagnostics module.
-//
-// Everything here is mechanism-free policy: the actual routing of
-// operations lives in package pgas, which consults the Backend and
-// LatencyProfile configured on the System.
 package comm
 
 import "fmt"

@@ -27,6 +27,9 @@ type Counters struct {
 	aggFlushes atomic.Int64 // aggregator buffer shipments (each also counts one bulk transfer)
 	aggOps     atomic.Int64 // remote operations carried inside aggregated flushes
 	aggBytes   atomic.Int64 // payload bytes carried inside aggregated flushes
+	cacheHits  atomic.Int64 // read-replication cache hits (served locale-locally)
+	cacheMiss  atomic.Int64 // read-replication cache misses (fell through to the owner)
+	cacheInval atomic.Int64 // read-replication invalidation ops executed (one per locale reached)
 }
 
 // Snapshot is an immutable copy of the counter values at one instant.
@@ -44,6 +47,9 @@ type Snapshot struct {
 	AggFlushes int64
 	AggOps     int64
 	AggBytes   int64
+	CacheHits  int64
+	CacheMiss  int64
+	CacheInval int64
 }
 
 // IncPut records a small remote write.
@@ -85,6 +91,24 @@ func (c *Counters) IncAggFlush(ops, bytes int64) {
 	c.aggBytes.Add(bytes)
 }
 
+// IncCacheHit records one read-replication cache hit: a Get served
+// from the calling locale's replica without touching the owner. Hits
+// are locale-local by definition, so they never enter Remote() or the
+// matrix — the counter exists to make the avoided communication
+// visible next to the communication that did happen.
+func (c *Counters) IncCacheHit() { c.cacheHits.Add(1) }
+
+// IncCacheMiss records one read-replication cache miss (the lookup
+// fell through to the owner-computed path, whose remote events are
+// counted separately by the dispatch layer as usual).
+func (c *Counters) IncCacheMiss() { c.cacheMiss.Add(1) }
+
+// IncCacheInval records one executed invalidation operation. A
+// write-through mutation broadcasts one such op per locale, so this
+// counter exposes the write-amplification cost of replication; the
+// transport the ops ride (aggregated flushes) is counted separately.
+func (c *Counters) IncCacheInval() { c.cacheInval.Add(1) }
+
 // Snapshot returns a point-in-time copy of all counters.
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
@@ -101,6 +125,9 @@ func (c *Counters) Snapshot() Snapshot {
 		AggFlushes: c.aggFlushes.Load(),
 		AggOps:     c.aggOps.Load(),
 		AggBytes:   c.aggBytes.Load(),
+		CacheHits:  c.cacheHits.Load(),
+		CacheMiss:  c.cacheMiss.Load(),
+		CacheInval: c.cacheInval.Load(),
 	}
 }
 
@@ -119,6 +146,9 @@ func (c *Counters) Reset() {
 	c.aggFlushes.Store(0)
 	c.aggOps.Store(0)
 	c.aggBytes.Store(0)
+	c.cacheHits.Store(0)
+	c.cacheMiss.Store(0)
+	c.cacheInval.Store(0)
 }
 
 // Sub returns the element-wise difference s - old, for measuring the
@@ -138,6 +168,9 @@ func (s Snapshot) Sub(old Snapshot) Snapshot {
 		AggFlushes: s.AggFlushes - old.AggFlushes,
 		AggOps:     s.AggOps - old.AggOps,
 		AggBytes:   s.AggBytes - old.AggBytes,
+		CacheHits:  s.CacheHits - old.CacheHits,
+		CacheMiss:  s.CacheMiss - old.CacheMiss,
+		CacheInval: s.CacheInval - old.CacheInval,
 	}
 }
 
@@ -147,11 +180,17 @@ func (s Snapshot) Remote() int64 {
 	return s.Puts + s.Gets + s.NICAMOs + s.AMAMOs + s.OnStmts + s.BulkXfers + s.DCASRemote
 }
 
-// String formats the snapshot as a compact single-line summary.
+// String formats the snapshot as a compact single-line summary. The
+// cache counters are appended only when the run used the read
+// replication layer, keeping the common case short.
 func (s Snapshot) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"puts=%d gets=%d nicAMO=%d amAMO=%d localAMO=%d on=%d bulk=%d/%dB dcas=%d/%d agg=%d/%d/%dB",
 		s.Puts, s.Gets, s.NICAMOs, s.AMAMOs, s.LocalAMOs, s.OnStmts,
 		s.BulkXfers, s.BulkBytes, s.DCASLocal, s.DCASRemote,
 		s.AggFlushes, s.AggOps, s.AggBytes)
+	if s.CacheHits != 0 || s.CacheMiss != 0 || s.CacheInval != 0 {
+		out += fmt.Sprintf(" cache=%d/%d/%d", s.CacheHits, s.CacheMiss, s.CacheInval)
+	}
+	return out
 }

@@ -1,0 +1,58 @@
+// Package pgas implements an in-process Partitioned Global Address
+// Space runtime: the substrate the paper's constructs run on, and the
+// only layer that owns mechanism (task spawning, active-message
+// queues, batch delivery). Everything above it communicates through
+// Ctx methods, so the comm counters see every event exactly once.
+//
+// # Topology and tasks
+//
+// A System hosts a fixed set of locales. Each locale owns a gas.Heap
+// (its partition of the global address space), a bounded pool of
+// progress workers that execute incoming active messages (the
+// serialization the paper's "none" curves exhibit), and a slot in the
+// privatization registry. Tasks are goroutines bound to a locale
+// through a Ctx — the analogue of Chapel's implicit `here` — carrying
+// a private deterministic random stream.
+//
+// # Language features
+//
+// The package supplies the handful of features the paper's listings
+// rely on: synchronous on-statements (Ctx.On) and fire-and-forget
+// asynchronous ones (Ctx.AsyncOn, tracked by System.Quiesce),
+// coforall/forall loops over locales and cyclically distributed
+// domains with task-private values, network-atomic words (Word64,
+// Word128) routed per the configured comm.Backend, remote
+// allocation/load/free with bulk variants, an && reduction, and the
+// privatization registry.
+//
+// # The dispatch layer
+//
+// Every simulated remote operation — on-statement, 64-bit AMO, 128-bit
+// DCAS, GET/PUT charge, bulk transfer — is routed, counted and
+// latency-charged in dispatch.go, in one place. Ctx.On, Word64,
+// Word128 and the memory operations are thin veneers over it, so the
+// synchronous, asynchronous and aggregated paths share one accounting
+// implementation and cannot drift. Injected delays come from the
+// configured comm.LatencyProfile, scaled by the comm.Perturbation
+// fault plan at every site.
+//
+// # Aggregation buffers
+//
+// Each task lazily owns per-destination aggregation buffers
+// (Ctx.Aggregator): Call/CallSized, Free, Put and Add buffer small
+// remote operations that ship as one bulk transfer per flush —
+// explicitly via Flush, or automatically at capacity. Local
+// destinations execute inline, as `on here` is elided. Ctx.Flush
+// drains the task's buffers and then waits for system-wide quiescence
+// of asynchronous work.
+//
+// # Privatization
+//
+// NewPrivatized replicates an instance per locale with a
+// per-locale constructor hook; Privatized.Get resolves the calling
+// locale's replica with zero communication — the paper's scaling
+// device above the network, used by the EpochManager, the structure
+// shards (via shared.Object) and the read replication cache.
+// Privatized.Destroy runs per-locale finalizers and recycles the
+// registry id, so churn workloads keep the tables dense.
+package pgas

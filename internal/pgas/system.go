@@ -1,23 +1,3 @@
-// Package pgas implements an in-process Partitioned Global Address
-// Space runtime: the substrate the paper's constructs run on.
-//
-// A System hosts a fixed set of locales. Each locale owns a gas.Heap
-// (its partition of the global address space), a bounded pool of
-// progress workers that execute incoming active messages, and a slot in
-// the privatization registry. Tasks are goroutines bound to a locale
-// through a Ctx, the analogue of Chapel's implicit `here`.
-//
-// The package supplies the handful of language features the paper's
-// listings rely on: on-statements (Ctx.On), coforall/forall loops over
-// locales and cyclically distributed domains with task-private values,
-// network-atomic words (Word64, Word128) routed per the configured
-// comm.Backend, remote allocation/load/free with bulk variants, a
-// privatized-instance registry with zero-communication lookup, and
-// an && reduction.
-//
-// Simulated communication costs are injected from the configured
-// comm.LatencyProfile and every event increments the System's
-// comm.Counters, so tests can assert on exact communication volume.
 package pgas
 
 import (

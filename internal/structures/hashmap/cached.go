@@ -1,0 +1,124 @@
+package hashmap
+
+import (
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+	"gopgas/internal/structures/cache"
+)
+
+// CachedView couples a Map with a per-locale read replication cache
+// (internal/structures/cache): Get memoizes the owner-computed lookup
+// in the calling locale's replica, so repeat reads of a hot key are
+// locale-private hits instead of remote traffic to the bucket's owner,
+// and every mutation writes through — it applies to the map and then
+// broadcasts an invalidation for the key so replicas converge.
+//
+// The view is strictly opt-in and costs nothing when unused: Map
+// itself is untouched, and a CachedView is just the pair of handles.
+// Coherence, however, is a contract on the *writers*: once a key is
+// read through a CachedView, every mutation of that key must go
+// through a CachedView of the same cache (or call Cache().Invalidate
+// itself) — writes through the bare Map are invisible to the replicas.
+//
+// Invalidations ride the writer's aggregation buffers (one op per
+// locale, batched into bulk flushes), so remote replicas may serve the
+// previous value until the writer's buffers flush — at capacity, or at
+// Ctx.Flush. The bound is the aggregation capacity, and a writer that
+// needs read-your-writes across locales flushes after mutating.
+// Entries are pinned and retired through the map's own EpochManager,
+// so a cached read can never observe reclaimed memory (the cache
+// package documents the generation protocol).
+//
+// Like Map, the view is a small copyable handle: copy it into tasks
+// and across locales freely. The zero value is invalid; create with
+// Map.Cached.
+type CachedView[V any] struct {
+	m  Map[V]
+	ca cache.Cache[V]
+}
+
+// Cached layers a read replication cache over the map: one 2-way
+// set-associative replica of `slots` entries per locale (the set count
+// rounded up to a power of two), sharing the map's epoch manager so
+// cached entries and structure nodes reclaim through one domain. slots
+// must be positive.
+func (m Map[V]) Cached(c *pgas.Ctx, slots int) CachedView[V] {
+	return CachedView[V]{m: m, ca: cache.New[V](c, slots, m.em)}
+}
+
+// Valid reports whether the view was produced by Map.Cached.
+func (cv CachedView[V]) Valid() bool { return cv.ca.Valid() }
+
+// Base returns the underlying map. Reads through it are always
+// correct; writes through it bypass invalidation (see the type
+// comment).
+func (cv CachedView[V]) Base() Map[V] { return cv.m }
+
+// Cache returns the replication cache, for statistics and manual
+// invalidation.
+func (cv CachedView[V]) Cache() cache.Cache[V] { return cv.ca }
+
+// Get returns the value for k, served from the calling locale's
+// replica when present and coherent; a miss falls through to the
+// owner-computed Map.Get and publishes the result locally. Absent keys
+// are not cached.
+func (cv CachedView[V]) Get(c *pgas.Ctx, tok *epoch.Token, k uint64) (V, bool) {
+	return cv.ca.GetThrough(c, tok, k, func() (V, bool) {
+		return cv.m.Get(c, tok, k)
+	})
+}
+
+// Contains reports whether k is present, through the cache.
+func (cv CachedView[V]) Contains(c *pgas.Ctx, tok *epoch.Token, k uint64) bool {
+	_, ok := cv.Get(c, tok, k)
+	return ok
+}
+
+// Insert adds (k, v) if absent, reporting whether it inserted, and
+// writes through: a successful insert invalidates k on every replica.
+// (An unsuccessful insert changed nothing, so nothing is stale.)
+func (cv CachedView[V]) Insert(c *pgas.Ctx, tok *epoch.Token, k uint64, v V) bool {
+	ok := cv.m.Insert(c, tok, k, v)
+	if ok {
+		cv.ca.Invalidate(c, k)
+	}
+	return ok
+}
+
+// Upsert inserts or replaces (k, v), reporting whether it replaced,
+// and invalidates k on every replica.
+func (cv CachedView[V]) Upsert(c *pgas.Ctx, tok *epoch.Token, k uint64, v V) bool {
+	replaced := cv.m.Upsert(c, tok, k, v)
+	cv.ca.Invalidate(c, k)
+	return replaced
+}
+
+// Remove deletes k, reporting whether it was present; a successful
+// remove invalidates k on every replica.
+func (cv CachedView[V]) Remove(c *pgas.Ctx, tok *epoch.Token, k uint64) bool {
+	ok := cv.m.Remove(c, tok, k)
+	if ok {
+		cv.ca.Invalidate(c, k)
+	}
+	return ok
+}
+
+// InsertBulk adds every absent pair exactly as Map.InsertBulk (bucket
+// -owner routing through the aggregation buffers), then broadcasts
+// invalidations for every key in the batch and flushes them, so the
+// batch is coherent on return.
+func (cv CachedView[V]) InsertBulk(c *pgas.Ctx, pairs []KV[V]) int {
+	n := cv.m.InsertBulk(c, pairs)
+	for _, kv := range pairs {
+		cv.ca.Invalidate(c, kv.K)
+	}
+	c.Flush()
+	return n
+}
+
+// Destroy tears down the cache and then the map. The usual Destroy
+// contract applies to both: quiescent, once, no use afterwards.
+func (cv CachedView[V]) Destroy(c *pgas.Ctx) {
+	cv.ca.Destroy(c)
+	cv.m.Destroy(c)
+}

@@ -1,0 +1,162 @@
+package hashmap
+
+import (
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+// Repeat gets of a hot key through a CachedView are locale-private:
+// after one warming read per locale, a get storm performs zero remote
+// events anywhere — the hotspot the owner-computed design funnels onto
+// the bucket owner simply disappears.
+func TestCachedViewHotGetsAreZeroComm(t *testing.T) {
+	sys := pgas.NewSystem(pgas.Config{Locales: 4, Backend: comm.BackendNone})
+	defer sys.Shutdown()
+	sys.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		m := New[int64](c, 16, em)
+		cv := m.Cached(c, 64)
+		em.Protect(c, func(tok *epoch.Token) {
+			m.Insert(c, tok, 99, 4242)
+		})
+		// Warm every replica.
+		c.CoforallLocales(func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				if v, ok := cv.Get(lc, tok, 99); !ok || v != 4242 {
+					t.Errorf("locale %d warming get = (%d, %v)", lc.Here(), v, ok)
+				}
+			})
+		})
+		before := sys.Counters().Snapshot()
+		c.CoforallLocales(func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				for i := 0; i < 100; i++ {
+					if v, ok := cv.Get(lc, tok, 99); !ok || v != 4242 {
+						t.Errorf("locale %d hot get = (%d, %v)", lc.Here(), v, ok)
+					}
+				}
+			})
+		})
+		delta := sys.Counters().Snapshot().Sub(before)
+		if got := delta.Remote() - delta.OnStmts; got != 0 {
+			t.Fatalf("hot gets performed %d non-launch remote events: %v", got, delta)
+		}
+		if delta.CacheHits != 400 || delta.CacheMiss != 0 {
+			t.Fatalf("cache counters = %d hits / %d misses, want 400/0", delta.CacheHits, delta.CacheMiss)
+		}
+	})
+}
+
+// Mutations write through: after the writer's buffers flush, every
+// replica re-fetches and observes the new value (or the removal).
+func TestCachedViewWriteThrough(t *testing.T) {
+	sys := pgas.NewSystem(pgas.Config{Locales: 4, Backend: comm.BackendNone})
+	defer sys.Shutdown()
+	sys.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		cv := New[string](c, 16, em).Cached(c, 32)
+		em.Protect(c, func(tok *epoch.Token) {
+			cv.Insert(c, tok, 5, "v1")
+		})
+		c.CoforallLocales(func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				if v, ok := cv.Get(lc, tok, 5); !ok || v != "v1" {
+					t.Errorf("locale %d initial get = (%q, %v)", lc.Here(), v, ok)
+				}
+			})
+		})
+
+		em.Protect(c, func(tok *epoch.Token) {
+			if !cv.Upsert(c, tok, 5, "v2") {
+				t.Error("upsert of a present key did not replace")
+			}
+		})
+		c.Flush() // ship the buffered invalidations
+		c.CoforallLocales(func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				if v, ok := cv.Get(lc, tok, 5); !ok || v != "v2" {
+					t.Errorf("locale %d post-upsert get = (%q, %v), want v2", lc.Here(), v, ok)
+				}
+			})
+		})
+
+		em.Protect(c, func(tok *epoch.Token) {
+			if !cv.Remove(c, tok, 5) {
+				t.Error("remove of a present key failed")
+			}
+		})
+		c.Flush()
+		c.CoforallLocales(func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				if _, ok := cv.Get(lc, tok, 5); ok {
+					t.Errorf("locale %d still reads a removed key", lc.Here())
+				}
+			})
+		})
+		if st := cv.Cache().Stats(c); st.Invalidations == 0 {
+			t.Fatal("write-through produced no invalidations")
+		}
+	})
+}
+
+// InsertBulk writes through and is coherent on return: replicas warmed
+// with pre-bulk values re-fetch the bulk's values without an explicit
+// caller flush.
+func TestCachedViewInsertBulkInvalidates(t *testing.T) {
+	sys := pgas.NewSystem(pgas.Config{Locales: 4, Backend: comm.BackendNone})
+	defer sys.Shutdown()
+	sys.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		cv := New[int64](c, 16, em).Cached(c, 64)
+		// Warm replicas with "absent" fetch attempts plus one present key.
+		em.Protect(c, func(tok *epoch.Token) {
+			cv.Insert(c, tok, 1, 10)
+		})
+		c.CoforallLocales(func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				cv.Get(lc, tok, 1)
+			})
+		})
+		pairs := []KV[int64]{{K: 2, V: 20}, {K: 3, V: 30}}
+		if n := cv.InsertBulk(c, pairs); n != 2 {
+			t.Fatalf("InsertBulk inserted %d, want 2", n)
+		}
+		c.CoforallLocales(func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				for _, kv := range pairs {
+					if v, ok := cv.Get(lc, tok, kv.K); !ok || v != kv.V {
+						t.Errorf("locale %d bulk key %d = (%d, %v)", lc.Here(), kv.K, v, ok)
+					}
+				}
+			})
+		})
+	})
+}
+
+// A cached view tears down cleanly: destroy, recreate, reuse — the
+// churn pattern the workload engine drives.
+func TestCachedViewChurn(t *testing.T) {
+	sys := pgas.NewSystem(pgas.Config{Locales: 2, Backend: comm.BackendNone})
+	defer sys.Shutdown()
+	sys.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		for round := 0; round < 3; round++ {
+			cv := New[int64](c, 8, em).Cached(c, 16)
+			em.Protect(c, func(tok *epoch.Token) {
+				cv.Insert(c, tok, 7, int64(round))
+				if v, ok := cv.Get(c, tok, 7); !ok || v != int64(round) {
+					t.Fatalf("round %d read back (%d, %v)", round, v, ok)
+				}
+			})
+			c.Flush()
+			em.Clear(c)
+			cv.Destroy(c)
+		}
+		if h := sys.HeapStats(); h.UAFLoads != 0 || h.UAFFrees != 0 {
+			t.Fatalf("heap verdict after churn: %+v", h)
+		}
+	})
+}

@@ -1,30 +1,3 @@
-// Package shared is the distributed-object framework the structure
-// layer is built on: the boilerplate every privatized, owner-sharded
-// structure used to repeat — a shared EpochManager, token plumbing,
-// per-locale instance resolution, owner-computed routing — extracted
-// into one place.
-//
-// An Object[S] replicates one shard of type S per locale through the
-// pgas privatization registry. The handle is a small value: copy it
-// freely into tasks and across locales; resolving the calling task's
-// shard (Local) is a plain indexed load into locale-private memory —
-// zero communication, the paper's privatization device. Everything
-// that *does* communicate goes through the owner-computed routing
-// helpers, which are thin veneers over the pgas dispatch and
-// aggregation layers, so the comm counters see every event exactly
-// once:
-//
-//	Local(c)            the calling locale's shard, free
-//	Shard(c, i)         a peer's shard by id, free (diagnostic peek)
-//	OnOwner(c, i, fn)   synchronous on-statement to shard i's locale
-//	AsyncOnOwner        fire-and-forget on-statement (quiesce-tracked)
-//	AggOnOwner          buffered op toward shard i (one flush per batch)
-//	ForEachShard        coforall over every shard, on its locale
-//	Gather / Sum        owner-computed reduction over all shards
-//
-// The framework deliberately knows nothing about what a shard *is*:
-// queue segments, stack segments and hashmap bucket tables all sit on
-// the same ten lines of plumbing.
 package shared
 
 import (

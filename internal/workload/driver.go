@@ -49,9 +49,14 @@ func NewDriver(s Structure) (Driver, error) {
 
 // hashmapDriver drives hashmap.Map: keyed inserts/gets/removes plus
 // InsertBulk, which routes pairs to their bucket owners through the
-// aggregation buffers.
+// aggregation buffers. When the spec enables the cache, every op goes
+// through a hashmap.CachedView instead: gets are served from
+// per-locale replicas, mutations write through with broadcast
+// invalidation.
 type hashmapDriver struct {
-	m hashmap.Map[int64]
+	m      hashmap.Map[int64]
+	cv     hashmap.CachedView[int64]
+	cached bool
 }
 
 func (d *hashmapDriver) Structure() Structure { return StructureHashmap }
@@ -66,9 +71,24 @@ func (d *hashmapDriver) Supports(k OpKind) bool {
 
 func (d *hashmapDriver) Setup(c *pgas.Ctx, em epoch.EpochManager, spec Spec) {
 	d.m = hashmap.New[int64](c, spec.Buckets, em)
+	d.cached = spec.Cache != nil && spec.Cache.Enabled
+	if d.cached {
+		d.cv = d.m.Cached(c, spec.Cache.Slots)
+	}
 }
 
 func (d *hashmapDriver) Apply(c *pgas.Ctx, tok *epoch.Token, kind OpKind, key uint64) {
+	if d.cached {
+		switch kind {
+		case OpInsert:
+			d.cv.Upsert(c, tok, key, int64(key))
+		case OpGet:
+			d.cv.Get(c, tok, key)
+		case OpRemove:
+			d.cv.Remove(c, tok, key)
+		}
+		return
+	}
 	switch kind {
 	case OpInsert:
 		d.m.Upsert(c, tok, key, int64(key))
@@ -84,10 +104,20 @@ func (d *hashmapDriver) ApplyBulk(c *pgas.Ctx, _ int, keys []uint64) {
 	for i, k := range keys {
 		pairs[i] = hashmap.KV[int64]{K: k, V: int64(k)}
 	}
+	if d.cached {
+		d.cv.InsertBulk(c, pairs)
+		return
+	}
 	d.m.InsertBulk(c, pairs)
 }
 
-func (d *hashmapDriver) Destroy(c *pgas.Ctx) { d.m.Destroy(c) }
+func (d *hashmapDriver) Destroy(c *pgas.Ctx) {
+	if d.cached {
+		d.cv.Destroy(c)
+		return
+	}
+	d.m.Destroy(c)
+}
 
 // queueDriver drives queue.Sharded: enqueue/dequeue on the calling
 // locale's segment, work-stealing dequeues, and bulk enqueues routed

@@ -156,6 +156,64 @@ func TestSeededRunBitIdentical(t *testing.T) {
 	}
 }
 
+// TestCachedScenarioHotspotRelief runs a hot-set get-heavy scenario
+// with and without the read replication cache. The uncached run
+// funnels the hot keys' gets into their owners' inbound columns; the
+// cached run serves repeats from per-locale replicas, so its run-phase
+// busiest column must be a small fraction of the uncached one. The
+// churn phase exercises the cached driver's destroy/recreate path, and
+// the usual verdicts (zero UAF, deferred == reclaimed) hold with the
+// cache's entry retirement in the mix.
+func TestCachedScenarioHotspotRelief(t *testing.T) {
+	base := Spec{
+		Name:           "hotspot",
+		Structure:      StructureHashmap,
+		Locales:        4,
+		TasksPerLocale: 2,
+		Backend:        "none",
+		Seed:           7,
+		Keyspace:       256,
+		Dist:           KeyDist{Kind: DistHotSet, HotFraction: 0.05, HotProb: 0.95},
+		Phases: []Phase{
+			{Name: "load", Mix: Mix{Insert: 1}, OpsPerTask: 200},
+			{Name: "run", Mix: Mix{Get: 1}, OpsPerTask: 2000},
+			{Name: "churn", Mix: Mix{Get: 8, Insert: 1}, OpsPerTask: 100, Rounds: 2, Churn: true},
+		},
+	}
+	uncached, err := Run(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCache := base
+	withCache.Cache = &CacheSpec{Enabled: true}
+	cached, err := Run(withCache, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range map[string]*Report{"uncached": uncached, "cached": cached} {
+		if !rep.Heap.Safe() {
+			t.Fatalf("%s run unsafe: %+v", name, rep.Heap)
+		}
+		if !rep.Epoch.Balanced() {
+			t.Fatalf("%s epoch leak: %+v", name, rep.Epoch)
+		}
+	}
+	ur, cr := uncached.Phases[1], cached.Phases[1]
+	if ur.Comm.CacheHits != 0 {
+		t.Fatalf("uncached run counted cache hits: %v", ur.Comm)
+	}
+	if cr.Comm.CacheHits == 0 || cr.Comm.CacheHits < 4*cr.Comm.CacheMiss {
+		t.Fatalf("cached run not read-mostly-hit: %v", cr.Comm)
+	}
+	if 4*cr.MaxInbound >= ur.MaxInbound {
+		t.Fatalf("cache did not relieve the hotspot: busiest column %d cached vs %d uncached",
+			cr.MaxInbound, ur.MaxInbound)
+	}
+	if cached.Phases[2].Comm.CacheInval == 0 {
+		t.Fatal("churn-phase inserts produced no invalidations")
+	}
+}
+
 // TestChurnReachesSteadyHeap checks that churn rounds recycle
 // everything: heap live after N destroy/recreate rounds stays bounded
 // by one round's working set instead of accumulating per round.

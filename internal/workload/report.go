@@ -102,10 +102,18 @@ func (r *Report) WriteSummary(w io.Writer) {
 		r.Spec.Name, r.Spec.Structure, r.Spec.Locales, r.Spec.TasksPerLocale,
 		r.Spec.Backend, r.Spec.Dist.Kind)
 	for _, p := range r.Phases {
-		fmt.Fprintf(w, "  %-10s %9d ops in %6.2fs  %10.0f ops/s  p50=%s p99=%s p999=%s  remote=%d maxInbound=%d\n",
+		fmt.Fprintf(w, "  %-10s %9d ops in %6.2fs  %10.0f ops/s  p50=%s p99=%s p999=%s  remote=%d maxInbound=%d",
 			p.Name, p.Ops, p.Seconds, p.Throughput,
 			fmtNS(p.Latency.P50NS), fmtNS(p.Latency.P99NS), fmtNS(p.Latency.P999NS),
 			p.RemoteOps, p.MaxInbound)
+		if hits, miss := p.Comm.CacheHits, p.Comm.CacheMiss; hits+miss+p.Comm.CacheInval > 0 {
+			rate := 0.0
+			if hits+miss > 0 {
+				rate = float64(hits) / float64(hits+miss)
+			}
+			fmt.Fprintf(w, "  cache=%d/%d (%.0f%% hit) invals=%d", hits, miss, 100*rate, p.Comm.CacheInval)
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "  total: %d ops in %.2fs; heap live=%d uafLoads=%d uafFrees=%d; epoch reclaimed=%d/%d\n",
 		r.TotalOps, r.TotalSeconds, r.Heap.Live, r.Heap.UAFLoads, r.Heap.UAFFrees,

@@ -1,20 +1,3 @@
-// Package workload is the declarative scenario engine: the role
-// YCSB-style drivers play for key-value stores and Arkouda's server
-// benchmarks play for Chapel, aimed at the structures this repository
-// builds. A Spec describes *what* to run — op mix, key distribution,
-// arrival model, phases, fault plan — entirely as data (JSON-friendly),
-// a Driver binds it to one structure, and Run executes it on a fresh
-// simulated System, recording per-phase throughput, HDR-style latency
-// percentiles, and the exact communication counter and matrix deltas
-// the bench layer already treats as primary evidence. The whole run
-// serializes as a Report, the machine-readable perf record CI tracks.
-//
-// Scenarios are seeded: every task draws its ops and keys from a
-// private splitmix64 stream derived from (spec seed, phase, round,
-// locale, task), so a given spec replays the identical op stream on
-// every invocation — regressions found by a scenario are debuggable by
-// construction, and contention-free scenarios are counter-exact across
-// runs.
 package workload
 
 import (
@@ -179,6 +162,20 @@ func (f Faults) perturbation(locales int) comm.Perturbation {
 	return comm.Perturbation{}
 }
 
+// CacheSpec configures the hot-key read replication cache
+// (hashmap.CachedView). When enabled, the driver routes every Get
+// through a per-locale replica and every mutation writes through with
+// broadcast invalidation; the run's comm evidence gains the
+// CacheHits/CacheMiss/CacheInval counters.
+type CacheSpec struct {
+	// Enabled turns the cache on. Only the hashmap structure supports
+	// it; Validate rejects other structures.
+	Enabled bool `json:"enabled"`
+	// Slots is the per-locale replica size (rounded up to a power of
+	// two); 0 means 256.
+	Slots int `json:"slots,omitempty"`
+}
+
 // Spec is one complete declarative scenario.
 type Spec struct {
 	Name           string    `json:"name"`
@@ -201,7 +198,10 @@ type Spec struct {
 	// and exact — the unit-test regime).
 	LatencyScale float64 `json:"latency_scale,omitempty"`
 	Faults       Faults  `json:"faults,omitempty"`
-	Phases       []Phase `json:"phases"`
+	// Cache enables the hashmap's read replication layer; nil (or
+	// Enabled false) runs the plain owner-computed path.
+	Cache  *CacheSpec `json:"cache,omitempty"`
+	Phases []Phase    `json:"phases"`
 }
 
 // WithDefaults returns a copy of s with zero-valued knobs replaced by
@@ -242,6 +242,13 @@ func (s Spec) WithDefaults() Spec {
 		if s.Dist.HotProb == 0 {
 			s.Dist.HotProb = 0.9
 		}
+	}
+	if s.Cache != nil {
+		cp := *s.Cache // don't mutate the caller's spec through the pointer
+		if cp.Enabled && cp.Slots == 0 {
+			cp.Slots = 256
+		}
+		s.Cache = &cp
 	}
 	return s
 }
@@ -289,6 +296,14 @@ func (s Spec) Validate() error {
 		}
 	default:
 		return fmt.Errorf("workload: unknown key distribution %q", s.Dist.Kind)
+	}
+	if ca := s.Cache; ca != nil {
+		if ca.Enabled && s.Structure != StructureHashmap {
+			return fmt.Errorf("workload: cache is only supported by the hashmap structure, not %q", s.Structure)
+		}
+		if ca.Slots < 0 {
+			return fmt.Errorf("workload: cache slots must be >= 0, got %d", ca.Slots)
+		}
 	}
 	if f := s.Faults; f.SlowFactor < 0 {
 		return fmt.Errorf("workload: slow_factor must be >= 0, got %v", f.SlowFactor)

@@ -3,6 +3,7 @@ package workload
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -86,6 +87,131 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 		back.Faults.SlowFactor != s.Faults.SlowFactor ||
 		len(back.Phases) != len(s.Phases) || back.Phases[1] != s.Phases[1] {
 		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", back, s)
+	}
+}
+
+// goldenSpec populates every Spec knob, including the cache field —
+// the serialization surface the golden round-trip protects.
+func goldenSpec() Spec {
+	return Spec{
+		Name:           "golden",
+		Structure:      StructureHashmap,
+		Locales:        8,
+		TasksPerLocale: 2,
+		Backend:        "ugni",
+		Seed:           42,
+		Keyspace:       512,
+		Buckets:        64,
+		Home:           1,
+		Dist:           KeyDist{Kind: DistHotSet, HotFraction: 0.05, HotProb: 0.95},
+		LatencyScale:   0.5,
+		Faults:         Faults{SlowFactor: 4, SlowLocale: 3},
+		Cache:          &CacheSpec{Enabled: true, Slots: 128},
+		Phases: []Phase{
+			{Name: "load", Mix: Mix{Insert: 1}, OpsPerTask: 100},
+			{Name: "run", Mix: Mix{Insert: 1, Get: 18, Remove: 1, Bulk: 0.5},
+				OpsPerTask: 400, BulkSize: 32, TargetRate: 5000, ReclaimEvery: 64},
+			{Name: "churn", Mix: Mix{Get: 1}, OpsPerTask: 50, Rounds: 3, Churn: true},
+		},
+	}
+}
+
+// Serialize → parse → deep-equal: the full spec surface (every knob
+// populated, cache included) survives the JSON round trip bit-exactly,
+// and the strict parser rejects unknown keys at any nesting depth.
+func TestSpecGoldenRoundTrip(t *testing.T) {
+	s := goldenSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("golden spec invalid: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "golden.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	back, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Fatalf("golden round trip drifted:\n got %+v\nwant %+v", back, s)
+	}
+
+	// A second trip through the parsed copy must be byte-identical:
+	// serialization is deterministic, so specs diff cleanly in VCS.
+	raw1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2 := filepath.Join(t.TempDir(), "golden2.json")
+	f2, err := os.Create(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.WriteJSON(f2); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	raw2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw1) != string(raw2) {
+		t.Fatalf("re-serialization not byte-identical:\n%s\nvs\n%s", raw1, raw2)
+	}
+
+	// A disabled-cache spec omits the field entirely (pointer +
+	// omitempty), keeping cacheless specs clean.
+	s2 := s
+	s2.Cache = nil
+	var buf strings.Builder
+	if err := s2.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\"cache\"") {
+		t.Fatalf("nil cache serialized:\n%s", buf.String())
+	}
+}
+
+// Strict parsing applies inside nested objects too: a typo'd cache
+// knob fails loudly instead of silently running the default.
+func TestLoadSpecRejectsUnknownNestedFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested.json")
+	spec := `{"structure": "hashmap", "cache": {"enabld": true}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(path); err == nil {
+		t.Fatal("unknown nested field accepted")
+	}
+}
+
+func TestValidateCache(t *testing.T) {
+	s := validSpec()
+	s.Cache = &CacheSpec{Enabled: true}
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("cached hashmap spec rejected: %v", err)
+	}
+	if s.Cache.Slots != 256 {
+		t.Fatalf("default cache slots = %d, want 256", s.Cache.Slots)
+	}
+	q := validSpec()
+	q.Structure = StructureQueue
+	q.Phases = []Phase{{Name: "run", Mix: Mix{Enqueue: 1}, OpsPerTask: 10}}
+	q.Cache = &CacheSpec{Enabled: true}
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "cache") {
+		t.Fatalf("cache on queue accepted (err=%v)", err)
+	}
+	bad := validSpec()
+	bad.Cache = &CacheSpec{Enabled: true, Slots: -1}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "slots") {
+		t.Fatalf("negative cache slots accepted (err=%v)", err)
 	}
 }
 
