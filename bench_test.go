@@ -12,6 +12,7 @@ package gopgas
 import (
 	"testing"
 
+	"gopgas/internal/bench/hotpath"
 	"gopgas/internal/comm"
 	"gopgas/internal/core/atomics"
 	"gopgas/internal/core/epoch"
@@ -328,6 +329,15 @@ func BenchmarkAblationLimboPushCASLoop(b *testing.B) {
 		}
 	}
 }
+
+// --- Measurement-plane hot paths (perf trajectory, BENCH_5) -----------
+
+// The bodies live in internal/bench/hotpath, shared with
+// cmd/benchsmoke so the CI bench smoke and the recorded BENCH_5
+// trajectory point always measure the same workloads.
+
+func BenchmarkDispatchHotPath(b *testing.B)  { hotpath.DispatchHotPath(b) }
+func BenchmarkHeapLoadParallel(b *testing.B) { hotpath.HeapLoadParallel(b) }
 
 func BenchmarkAblationLimboDeferDelete(b *testing.B) {
 	s := benchSystem(b, 1, comm.BackendNone)

@@ -5,13 +5,15 @@
 //
 //	benchrunner [-figure 3|4|5|6|7|ablations|all] [-scale F]
 //	            [-tasks N] [-maxlocales N] [-csv FILE] [-matrix FILE]
-//	            [-comm] [-quiet]
+//	            [-cpuprofile FILE] [-comm] [-quiet]
 //
 // Output is gnuplot-style text on stdout (seconds per sweep point);
 // -comm adds the communication-volume view; -csv additionally writes
 // the long-form machine-readable record with both metrics; -matrix
 // writes the locale-pair heatmap CSV (src,dst,events per sweep point)
-// for the figures that capture it (the sharding ablation A7).
+// for the figures that capture it (the sharding ablation A7);
+// -cpuprofile writes a pprof CPU profile covering the sweeps, for
+// profiling the harness itself (the measurement plane's hot paths).
 package main
 
 import (
@@ -19,12 +21,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"gopgas/internal/bench"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole command; it returns the exit code instead of
+// calling os.Exit so the deferred -cpuprofile stop/flush always runs,
+// even when a later output file fails to write.
+func run() (code int) {
 	var (
 		figure     = flag.String("figure", "all", "which figure to run: 3,4,5,6,7,ablations,all")
 		scale      = flag.Float64("scale", 1.0, "operation-count multiplier")
@@ -33,6 +43,7 @@ func main() {
 		maxTasks   = flag.Int("maxtasks", 32, "largest task count in the shared-memory sweep")
 		csvPath    = flag.String("csv", "", "also write long-form CSV to this file")
 		matrixPath = flag.String("matrix", "", "also write the locale-pair heatmap CSV to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweeps to this file")
 		commView   = flag.Bool("comm", false, "also print communication-volume tables")
 		quiet      = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
@@ -47,11 +58,11 @@ func main() {
 	case "3", "4", "5", "6", "7", "ablations", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "benchrunner: unknown -figure %q (want 3|4|5|6|7|ablations|all)\n", *figure)
-		os.Exit(2)
+		return 2
 	}
 	if *scale <= 0 {
 		fmt.Fprintf(os.Stderr, "benchrunner: -scale must be > 0, got %v\n", *scale)
-		os.Exit(2)
+		return 2
 	}
 	for _, check := range []struct {
 		flag string
@@ -63,8 +74,8 @@ func main() {
 	} {
 		if check.val <= 0 {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s must be > 0, got %d\n", check.flag, check.val)
-			fmt.Fprintf(os.Stderr, "usage: benchrunner [-figure 3|4|5|6|7|ablations|all] [-scale F] [-tasks N] [-maxlocales N] [-maxtasks N] [-csv FILE] [-matrix FILE] [-comm] [-quiet]\n")
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "usage: benchrunner [-figure 3|4|5|6|7|ablations|all] [-scale F] [-tasks N] [-maxlocales N] [-maxtasks N] [-csv FILE] [-matrix FILE] [-cpuprofile FILE] [-comm] [-quiet]\n")
+			return 2
 		}
 	}
 
@@ -75,6 +86,27 @@ func main() {
 	cfg.MaxSharedTasks = *maxTasks
 	if !*quiet {
 		cfg.Progress = os.Stderr
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+				code = 1
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuProfile)
+		}()
 	}
 
 	var figures []bench.Figure
@@ -104,14 +136,14 @@ func main() {
 		w, err := os.Create(*csvPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, f := range figures {
 			bench.WriteCSV(w, f)
 		}
 		if err := w.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
@@ -120,12 +152,12 @@ func main() {
 		w, err := os.Create(*matrixPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		rows := bench.WriteMatrixCSV(w, figures)
 		if err := w.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if rows == 0 {
 			fmt.Fprintf(os.Stderr, "benchrunner: no selected figure captures a comm matrix (run -figure ablations); %s is empty\n", *matrixPath)
@@ -133,4 +165,5 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s (%d rows)\n", *matrixPath, rows)
 		}
 	}
+	return 0
 }

@@ -1,0 +1,115 @@
+// Command benchsmoke runs the measurement-plane hot-path benchmarks —
+// the exact bodies behind BenchmarkDispatchHotPath and
+// BenchmarkHeapLoadParallel, shared via internal/bench/hotpath — with
+// testing.Benchmark and writes a machine-readable JSON record: the
+// perf-trajectory artifact CI uploads as BENCH_5.json, so regressions
+// of the harness itself are visible across PRs.
+//
+// Usage:
+//
+//	benchsmoke [-out FILE] [-benchtime D] [-label S]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gopgas/internal/bench/hotpath"
+)
+
+// Result is one benchmark's record.
+type Result struct {
+	Name      string  `json:"name"`
+	Locales   int     `json:"locales"`
+	N         int     `json:"n"`
+	NSPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	AllocsOp  float64 `json:"allocs_per_op"`
+	BytesOp   float64 `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_5.json shape: the perf-trajectory point for this
+// PR's hot paths. GOMAXPROCS matters when comparing records: RunParallel
+// uses that many worker goroutines, so a single-core container measures
+// serial per-op overhead, not cross-core cache-line contention.
+type Report struct {
+	Label      string   `json:"label,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write JSON here (default stdout)")
+		benchtime = flag.Duration("benchtime", time.Second, "per-benchmark target duration")
+		label     = flag.String("label", "", "free-form label recorded in the report")
+	)
+	flag.Parse()
+	if *benchtime <= 0 {
+		fmt.Fprintf(os.Stderr, "benchsmoke: -benchtime must be > 0, got %v\n", *benchtime)
+		os.Exit(2)
+	}
+	// testing.Benchmark honours the package-level benchtime flag that
+	// testing.Init registers.
+	testing.Init()
+	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsmoke: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		Label:      *label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, bench := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"DispatchHotPath", hotpath.DispatchHotPath},
+		{"HeapLoadParallel", hotpath.HeapLoadParallel},
+	} {
+		r := testing.Benchmark(bench.fn)
+		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := Result{
+			Name:      bench.name,
+			Locales:   hotpath.Locales,
+			N:         r.N,
+			NSPerOp:   nsOp,
+			OpsPerSec: 1e9 / nsOp,
+			AllocsOp:  float64(r.AllocsPerOp()),
+			BytesOp:   float64(r.AllocedBytesPerOp()),
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(os.Stderr, "%-18s N=%-9d %10.1f ns/op %14.0f ops/s %6.1f allocs/op\n",
+			res.Name, res.N, res.NSPerOp, res.OpsPerSec, res.AllocsOp)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsmoke: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsmoke: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsmoke: %v\n", err)
+		os.Exit(1)
+	}
+}

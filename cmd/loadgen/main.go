@@ -124,8 +124,8 @@ func main() {
 	}
 
 	if !rep.Heap.Safe() {
-		fmt.Fprintf(os.Stderr, "loadgen: SAFETY VIOLATION: %d use-after-free loads, %d double frees\n",
-			rep.Heap.UAFLoads, rep.Heap.UAFFrees)
+		fmt.Fprintf(os.Stderr, "loadgen: SAFETY VIOLATION: %d use-after-free loads, %d use-after-free stores, %d double frees\n",
+			rep.Heap.UAFLoads, rep.Heap.UAFStores, rep.Heap.UAFFrees)
 		os.Exit(1)
 	}
 }

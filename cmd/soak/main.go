@@ -58,7 +58,7 @@ func main() {
 		if rep.Heap.Safe() {
 			fmt.Printf("PASS  %s: no use-after-free, no double free\n", s)
 		} else {
-			fmt.Printf("FAIL  %s: %d poisoned loads, %d double frees\n", s, rep.Heap.UAFLoads, rep.Heap.UAFFrees)
+			fmt.Printf("FAIL  %s: %d poisoned loads, %d poisoned stores, %d double frees\n", s, rep.Heap.UAFLoads, rep.Heap.UAFStores, rep.Heap.UAFFrees)
 			failures++
 		}
 		if rep.Epoch.Balanced() {

@@ -188,16 +188,30 @@ func SubMatrix(a, b [][]int64) [][]int64 {
 	return out
 }
 
+// TotalsOf returns the outbound (row) and inbound (column) totals of a
+// comm matrix snapshot from one pass over the cells — the snapshot-side
+// twin of comm.Matrix.Totals, for deltas produced by SubMatrix. The
+// workload engine's hotspot metric and the examples' traffic summaries
+// both derive from this single pass.
+func TotalsOf(m [][]int64) (rows, cols []int64) {
+	rows = make([]int64, len(m))
+	cols = make([]int64, len(m))
+	for i := range m {
+		for j := range m[i] {
+			rows[i] += m[i][j]
+			cols[j] += m[i][j]
+		}
+	}
+	return rows, cols
+}
+
 // MaxInboundOf returns the largest inbound (column) total of m: the
 // hotspot metric — how much of the system's traffic lands on the
 // busiest single locale.
 func MaxInboundOf(m [][]int64) int64 {
+	_, cols := TotalsOf(m)
 	var best int64
-	for j := range m {
-		var col int64
-		for i := range m {
-			col += m[i][j]
-		}
+	for _, col := range cols {
 		if col > best {
 			best = col
 		}

@@ -1,0 +1,84 @@
+// Package hotpath holds the measurement-plane hot-path benchmark
+// bodies shared by the repository-root testing.B entry points
+// (BenchmarkDispatchHotPath, BenchmarkHeapLoadParallel) and
+// cmd/benchsmoke, which runs the same workloads through
+// testing.Benchmark to produce the BENCH_5 perf-trajectory JSON. One
+// definition serves both consumers, so the CI bench-smoke gate and
+// the recorded trajectory point cannot drift apart.
+//
+// The package imports testing and therefore belongs only in test
+// binaries and the benchsmoke tool — library code must not depend on
+// it.
+package hotpath
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/gas"
+	"gopgas/internal/pgas"
+)
+
+// Locales is the fixed sweep point the hot-path benchmarks run at.
+const Locales = 8
+
+// DispatchHotPath measures the harness cost of a synchronous remote
+// on-statement under the zero latency profile: what remains is pure
+// measurement-plane overhead — counter and matrix increments plus
+// task-context management — which is exactly what caps the wall-clock
+// throughput of loadgen/soak sweeps. Tasks are spread across the
+// source locales, each firing at its neighbour, so the diagnostic
+// increments come from every shard at once.
+func DispatchHotPath(b *testing.B) {
+	s := pgas.NewSystem(pgas.Config{Locales: Locales, Backend: comm.BackendNone, Seed: 42})
+	b.Cleanup(s.Shutdown)
+	var nextTask atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		src := int(nextTask.Add(1)-1) % Locales
+		c := s.Ctx(src)
+		dst := (src + 1) % Locales
+		var sink int
+		fn := func(tc *pgas.Ctx) { sink++ }
+		for pb.Next() {
+			c.On(dst, fn)
+		}
+		_ = sink
+	})
+}
+
+// HeapLoadParallel measures locale-local heap reads from many tasks
+// at once, spread over the locales: the gas.Heap fast path every
+// Deref in every structure rides on. The working set is preallocated;
+// the timed region is Load only.
+func HeapLoadParallel(b *testing.B) {
+	const perLocale = 1024 // power of two
+	s := pgas.NewSystem(pgas.Config{Locales: Locales, Backend: comm.BackendNone, Seed: 42})
+	b.Cleanup(s.Shutdown)
+	addrs := make([][]gas.Addr, Locales)
+	for l := 0; l < Locales; l++ {
+		c := s.Ctx(l)
+		addrs[l] = make([]gas.Addr, perLocale)
+		for i := range addrs[l] {
+			addrs[l][i] = c.Alloc(&struct{ v int }{v: i})
+		}
+	}
+	var nextTask atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		l := int(nextTask.Add(1)-1) % Locales
+		c := s.Ctx(l)
+		mine := addrs[l]
+		i := 0
+		for pb.Next() {
+			if _, ok := c.Load(mine[i&(perLocale-1)]); !ok {
+				b.Error("load of live object failed")
+				return
+			}
+			i++
+		}
+	})
+}

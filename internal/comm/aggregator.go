@@ -139,8 +139,8 @@ func (a *Aggregator) FlushDst(dst int) {
 	bytes := a.bytes[dst]
 	a.bufs[dst] = nil
 	a.bytes[dst] = 0
-	a.counters.IncAggFlush(int64(len(batch)), bytes)
-	a.counters.IncBulk(bytes)
+	a.counters.IncAggFlush(a.src, int64(len(batch)), bytes)
+	a.counters.IncBulk(a.src, bytes)
 	if a.matrix != nil && dst != a.src {
 		a.matrix.Inc(a.src, dst)
 	}

@@ -110,16 +110,18 @@ func TestDelayApproximatelyAccurate(t *testing.T) {
 
 func TestCountersRoundTrip(t *testing.T) {
 	var c Counters
-	c.IncPut()
-	c.IncGet()
-	c.IncGet()
-	c.IncNICAMO()
-	c.IncAMAMO()
-	c.IncLocalAMO()
-	c.IncOnStmt()
-	c.IncBulk(128)
-	c.IncDCASLocal()
-	c.IncDCASRemote()
+	// Spread the shard hints: the snapshot must merge every shard,
+	// including hints beyond the shard count (which wrap).
+	c.IncPut(0)
+	c.IncGet(1)
+	c.IncGet(counterShards + 1)
+	c.IncNICAMO(2)
+	c.IncAMAMO(3)
+	c.IncLocalAMO(4)
+	c.IncOnStmt(5)
+	c.IncBulk(6, 128)
+	c.IncDCASLocal(7)
+	c.IncDCASRemote(8)
 	s := c.Snapshot()
 	want := Snapshot{Puts: 1, Gets: 2, NICAMOs: 1, AMAMOs: 1, LocalAMOs: 1,
 		OnStmts: 1, BulkXfers: 1, BulkBytes: 128, DCASLocal: 1, DCASRemote: 1}
@@ -138,10 +140,10 @@ func TestCountersRoundTrip(t *testing.T) {
 
 func TestSnapshotSub(t *testing.T) {
 	var c Counters
-	c.IncPut()
+	c.IncPut(0)
 	before := c.Snapshot()
-	c.IncPut()
-	c.IncBulk(64)
+	c.IncPut(1) // a different shard than the first put: Sub merges both
+	c.IncBulk(0, 64)
 	d := c.Snapshot().Sub(before)
 	if d.Puts != 1 || d.BulkXfers != 1 || d.BulkBytes != 64 || d.Gets != 0 {
 		t.Fatalf("delta = %+v", d)
@@ -162,13 +164,13 @@ func TestCountersConcurrent(t *testing.T) {
 	var c Counters
 	done := make(chan struct{})
 	for g := 0; g < 4; g++ {
-		go func() {
+		go func(g int) {
 			defer func() { done <- struct{}{} }()
 			for i := 0; i < 1000; i++ {
-				c.IncPut()
-				c.IncBulk(2)
+				c.IncPut(g)
+				c.IncBulk(g, 2)
 			}
-		}()
+		}(g)
 	}
 	for g := 0; g < 4; g++ {
 		<-done

@@ -8,25 +8,39 @@ import "sync/atomic"
 // one locale a hotspot (e.g. the global epoch's home), did a scatter
 // phase touch every destination?
 //
+// Storage is row-major with each source's row padded out to a whole
+// number of cache lines: every increment is keyed by its source
+// locale, so padding rows gives each source its own cache-line-aligned
+// stripe and increments from different locales never falsely share a
+// line (in the flat n×n layout, four locales' rows fit in a single
+// line). The padding cells are never incremented, so Snapshot/Total
+// observe exactly what the flat layout would.
+//
 // All methods are safe for concurrent use.
 type Matrix struct {
-	n     int
-	cells []atomic.Int64
+	n      int
+	stride int // row length in cells, rounded up to a cache-line multiple
+	cells  []atomic.Int64
 }
+
+// matrixRowCells is the row-stride quantum: 8 int64 cells = one
+// 64-byte cache line.
+const matrixRowCells = 8
 
 // NewMatrix creates an n×n communication matrix.
 func NewMatrix(n int) *Matrix {
-	return &Matrix{n: n, cells: make([]atomic.Int64, n*n)}
+	stride := (n + matrixRowCells - 1) &^ (matrixRowCells - 1)
+	return &Matrix{n: n, stride: stride, cells: make([]atomic.Int64, n*stride)}
 }
 
 // Inc records one communication event from src to dst.
 func (m *Matrix) Inc(src, dst int) {
-	m.cells[src*m.n+dst].Add(1)
+	m.cells[src*m.stride+dst].Add(1)
 }
 
 // Get returns the event count from src to dst.
 func (m *Matrix) Get(src, dst int) int64 {
-	return m.cells[src*m.n+dst].Load()
+	return m.cells[src*m.stride+dst].Load()
 }
 
 // Snapshot returns a copy of the matrix.
@@ -35,7 +49,7 @@ func (m *Matrix) Snapshot() [][]int64 {
 	for i := range out {
 		out[i] = make([]int64, m.n)
 		for j := range out[i] {
-			out[i][j] = m.cells[i*m.n+j].Load()
+			out[i][j] = m.cells[i*m.stride+j].Load()
 		}
 	}
 	return out
@@ -44,32 +58,42 @@ func (m *Matrix) Snapshot() [][]int64 {
 // Total returns the sum over all pairs.
 func (m *Matrix) Total() int64 {
 	var t int64
-	for i := range m.cells {
-		t += m.cells[i].Load()
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			t += m.cells[i*m.stride+j].Load()
+		}
 	}
 	return t
 }
 
-// RowTotals returns outbound totals per source locale.
-func (m *Matrix) RowTotals() []int64 {
-	out := make([]int64, m.n)
+// Totals returns the outbound (row) and inbound (column) totals per
+// locale from one pass over the cells — each cell is loaded exactly
+// once and contributes to both vectors, instead of the two full
+// re-scans separate RowTotals/ColTotals calls used to make.
+func (m *Matrix) Totals() (rows, cols []int64) {
+	rows = make([]int64, m.n)
+	cols = make([]int64, m.n)
 	for i := 0; i < m.n; i++ {
+		base := i * m.stride
 		for j := 0; j < m.n; j++ {
-			out[i] += m.Get(i, j)
+			v := m.cells[base+j].Load()
+			rows[i] += v
+			cols[j] += v
 		}
 	}
-	return out
+	return rows, cols
+}
+
+// RowTotals returns outbound totals per source locale.
+func (m *Matrix) RowTotals() []int64 {
+	rows, _ := m.Totals()
+	return rows
 }
 
 // ColTotals returns inbound totals per destination locale.
 func (m *Matrix) ColTotals() []int64 {
-	out := make([]int64, m.n)
-	for i := 0; i < m.n; i++ {
-		for j := 0; j < m.n; j++ {
-			out[j] += m.Get(i, j)
-		}
-	}
-	return out
+	_, cols := m.Totals()
+	return cols
 }
 
 // Reset zeroes the matrix.

@@ -30,6 +30,51 @@ func TestMatrixBasics(t *testing.T) {
 	}
 }
 
+func TestMatrixTotalsOnePass(t *testing.T) {
+	// Sizes straddling the cache-line row stride: rows shorter than,
+	// equal to, and longer than one 8-cell line.
+	for _, n := range []int{1, 3, 8, 9, 17} {
+		m := NewMatrix(n)
+		want := int64(0)
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				for k := 0; k < (src+2*dst)%5; k++ {
+					m.Inc(src, dst)
+					want++
+				}
+			}
+		}
+		rows, cols := m.Totals()
+		if got := m.RowTotals(); !equalInt64s(got, rows) {
+			t.Fatalf("n=%d RowTotals %v != Totals rows %v", n, got, rows)
+		}
+		if got := m.ColTotals(); !equalInt64s(got, cols) {
+			t.Fatalf("n=%d ColTotals %v != Totals cols %v", n, got, cols)
+		}
+		var rowSum, colSum int64
+		for i := 0; i < n; i++ {
+			rowSum += rows[i]
+			colSum += cols[i]
+		}
+		if rowSum != want || colSum != want || m.Total() != want {
+			t.Fatalf("n=%d totals disagree: rows=%d cols=%d Total=%d want=%d",
+				n, rowSum, colSum, m.Total(), want)
+		}
+	}
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestMatrixSnapshotIsCopy(t *testing.T) {
 	m := NewMatrix(2)
 	m.Inc(1, 0)

@@ -64,7 +64,7 @@ func (t *DescriptorTable) Register(c *pgas.Ctx, addr gas.Addr) Descriptor {
 	t.mu.Unlock()
 
 	if shard := t.shardOf(d); shard != c.Here() {
-		t.sys.Counters().IncAMAMO()
+		t.sys.Counters().IncAMAMO(c.Here())
 		comm.Delay(t.sys.Latency().AMRoundTripNS)
 	}
 	return d
@@ -77,7 +77,7 @@ func (t *DescriptorTable) Resolve(c *pgas.Ctx, d Descriptor) gas.Addr {
 		return gas.AddrNil
 	}
 	if shard := t.shardOf(d); shard != c.Here() {
-		t.sys.Counters().IncGet()
+		t.sys.Counters().IncGet(c.Here())
 		comm.Delay(t.sys.Latency().PutGetNS)
 	}
 	t.mu.Lock()

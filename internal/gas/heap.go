@@ -18,28 +18,45 @@ import (
 // the paper's reclamation machinery exists to prevent into a checkable
 // predicate that the test suite asserts on.
 //
-// The Heap itself is an allocator substrate, not one of the paper's
-// non-blocking constructs; it uses an internal mutex, which stands in
-// for the (also locking) system allocator underneath Chapel's `new`.
+// Storage is chunked: slots live in fixed-size chunks reachable
+// through an immutable directory slice that Alloc republishes
+// atomically when it grows. A slot holds a single atomic pointer to a
+// boxed object — nil is the poison state — so Load and Store are
+// lock-free (Store is a CAS loop so it can never resurrect a slot a
+// concurrent Free just poisoned). The allocator's mutex is confined to
+// Alloc/Free free-list bookkeeping, standing in for the (also locking)
+// system allocator underneath Chapel's `new`; the read path every
+// structure Deref rides never touches it.
 type Heap struct {
 	locale int
 
-	mu    sync.Mutex
-	slots []slot
-	free  []uint64 // LIFO stack of free slot indices
+	dir atomic.Pointer[[]*chunk] // immutable directory, grown copy-on-write
+
+	mu   sync.Mutex
+	next uint64   // bump index for never-used slots
+	free []uint64 // LIFO stack of free slot indices
 
 	live      atomic.Int64 // currently allocated slots
 	allocs    atomic.Int64 // total allocations
 	frees     atomic.Int64 // total frees
 	uafLoads  atomic.Int64 // detected use-after-free loads
+	uafStores atomic.Int64 // detected use-after-free stores
 	uafFrees  atomic.Int64 // detected double frees
 	highWater atomic.Int64 // maximum simultaneous live slots
 }
 
-type slot struct {
-	obj   any
-	freed bool
-}
+const (
+	chunkBits = 12 // 4096 slots per chunk
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+// chunk is one fixed block of slots. A slot's pointer is nil while the
+// slot is free (or never yet allocated) and points at the boxed object
+// while it is live; boxes are immutable once published (Store installs
+// a fresh box rather than mutating the old one), so a reader that won
+// the race to load a box may safely dereference it.
+type chunk [chunkSize]atomic.Pointer[any]
 
 // NewHeap creates the heap for the given locale id.
 func NewHeap(locale int) *Heap {
@@ -49,21 +66,64 @@ func NewHeap(locale int) *Heap {
 // Locale returns the id of the locale this heap belongs to.
 func (h *Heap) Locale() int { return h.locale }
 
+// slot returns the cell for idx, or nil when idx lies beyond the
+// published directory (an address this heap never handed out).
+func (h *Heap) slot(idx uint64) *atomic.Pointer[any] {
+	dirp := h.dir.Load()
+	if dirp == nil {
+		return nil
+	}
+	dir := *dirp
+	ci := idx >> chunkBits
+	if ci >= uint64(len(dir)) {
+		return nil
+	}
+	return &dir[ci][idx&chunkMask]
+}
+
+// grow ensures the directory covers idx. Caller holds h.mu; the new
+// directory is a fresh slice so concurrent readers keep a consistent
+// view of whichever version they loaded.
+func (h *Heap) grow(idx uint64) {
+	var dir []*chunk
+	if dirp := h.dir.Load(); dirp != nil {
+		dir = *dirp
+	}
+	need := int(idx>>chunkBits) + 1
+	if need <= len(dir) {
+		return
+	}
+	next := make([]*chunk, need)
+	copy(next, dir)
+	for i := len(dir); i < need; i++ {
+		next[i] = new(chunk)
+	}
+	h.dir.Store(&next)
+}
+
 // Alloc stores obj in a slot and returns its global address. Freed
 // slots are reused LIFO, so the returned Addr may equal one freed a
 // moment ago — deliberately so; see the package comment.
 func (h *Heap) Alloc(obj any) Addr {
+	box := new(any)
+	*box = obj
+
 	h.mu.Lock()
 	var idx uint64
 	if n := len(h.free); n > 0 {
 		idx = h.free[n-1]
 		h.free = h.free[:n-1]
-		h.slots[idx] = slot{obj: obj}
 	} else {
-		idx = uint64(len(h.slots))
-		h.slots = append(h.slots, slot{obj: obj})
+		idx = h.next
+		h.next++
+		h.grow(idx)
 	}
 	h.mu.Unlock()
+
+	// idx is privately owned between the free-list pop (or bump) and
+	// this publish: a Load racing the reallocation sees either poison
+	// or the new object, exactly as under the old all-mutex scheme.
+	h.slot(idx).Store(box)
 
 	h.allocs.Add(1)
 	live := h.live.Add(1)
@@ -80,74 +140,104 @@ func (h *Heap) Alloc(obj any) Addr {
 // counter is incremented — if the slot has been freed and not yet
 // reallocated. Load panics if addr belongs to another locale: locality
 // routing is the caller's job (package pgas performs GETs for remote
-// addresses).
+// addresses). Load is lock-free: one directory load plus one slot load.
 func (h *Heap) Load(addr Addr) (obj any, ok bool) {
 	h.checkOwner(addr)
-	idx := addr.Index()
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if idx >= uint64(len(h.slots)) {
+	s := h.slot(addr.Index())
+	if s == nil {
 		h.uafLoads.Add(1)
 		return nil, false
 	}
-	s := h.slots[idx]
-	if s.freed {
+	box := s.Load()
+	if box == nil {
 		h.uafLoads.Add(1)
 		return nil, false
 	}
-	return s.obj, true
+	return *box, true
 }
 
-// Store overwrites the object at addr in place, reporting false if the
-// slot has been freed (a detected use-after-free write).
+// Store overwrites the object at addr, reporting false if the slot has
+// been freed (a detected use-after-free write, counted in UAFStores).
+// Store is lock-free: it installs a freshly boxed object with a CAS so
+// that racing a concurrent Free can only lose — a poisoned slot is
+// never resurrected.
 func (h *Heap) Store(addr Addr, obj any) bool {
 	h.checkOwner(addr)
-	idx := addr.Index()
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if idx >= uint64(len(h.slots)) || h.slots[idx].freed {
-		h.uafLoads.Add(1)
+	s := h.slot(addr.Index())
+	if s == nil {
+		h.uafStores.Add(1)
 		return false
 	}
-	h.slots[idx].obj = obj
-	return true
+	box := new(any)
+	*box = obj
+	for {
+		old := s.Load()
+		if old == nil {
+			h.uafStores.Add(1)
+			return false
+		}
+		if s.CompareAndSwap(old, box) {
+			return true
+		}
+	}
 }
 
 // Free poisons the slot at addr and pushes it onto the free list. A
 // double free is detected, counted, and reported by the return value
-// rather than corrupting the free list.
+// rather than corrupting the free list. The poison swap is atomic, so
+// of two racing frees exactly one wins; only the winner touches the
+// free list.
 func (h *Heap) Free(addr Addr) bool {
 	h.checkOwner(addr)
 	idx := addr.Index()
-	h.mu.Lock()
-	if idx >= uint64(len(h.slots)) || h.slots[idx].freed {
-		h.mu.Unlock()
+	s := h.slot(idx)
+	if s == nil || s.Swap(nil) == nil {
 		h.uafFrees.Add(1)
 		return false
 	}
-	h.slots[idx] = slot{freed: true}
-	h.free = append(h.free, idx)
-	h.mu.Unlock()
-
+	// Count the death before the free-list push makes the slot
+	// reusable: once a racing Alloc can pop idx, live must already
+	// reflect the free, or its high-water update reads a peak that
+	// never existed.
 	h.frees.Add(1)
 	h.live.Add(-1)
+	h.mu.Lock()
+	h.free = append(h.free, idx)
+	h.mu.Unlock()
 	return true
 }
 
 // FreeBulk frees every address in addrs, returning how many were live.
 // It is the locale-side half of the EpochManager's scatter-list bulk
-// deletion: one call per locale instead of one RPC per object.
+// deletion: one call per locale instead of one RPC per object — and,
+// mirroring that batching, one free-list append under one lock
+// acquisition for the whole batch.
 func (h *Heap) FreeBulk(addrs []Addr) int {
-	n := 0
+	freed := make([]uint64, 0, len(addrs))
 	for _, a := range addrs {
 		if a.IsNil() {
 			continue
 		}
-		if h.Free(a) {
-			n++
+		h.checkOwner(a)
+		idx := a.Index()
+		if s := h.slot(idx); s == nil || s.Swap(nil) == nil {
+			h.uafFrees.Add(1)
+			continue
 		}
+		freed = append(freed, idx)
 	}
-	return n
+	if len(freed) == 0 {
+		return 0
+	}
+	// As in Free: the batch is counted dead before any of its slots
+	// become allocatable, so live never transiently overshoots by the
+	// batch size under a racing Alloc.
+	h.frees.Add(int64(len(freed)))
+	h.live.Add(-int64(len(freed)))
+	h.mu.Lock()
+	h.free = append(h.free, freed...)
+	h.mu.Unlock()
+	return len(freed)
 }
 
 func (h *Heap) checkOwner(addr Addr) {
@@ -165,6 +255,7 @@ type Stats struct {
 	Allocs    int64 // total allocations
 	Frees     int64 // total frees
 	UAFLoads  int64 // detected use-after-free loads
+	UAFStores int64 // detected use-after-free stores
 	UAFFrees  int64 // detected double frees
 	HighWater int64 // maximum simultaneous live slots
 }
@@ -176,6 +267,7 @@ func (h *Heap) Stats() Stats {
 		Allocs:    h.allocs.Load(),
 		Frees:     h.frees.Load(),
 		UAFLoads:  h.uafLoads.Load(),
+		UAFStores: h.uafStores.Load(),
 		UAFFrees:  h.uafFrees.Load(),
 		HighWater: h.highWater.Load(),
 	}
@@ -188,6 +280,7 @@ func (s Stats) Add(o Stats) Stats {
 		Allocs:    s.Allocs + o.Allocs,
 		Frees:     s.Frees + o.Frees,
 		UAFLoads:  s.UAFLoads + o.UAFLoads,
+		UAFStores: s.UAFStores + o.UAFStores,
 		UAFFrees:  s.UAFFrees + o.UAFFrees,
 		HighWater: s.HighWater + o.HighWater,
 	}
@@ -195,6 +288,6 @@ func (s Stats) Add(o Stats) Stats {
 
 // String formats the stats compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("live=%d allocs=%d frees=%d uafLoads=%d uafFrees=%d highWater=%d",
-		s.Live, s.Allocs, s.Frees, s.UAFLoads, s.UAFFrees, s.HighWater)
+	return fmt.Sprintf("live=%d allocs=%d frees=%d uafLoads=%d uafStores=%d uafFrees=%d highWater=%d",
+		s.Live, s.Allocs, s.Frees, s.UAFLoads, s.UAFStores, s.UAFFrees, s.HighWater)
 }

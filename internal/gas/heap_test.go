@@ -1,6 +1,7 @@
 package gas
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -67,6 +68,24 @@ func TestHeapStoreInPlace(t *testing.T) {
 	h.Free(a)
 	if h.Store(a, 3) {
 		t.Fatal("store to freed slot must be detected")
+	}
+	st := h.Stats()
+	if st.UAFStores != 1 {
+		t.Fatalf("UAFStores = %d, want 1", st.UAFStores)
+	}
+	if st.UAFLoads != 0 {
+		t.Fatalf("a poisoned store must not count as a poisoned load: %+v", st)
+	}
+	if got := st.String(); !strings.Contains(got, "uafStores=1") {
+		t.Fatalf("Stats.String() = %q missing uafStores", got)
+	}
+	// A store to an address beyond anything ever allocated is the same
+	// class of bug.
+	if h.Store(MakeAddr(0, 1<<20), 4) {
+		t.Fatal("store to never-allocated slot must be detected")
+	}
+	if st = h.Stats(); st.UAFStores != 2 {
+		t.Fatalf("UAFStores = %d, want 2", st.UAFStores)
 	}
 }
 
@@ -154,6 +173,96 @@ func TestHeapConcurrentAllocFree(t *testing.T) {
 	}
 }
 
+// TestHeapLockFreeReadersUnderChurn races lock-free Loads and Stores
+// against an alloc/free churn on the same heap: readers must only ever
+// observe a value some Store published or a poison verdict, never a
+// torn or stale object, and the bookkeeping must balance afterwards.
+// Run under -race this is the regression guard for the chunked
+// atomic-slot storage.
+func TestHeapLockFreeReadersUnderChurn(t *testing.T) {
+	h := NewHeap(0)
+	const stable = 64
+	addrs := make([]Addr, stable)
+	for i := range addrs {
+		addrs[i] = h.Alloc(int64(0))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writers: Store monotonically tagged values into the stable set.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if !h.Store(addrs[i%stable], int64(i)) {
+					t.Error("store to live slot failed")
+					return
+				}
+			}
+		}(w)
+	}
+	// Churner: allocate and free around the stable set, forcing
+	// directory growth and free-list reuse while readers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var mine []Addr
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				for _, a := range mine {
+					h.Free(a)
+				}
+				return
+			default:
+			}
+			mine = append(mine, h.Alloc(i))
+			if len(mine) > 2*chunkSize {
+				for _, a := range mine {
+					h.Free(a)
+				}
+				mine = mine[:0]
+			}
+		}
+	}()
+	// Readers: every load of a stable address must succeed and carry a
+	// value of the type the writers publish. They run to a fixed count;
+	// writers and the churner wind down once the readers are done.
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200_000; i++ {
+				v, ok := h.Load(addrs[i%stable])
+				if !ok {
+					t.Error("live slot reported poisoned")
+					return
+				}
+				if _, isInt := v.(int64); !isInt {
+					t.Errorf("torn read: %T", v)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	wg.Wait()
+	st := h.Stats()
+	if st.UAFLoads != 0 || st.UAFStores != 0 || st.UAFFrees != 0 {
+		t.Fatalf("unexpected UAF during churn: %+v", st)
+	}
+	if st.Live != st.Allocs-st.Frees {
+		t.Fatalf("bookkeeping imbalance: %+v", st)
+	}
+}
+
 // Property: any interleaved alloc/free sequence keeps Live ==
 // Allocs - Frees and never corrupts slot contents.
 func TestHeapInvariantProperty(t *testing.T) {
@@ -190,10 +299,10 @@ func TestHeapInvariantProperty(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{Live: 1, Allocs: 2, Frees: 3, UAFLoads: 4, UAFFrees: 5, HighWater: 6}
-	b := Stats{Live: 10, Allocs: 20, Frees: 30, UAFLoads: 40, UAFFrees: 50, HighWater: 60}
+	a := Stats{Live: 1, Allocs: 2, Frees: 3, UAFLoads: 4, UAFStores: 7, UAFFrees: 5, HighWater: 6}
+	b := Stats{Live: 10, Allocs: 20, Frees: 30, UAFLoads: 40, UAFStores: 70, UAFFrees: 50, HighWater: 60}
 	got := a.Add(b)
-	want := Stats{Live: 11, Allocs: 22, Frees: 33, UAFLoads: 44, UAFFrees: 55, HighWater: 66}
+	want := Stats{Live: 11, Allocs: 22, Frees: 33, UAFLoads: 44, UAFStores: 77, UAFFrees: 55, HighWater: 66}
 	if got != want {
 		t.Fatalf("Add = %+v", got)
 	}

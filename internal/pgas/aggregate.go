@@ -48,10 +48,13 @@ func newAggregator(c *Ctx) *Aggregator {
 		func(dst int, batch []comm.Op) {
 			// The batch executes on the destination, as if the flush
 			// were one on-statement carrying the whole scatter list.
-			tc := s.newCtx(s.locales[dst])
+			// The destination context is scoped to the batch, so it
+			// comes from the same pool the sync dispatch path uses.
+			tc := s.borrowCtx(s.locales[dst])
 			for _, op := range batch {
 				op.Exec.(func(*Ctx))(tc)
 			}
+			s.releaseCtx(tc)
 		})
 	a.agg.SetPerturbation(s.cfg.Perturb)
 	return a

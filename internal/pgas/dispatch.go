@@ -17,6 +17,15 @@ import (
 
 // dispatchOn charges and executes a synchronous on-statement: fn runs
 // on the target locale and the caller waits. `on here` is elided.
+//
+// The caller's task is blocked for the whole call either way, so fn
+// runs inline on the calling goroutine with a target-pinned Ctx —
+// spawning a goroutine plus a completion channel per call (as this
+// path once did) buys no concurrency, only scheduler traffic and two
+// allocations on the hottest loop of every sweep. The pinned Ctx comes
+// from the system's pool; it is seeded with a fresh task id and RNG
+// stream exactly as a spawned task's would be, so per-task random
+// streams are undisturbed by the pooling.
 func (s *System) dispatchOn(src *Ctx, target int, fn func(*Ctx)) {
 	if target == src.here.id {
 		fn(src)
@@ -24,12 +33,9 @@ func (s *System) dispatchOn(src *Ctx, target int, fn func(*Ctx)) {
 	}
 	s.chargeOnStmt(src.here.id, target)
 	s.delay(src.here.id, target, s.cfg.Latency.AMRoundTripNS+s.cfg.Latency.OnStmtNS)
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		fn(s.newCtx(s.locales[target]))
-	}()
-	<-done
+	tc := s.borrowCtx(s.locales[target])
+	fn(tc)
+	s.releaseCtx(tc)
 }
 
 // dispatchOnAsync launches fn on the target locale without waiting:
@@ -68,7 +74,7 @@ func (s *System) dispatchOnAsync(src *Ctx, target int, fn func(*Ctx)) {
 // chargeOnStmt records one remote on-statement without paying its
 // latency (the payer differs between the sync and coforall paths).
 func (s *System) chargeOnStmt(src, dst int) {
-	s.counters.IncOnStmt()
+	s.counters.IncOnStmt(src)
 	s.matrix.Inc(src, dst)
 }
 
@@ -79,17 +85,17 @@ func (s *System) chargeOnStmt(src, dst int) {
 func (s *System) dispatchAMO64(c *Ctx, home int, op func() uint64) uint64 {
 	switch s.cfg.Backend {
 	case comm.BackendUGNI:
-		s.counters.IncNICAMO()
+		s.counters.IncNICAMO(c.here.id)
 		s.matrix.Inc(c.here.id, home)
 		s.delay(c.here.id, home, s.cfg.Latency.NICAtomicNS)
 		return op()
 	default:
 		if home == c.here.id {
-			s.counters.IncLocalAMO()
+			s.counters.IncLocalAMO(home)
 			s.delay(home, home, s.cfg.Latency.LocalAtomicNS)
 			return op()
 		}
-		s.counters.IncAMAMO()
+		s.counters.IncAMAMO(c.here.id)
 		s.matrix.Inc(c.here.id, home)
 		var res uint64
 		s.amCall(c.here.id, home, func() { res = op() })
@@ -103,12 +109,12 @@ func (s *System) dispatchAMO64(c *Ctx, home int, op func() uint64) uint64 {
 // directly.
 func (s *System) dispatchDCAS(c *Ctx, home int, op func()) {
 	if home == c.here.id {
-		s.counters.IncDCASLocal()
+		s.counters.IncDCASLocal(home)
 		s.delay(home, home, s.cfg.Latency.LocalAtomicNS)
 		op()
 		return
 	}
-	s.counters.IncDCASRemote()
+	s.counters.IncDCASRemote(c.here.id)
 	s.matrix.Inc(c.here.id, home)
 	s.amCall(c.here.id, home, op)
 }
@@ -118,14 +124,14 @@ func (s *System) dispatchDCAS(c *Ctx, home int, op func()) {
 // storage lives outside the gas heaps; owner must differ from the
 // calling locale.
 func (c *Ctx) ChargeGet(owner int) {
-	c.sys.counters.IncGet()
+	c.sys.counters.IncGet(c.here.id)
 	c.sys.matrix.Inc(c.here.id, owner)
 	c.sys.delay(c.here.id, owner, c.sys.cfg.Latency.PutGetNS)
 }
 
 // ChargePut records and charges one small remote write toward owner.
 func (c *Ctx) ChargePut(owner int) {
-	c.sys.counters.IncPut()
+	c.sys.counters.IncPut(c.here.id)
 	c.sys.matrix.Inc(c.here.id, owner)
 	c.sys.delay(c.here.id, owner, c.sys.cfg.Latency.PutGetNS)
 }
@@ -143,7 +149,7 @@ func (c *Ctx) ChargeBulk(owner int, bytes int64) {
 // dst (the FreeBulk/AllocBulkOn path; aggregated flushes account for
 // themselves inside comm.Aggregator).
 func (s *System) chargeBulk(src, dst int, bytes int64) {
-	s.counters.IncBulk(bytes)
+	s.counters.IncBulk(src, bytes)
 	s.matrix.Inc(src, dst)
 	s.delay(src, dst, s.cfg.Latency.BulkStartupNS+bytes*s.cfg.Latency.BulkPerByteNS)
 }

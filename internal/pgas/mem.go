@@ -105,7 +105,7 @@ func (c *Ctx) Put(addr gas.Addr, obj any) bool {
 func (c *Ctx) Free(addr gas.Addr) bool {
 	owner := addr.Locale()
 	if owner != c.here.id {
-		c.sys.counters.IncOnStmt()
+		c.sys.counters.IncOnStmt(c.here.id)
 		c.sys.matrix.Inc(c.here.id, owner)
 		c.sys.delay(c.here.id, owner, c.sys.cfg.Latency.AMRoundTripNS)
 	}

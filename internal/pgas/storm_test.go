@@ -1,0 +1,166 @@
+package pgas
+
+import (
+	"sync"
+	"testing"
+
+	"gopgas/internal/comm"
+)
+
+// Regression guards for the goroutine-free sync dispatch and the
+// pooled active-message completion channels: storms of concurrent
+// AsyncOn launches, nested async spawns, and AM atomics all riding the
+// recycled plumbing must quiesce cleanly and count exactly. These
+// tests earn their keep under -race (CI runs the suite with it).
+
+// TestAsyncOnStormQuiesce hammers AsyncOn from many initiator tasks at
+// once — each async body performing a remote AM atomic and a fraction
+// of them spawning a nested AsyncOn — then quiesces and checks that
+// every launch ran (the shared word's value is exact) and nothing is
+// still in flight.
+func TestAsyncOnStormQuiesce(t *testing.T) {
+	const locales = 4
+	const initiators = 8
+	const perInitiator = 200
+	s := NewSystem(Config{Locales: locales, Backend: comm.BackendNone})
+	defer s.Shutdown()
+
+	root := s.Ctx(0)
+	total := NewWord64(root, 0, 0)
+
+	var wg sync.WaitGroup
+	for g := 0; g < initiators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := s.Ctx(g % locales)
+			for i := 0; i < perInitiator; i++ {
+				dst := (g + i) % locales
+				c.AsyncOn(dst, func(tc *Ctx) {
+					total.Add(tc, 1)
+					if tc.Here() != dst {
+						t.Errorf("async body pinned to %d, want %d", tc.Here(), dst)
+					}
+					// Every fourth op spawns a nested async hop; Quiesce
+					// must wait for these transitive tasks too.
+					if i%4 == 0 {
+						tc.AsyncOn((dst+1)%locales, func(nc *Ctx) {
+							total.Add(nc, 1)
+						})
+					}
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Quiesce()
+	if pending := s.AsyncPending(); pending != 0 {
+		t.Fatalf("AsyncPending = %d after Quiesce", pending)
+	}
+	want := uint64(initiators * perInitiator)
+	want += uint64(initiators * ((perInitiator + 3) / 4)) // nested hops
+	if got := total.Read(root); got != want {
+		t.Fatalf("storm lost updates: total = %d, want %d", got, want)
+	}
+}
+
+// TestAMDonePoolReuseUnderStorm drives a storm of remote AM atomics —
+// the amCall path whose completion channels are recycled through
+// amDonePool — from concurrent tasks on every locale. A stale or
+// double signal on a reused channel would either lose an operation
+// (wrong sum), unblock a caller before its handler ran (torn count),
+// or deadlock; the exact final value proves each call completed
+// exactly once.
+func TestAMDonePoolReuseUnderStorm(t *testing.T) {
+	const locales = 4
+	const tasks = 16
+	const perTask = 300
+	// BackendNone makes every remote 64-bit atomic an active message,
+	// maximising pressure on the pooled channels; a tiny AM queue keeps
+	// senders blocking and channels cycling through the pool fast.
+	s := NewSystem(Config{Locales: locales, Backend: comm.BackendNone, AMQueueDepth: 2})
+	defer s.Shutdown()
+
+	root := s.Ctx(0)
+	words := make([]*Word64, locales)
+	for l := 0; l < locales; l++ {
+		words[l] = NewWord64(root, l, 0)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < tasks; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := s.Ctx(g % locales)
+			for i := 0; i < perTask; i++ {
+				// Always target a word homed away from the caller so the
+				// op must ride an AM and a pooled done channel.
+				dst := (c.Here() + 1 + i%(locales-1)) % locales
+				words[dst].Add(c, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var sum uint64
+	for l := 0; l < locales; l++ {
+		sum += words[l].Read(root)
+	}
+	if want := uint64(tasks * perTask); sum != want {
+		t.Fatalf("AM storm lost updates: sum = %d, want %d", sum, want)
+	}
+	snap := s.Counters().Snapshot()
+	if snap.AMAMOs < tasks*perTask {
+		t.Fatalf("amAMO count = %d, want >= %d", snap.AMAMOs, tasks*perTask)
+	}
+}
+
+// TestSyncOnPooledCtxStreams checks the determinism contract the Ctx
+// pool must preserve: a pooled on-statement context draws a fresh task
+// id and RNG seed exactly as a spawned one would, so (a) the callee's
+// random stream differs from the caller's in-flight stream, and (b)
+// two systems built with the same seed replay identical streams even
+// though one has a warm pool and the other starts cold.
+func TestSyncOnPooledCtxStreams(t *testing.T) {
+	run := func() [][]int {
+		s := NewSystem(Config{Locales: 2, Seed: 99})
+		defer s.Shutdown()
+		var draws [][]int
+		c := s.Ctx(0)
+		for i := 0; i < 5; i++ {
+			var inner []int
+			c.On(1, func(tc *Ctx) {
+				if tc.Here() != 1 {
+					t.Fatalf("callee Here() = %d", tc.Here())
+				}
+				for k := 0; k < 3; k++ {
+					inner = append(inner, tc.RandIntn(1000))
+				}
+				// Nested sync hop back to the caller's locale: borrows a
+				// second pooled Ctx while the first is still in use.
+				tc.On(0, func(nc *Ctx) {
+					inner = append(inner, nc.RandIntn(1000))
+				})
+			})
+			inner = append(inner, c.RandIntn(1000))
+			draws = append(draws, inner)
+		}
+		return draws
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("draw shape mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("row %d shape mismatch", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("pooled Ctx perturbed the RNG streams: run1[%d][%d]=%d run2=%d",
+					i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}

@@ -62,6 +62,7 @@ type System struct {
 	matrix   *comm.Matrix
 
 	taskSeq atomic.Uint64 // unique task ids, also salts per-task RNG
+	ctxPool sync.Pool     // recycled Ctx structs for the sync dispatch path
 
 	asyncPending atomic.Int64 // in-flight AsyncOn tasks (quiescence)
 
@@ -250,4 +251,27 @@ func (s *System) newCtx(l *Locale) *Ctx {
 	c := &Ctx{sys: s, here: l, taskID: id}
 	c.rng = rngSeed(s.cfg.Seed, uint64(l.id), id)
 	return c
+}
+
+// borrowCtx returns a pooled Ctx initialised exactly as newCtx would
+// initialise a fresh one — same task-id draw, same RNG seeding — so a
+// pooled task is indistinguishable from a spawned one. Callers must
+// pair it with releaseCtx and must not let the Ctx escape the call
+// (dispatchOn's contract: the callee's Ctx dies with the call).
+func (s *System) borrowCtx(l *Locale) *Ctx {
+	c, _ := s.ctxPool.Get().(*Ctx)
+	if c == nil {
+		c = &Ctx{}
+	}
+	id := s.taskSeq.Add(1)
+	*c = Ctx{sys: s, here: l, taskID: id, rng: rngSeed(s.cfg.Seed, uint64(l.id), id)}
+	return c
+}
+
+// releaseCtx clears and recycles a borrowed Ctx. Any unflushed
+// aggregation buffers are dropped with it, matching the pre-pooling
+// behaviour where the callee's Ctx was garbage the moment fn returned.
+func (s *System) releaseCtx(c *Ctx) {
+	*c = Ctx{}
+	s.ctxPool.Put(c)
 }

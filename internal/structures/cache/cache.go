@@ -206,11 +206,11 @@ func (ca Cache[V]) GetThrough(c *pgas.Ctx, tok *epoch.Token, k uint64, fetch fun
 	st, v, ok := ca.lookup(c, sh, k)
 	if ok {
 		sh.hits.Add(1)
-		c.Sys().Counters().IncCacheHit()
+		c.Sys().Counters().IncCacheHit(c.Here())
 		return v, true
 	}
 	sh.misses.Add(1)
-	c.Sys().Counters().IncCacheMiss()
+	c.Sys().Counters().IncCacheMiss(c.Here())
 	gen := st.gen.Load() // sampled before the fetch: see the race note above
 	v, ok = fetch()
 	if !ok {
@@ -289,7 +289,7 @@ func (ca Cache[V]) Invalidate(c *pgas.Ctx, k uint64) {
 	for dst := 0; dst < c.NumLocales(); dst++ {
 		ca.obj.AggOnOwner(c, dst, func(lc *pgas.Ctx, sh *shard) {
 			sh.invals.Add(1)
-			lc.Sys().Counters().IncCacheInval()
+			lc.Sys().Counters().IncCacheInval(lc.Here())
 			st := &sh.sets[idx]
 			st.gen.Add(1) // order matters: kill racing fills first
 			em.Protect(lc, func(tok *epoch.Token) {

@@ -74,7 +74,7 @@ func Run(spec Spec, progress io.Writer) (*Report, error) {
 	h := sys.HeapStats()
 	rep.Heap = HeapReport{
 		Live: h.Live, Allocs: h.Allocs, Frees: h.Frees,
-		UAFLoads: h.UAFLoads, UAFFrees: h.UAFFrees,
+		UAFLoads: h.UAFLoads, UAFStores: h.UAFStores, UAFFrees: h.UAFFrees,
 	}
 	est := em.Stats(c0)
 	rep.Epoch = EpochReport{Deferred: est.Deferred, Reclaimed: est.Reclaimed, Advances: est.Advances}

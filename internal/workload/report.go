@@ -73,20 +73,23 @@ type PhaseReport struct {
 	Digest uint64 `json:"digest"`
 }
 
-// HeapReport is the end-of-run gas-heap verdict: UAFLoads/UAFFrees
+// HeapReport is the end-of-run gas-heap verdict: the UAF counters
 // must be zero on any healthy run (the heaps poison freed slots), and
 // Live is what remains allocated after the final epoch clear.
 type HeapReport struct {
-	Live     int64 `json:"live"`
-	Allocs   int64 `json:"allocs"`
-	Frees    int64 `json:"frees"`
-	UAFLoads int64 `json:"uaf_loads"`
-	UAFFrees int64 `json:"uaf_frees"`
+	Live      int64 `json:"live"`
+	Allocs    int64 `json:"allocs"`
+	Frees     int64 `json:"frees"`
+	UAFLoads  int64 `json:"uaf_loads"`
+	UAFStores int64 `json:"uaf_stores"`
+	UAFFrees  int64 `json:"uaf_frees"`
 }
 
 // Safe reports whether the run completed without a detected
-// use-after-free or double free.
-func (h HeapReport) Safe() bool { return h.UAFLoads == 0 && h.UAFFrees == 0 }
+// use-after-free (load or store) or double free.
+func (h HeapReport) Safe() bool {
+	return h.UAFLoads == 0 && h.UAFStores == 0 && h.UAFFrees == 0
+}
 
 // WriteJSON writes the report as indented JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
@@ -115,8 +118,8 @@ func (r *Report) WriteSummary(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "  total: %d ops in %.2fs; heap live=%d uafLoads=%d uafFrees=%d; epoch reclaimed=%d/%d\n",
-		r.TotalOps, r.TotalSeconds, r.Heap.Live, r.Heap.UAFLoads, r.Heap.UAFFrees,
+	fmt.Fprintf(w, "  total: %d ops in %.2fs; heap live=%d uafLoads=%d uafStores=%d uafFrees=%d; epoch reclaimed=%d/%d\n",
+		r.TotalOps, r.TotalSeconds, r.Heap.Live, r.Heap.UAFLoads, r.Heap.UAFStores, r.Heap.UAFFrees,
 		r.Epoch.Reclaimed, r.Epoch.Deferred)
 }
 
