@@ -339,6 +339,11 @@ func BenchmarkAblationLimboPushCASLoop(b *testing.B) {
 func BenchmarkDispatchHotPath(b *testing.B)  { hotpath.DispatchHotPath(b) }
 func BenchmarkHeapLoadParallel(b *testing.B) { hotpath.HeapLoadParallel(b) }
 
+// The BENCH_6 pair: the aggregated hot-key write storm with in-flight
+// absorption off (baseline) and on (current).
+func BenchmarkWriteStormHotKeyUncombined(b *testing.B) { hotpath.WriteStormHotKeyUncombined(b) }
+func BenchmarkWriteStormHotKeyCombined(b *testing.B)   { hotpath.WriteStormHotKeyCombined(b) }
+
 func BenchmarkAblationLimboDeferDelete(b *testing.B) {
 	s := benchSystem(b, 1, comm.BackendNone)
 	c := s.Ctx(0)

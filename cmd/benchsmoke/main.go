@@ -5,15 +5,21 @@
 // perf-trajectory artifact CI uploads as BENCH_5.json, so regressions
 // of the harness itself are visible across PRs.
 //
+// With -absorption it instead runs the BENCH_6 write-absorption pair —
+// WriteStormHotKey with in-flight combining off (baseline) and on
+// (current) — and writes the comparative BENCH_6.json shape with a
+// per-benchmark speedup map.
+//
 // Usage:
 //
-//	benchsmoke [-out FILE] [-benchtime D] [-label S]
+//	benchsmoke [-absorption] [-out FILE] [-benchtime D] [-label S]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"testing"
@@ -44,11 +50,60 @@ type Report struct {
 	Results    []Result `json:"results"`
 }
 
+// Environment pins the toolchain facts a comparative record needs.
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CompareReport is the BENCH_6.json shape: two arms of the same
+// workload measured in one process, plus the per-benchmark wall-clock
+// speedup of current over baseline.
+type CompareReport struct {
+	PR          int                `json:"pr"`
+	Title       string             `json:"title"`
+	Note        string             `json:"note"`
+	Environment Environment        `json:"environment"`
+	Baseline    Report             `json:"baseline"`
+	Current     Report             `json:"current"`
+	Speedup     map[string]float64 `json:"speedup"`
+}
+
+// namedBench pairs a benchmark body with its report name.
+type namedBench struct {
+	name string
+	fn   func(*testing.B)
+}
+
+// run measures each benchmark and returns its records, echoing a
+// progress line per benchmark to stderr.
+func run(tag string, benches []namedBench) []Result {
+	var out []Result
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := Result{
+			Name:      bench.name,
+			Locales:   hotpath.Locales,
+			N:         r.N,
+			NSPerOp:   nsOp,
+			OpsPerSec: 1e9 / nsOp,
+			AllocsOp:  float64(r.AllocsPerOp()),
+			BytesOp:   float64(r.AllocedBytesPerOp()),
+		}
+		out = append(out, res)
+		fmt.Fprintf(os.Stderr, "%-12s %-18s N=%-9d %10.1f ns/op %14.0f ops/s %6.1f allocs/op\n",
+			tag, res.Name, res.N, res.NSPerOp, res.OpsPerSec, res.AllocsOp)
+	}
+	return out
+}
+
 func main() {
 	var (
-		out       = flag.String("out", "", "write JSON here (default stdout)")
-		benchtime = flag.Duration("benchtime", time.Second, "per-benchmark target duration")
-		label     = flag.String("label", "", "free-form label recorded in the report")
+		out        = flag.String("out", "", "write JSON here (default stdout)")
+		benchtime  = flag.Duration("benchtime", time.Second, "per-benchmark target duration")
+		label      = flag.String("label", "", "free-form label recorded in the report")
+		absorption = flag.Bool("absorption", false, "run the BENCH_6 write-absorption pair and emit the comparative shape")
 	)
 	flag.Parse()
 	if *benchtime <= 0 {
@@ -63,32 +118,46 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep := Report{
-		Label:      *label,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-	}
-	for _, bench := range []struct {
-		name string
-		fn   func(*testing.B)
-	}{
-		{"DispatchHotPath", hotpath.DispatchHotPath},
-		{"HeapLoadParallel", hotpath.HeapLoadParallel},
-	} {
-		r := testing.Benchmark(bench.fn)
-		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
-		res := Result{
-			Name:      bench.name,
-			Locales:   hotpath.Locales,
-			N:         r.N,
-			NSPerOp:   nsOp,
-			OpsPerSec: 1e9 / nsOp,
-			AllocsOp:  float64(r.AllocsPerOp()),
-			BytesOp:   float64(r.AllocedBytesPerOp()),
+	env := Environment{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	var record any
+	if *absorption {
+		baseline := Report{
+			Label: "uncombined", GoVersion: env.GoVersion, GOMAXPROCS: env.GOMAXPROCS,
+			Results: run("uncombined", []namedBench{{"WriteStormHotKey", hotpath.WriteStormHotKeyUncombined}}),
 		}
-		rep.Results = append(rep.Results, res)
-		fmt.Fprintf(os.Stderr, "%-18s N=%-9d %10.1f ns/op %14.0f ops/s %6.1f allocs/op\n",
-			res.Name, res.N, res.NSPerOp, res.OpsPerSec, res.AllocsOp)
+		current := Report{
+			Label: "combined", GoVersion: env.GoVersion, GOMAXPROCS: env.GOMAXPROCS,
+			Results: run("combined", []namedBench{{"WriteStormHotKey", hotpath.WriteStormHotKeyCombined}}),
+		}
+		if *label != "" {
+			current.Label = *label
+		}
+		speedup := make(map[string]float64, len(baseline.Results))
+		for i, b := range baseline.Results {
+			speedup[b.Name] = math.Round(100*b.NSPerOp/current.Results[i].NSPerOp) / 100
+		}
+		record = CompareReport{
+			PR:    6,
+			Title: "Write absorption: mergeable aggregated ops + owner-side flat combining",
+			Note: "Aggregated hot-key upsert storm at 8 locales, zero latency profile, 64-write flush windows over " +
+				"8 hot keys homed on locale 0. The baseline arm ships every enqueued write; the current arm absorbs " +
+				"repeat writes to a key in flight, so each window ships at most the hot-key count. Both arms drain " +
+				"through the owner's flat combiner. Measured with cmd/benchsmoke -absorption (testing.Benchmark over " +
+				"internal/bench/hotpath, the same bodies as BenchmarkWriteStormHotKey{Uncombined,Combined}). CI " +
+				"regenerates this record fresh on every run and uploads it as the BENCH_6.json artifact.",
+			Environment: env,
+			Baseline:    baseline,
+			Current:     current,
+			Speedup:     speedup,
+		}
+	} else {
+		record = Report{
+			Label: *label, GoVersion: env.GoVersion, GOMAXPROCS: env.GOMAXPROCS,
+			Results: run("hotpath", []namedBench{
+				{"DispatchHotPath", hotpath.DispatchHotPath},
+				{"HeapLoadParallel", hotpath.HeapLoadParallel},
+			}),
+		}
 	}
 
 	w := os.Stdout
@@ -108,7 +177,7 @@ func main() {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(record); err != nil {
 		fmt.Fprintf(os.Stderr, "benchsmoke: %v\n", err)
 		os.Exit(1)
 	}

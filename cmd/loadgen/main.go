@@ -14,7 +14,7 @@
 //	        [-dist uniform|zipfian|hotset] [-theta F] [-ops N]
 //	        [-bulk N] [-rate F] [-latency-scale F]
 //	        [-slow-locale I -slow-factor F]
-//	        [-cache] [-cache-slots N]
+//	        [-cache] [-cache-slots N] [-combine]
 //	        [-out report.json] [-print-spec] [-quiet]
 //
 // -cache enables the hashmap's per-locale read replication cache
@@ -23,6 +23,15 @@
 // gains cache hit/miss/invalidation counters — compare the run phase's
 // maxInbound with and without it under a hot-set distribution to see
 // the owner hotspot disappear.
+//
+// -combine enables write absorption (hashmap only, mutually exclusive
+// with -cache): mutations route through the fire-and-forget
+// UpsertAgg/RemoveAgg path, repeat writes to a key absorb inside the
+// source's aggregation buffer before shipping, and the owner drains
+// deliveries through its flat combiner. The report gains absorbed/
+// enqueued and CAS counters — compare the run phase's shipped-op total
+// with and without it under a hot-set distribution to see the write
+// storm collapse.
 //
 // -print-spec writes the effective spec JSON to stdout (pipe it to a
 // file, tweak, and feed it back with -spec). The run summary prints to
@@ -59,6 +68,7 @@ func main() {
 		slowFac   = flag.Float64("slow-factor", 0, "fault injection: slow one locale by this factor (0 = off)")
 		useCache  = flag.Bool("cache", false, "enable the hot-key read replication cache (hashmap only)")
 		cacheSlot = flag.Int("cache-slots", 0, "per-locale cache slots (0 = 256)")
+		combine   = flag.Bool("combine", false, "enable write absorption: in-flight combining + owner-side flat combining (hashmap only, excludes -cache)")
 		outPath   = flag.String("out", "", "write the full report JSON here")
 		printSpec = flag.Bool("print-spec", false, "print the effective spec JSON to stdout and exit")
 		quiet     = flag.Bool("quiet", false, "suppress per-phase progress lines")
@@ -79,6 +89,10 @@ func main() {
 		if *useCache {
 			spec.Cache = &workload.CacheSpec{Enabled: true, Slots: *cacheSlot}
 			spec.Name += "-cached"
+		}
+		if *combine {
+			spec.Combine = &workload.CombineSpec{Enabled: true}
+			spec.Name += "-combined"
 		}
 	}
 	spec = spec.WithDefaults()

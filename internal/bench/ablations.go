@@ -695,6 +695,125 @@ func replicationStorm(cfg Config, locales int) (Point, stormVerdict) {
 	return pt, v
 }
 
+// a9HotKeys picks `count` keys all homed on locale 0 of the map: the
+// write storm funnels every locale's upserts toward one owner, the
+// worst case write absorption is built to collapse. Unlike a8HotKeys
+// there is no cache in play, so plain home-scanning suffices; callers
+// slice the result into disjoint per-locale windows so the final map
+// state is deterministic in both arms.
+func a9HotKeys(m hashmap.Map[int], count int) []uint64 {
+	keys := make([]uint64, 0, count)
+	for k := uint64(0); len(keys) < count; k++ {
+		if m.HomeOf(k) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// AblationWriteAbsorption isolates the two write-absorption layers
+// stacked on top of plain aggregation. Panel 1 is a hot-key upsert
+// storm against hashmap keys all homed on locale 0, each remote locale
+// hammering its own small window of hot keys through UpsertAgg: with
+// combining off every enqueued write ships and the owner replays
+// O(ops) list CASes; with combining on, later writes to a key absorb
+// into the buffered one, collapsing the shipped-op and owner-CAS
+// totals to O(hot keys). Panel 2 is the same storm shape on aggregated
+// Word64 Adds, where absorption merges deltas arithmetically instead
+// of last-writer-wins. Both arms drain through the owner's flat
+// combiner, so the delta between them is the in-flight absorption
+// alone. Locale 0 does not write: its ops would execute inline (never
+// enqueued) and blur the shipped/enqueued and CAS comparisons
+// TestAblationA9 asserts.
+func AblationWriteAbsorption(cfg Config) Figure {
+	reps := cfg.ops(1 << 9)
+	const hotKeys = 4
+
+	upsertPanel := Panel{Title: "Hot-key upsert storm: shipped writes & owner CAS (none)", XLabel: "Locales"}
+	runUpserts := func(locales int, combine bool) Point {
+		sys := cfg.newSystemAgg(locales, comm.BackendNone, comm.AggConfig{Combine: combine})
+		defer sys.Shutdown()
+		var pt Point
+		sys.Run(func(c *pgas.Ctx) {
+			em := epoch.NewEpochManager(c)
+			m := hashmap.New[int](c, 8*locales, em)
+			hot := a9HotKeys(m, hotKeys*locales)
+			pt.Seconds, pt.Comm, pt.Matrix, pt.MaxInbound = timedMatrix(sys, func() {
+				c.CoforallLocales(func(lc *pgas.Ctx) {
+					if lc.Here() == 0 {
+						return
+					}
+					mine := hot[lc.Here()*hotKeys : (lc.Here()+1)*hotKeys]
+					for i := 0; i < reps; i++ {
+						m.UpsertAgg(lc, mine[i%hotKeys], i)
+					}
+					lc.Flush()
+				})
+			})
+			em.Clear(c)
+		})
+		pt.X = locales
+		return pt
+	}
+
+	addPanel := Panel{Title: "Hot-word add storm: shipped deltas (none)", XLabel: "Locales"}
+	runAdds := func(locales int, combine bool) Point {
+		sys := cfg.newSystemAgg(locales, comm.BackendNone, comm.AggConfig{Combine: combine})
+		defer sys.Shutdown()
+		var pt Point
+		sys.Run(func(c *pgas.Ctx) {
+			words := make([]*pgas.Word64, hotKeys)
+			for i := range words {
+				words[i] = pgas.NewWord64(c, 0, 0)
+			}
+			pt.Seconds, pt.Comm, pt.Matrix, pt.MaxInbound = timedMatrix(sys, func() {
+				c.CoforallLocales(func(lc *pgas.Ctx) {
+					if lc.Here() == 0 {
+						return
+					}
+					b := lc.Aggregator(0)
+					for i := 0; i < reps; i++ {
+						b.Add(words[i%hotKeys], 1)
+					}
+					lc.Flush()
+				})
+			})
+		})
+		pt.X = locales
+		return pt
+	}
+
+	plainU := Series{Label: "uncombined upserts (ship every write)"}
+	combU := Series{Label: "combined upserts (absorbed in flight)"}
+	plainA := Series{Label: "uncombined adds (ship every delta)"}
+	combA := Series{Label: "combined adds (merged deltas)"}
+	for _, locales := range cfg.localeSweep(2) {
+		p := cfg.best(func() Point { return runUpserts(locales, false) })
+		plainU.Points = append(plainU.Points, p)
+		cfg.progressf("ablI upsert plain locales=%-3d %8.4fs  [%v]\n", locales, p.Seconds, p.Comm)
+
+		p = cfg.best(func() Point { return runUpserts(locales, true) })
+		combU.Points = append(combU.Points, p)
+		cfg.progressf("ablI upsert comb  locales=%-3d %8.4fs  [%v]\n", locales, p.Seconds, p.Comm)
+
+		p = cfg.best(func() Point { return runAdds(locales, false) })
+		plainA.Points = append(plainA.Points, p)
+		cfg.progressf("ablI add plain    locales=%-3d %8.4fs  [%v]\n", locales, p.Seconds, p.Comm)
+
+		p = cfg.best(func() Point { return runAdds(locales, true) })
+		combA.Points = append(combA.Points, p)
+		cfg.progressf("ablI add comb     locales=%-3d %8.4fs  [%v]\n", locales, p.Seconds, p.Comm)
+	}
+	upsertPanel.Series = []Series{plainU, combU}
+	addPanel.Series = []Series{plainA, combA}
+	return Figure{
+		ID:      "A9",
+		Title:   "Ablation: write absorption (in-flight combining + owner-side flat combining)",
+		Caption: "Under a hot-key write storm, in-flight combining absorbs repeat writes to a key inside the source's aggregation buffer, so shipped ops and the owner's CAS work scale with the hot-key count instead of the write count; both arms drain through the owner's flat combiner, which serializes the replay and keeps CAS retries at zero.",
+		Panels:  []Panel{upsertPanel, addPanel},
+	}
+}
+
 // Ablations runs every ablation study.
 func Ablations(cfg Config) []Figure {
 	return []Figure{
@@ -706,5 +825,6 @@ func Ablations(cfg Config) []Figure {
 		AblationAggregation(cfg),
 		AblationSharding(cfg),
 		AblationReplication(cfg),
+		AblationWriteAbsorption(cfg),
 	}
 }

@@ -221,10 +221,17 @@ func MaxInboundOf(m [][]int64) int64 {
 
 // newSystem builds a benchmark system.
 func (cfg Config) newSystem(locales int, backend comm.Backend) *pgas.System {
+	return cfg.newSystemAgg(locales, backend, comm.AggConfig{})
+}
+
+// newSystemAgg builds a benchmark system with an explicit aggregation
+// policy — the write-absorption ablation flips Combine per arm.
+func (cfg Config) newSystemAgg(locales int, backend comm.Backend, agg comm.AggConfig) *pgas.System {
 	return pgas.NewSystem(pgas.Config{
 		Locales: locales,
 		Backend: backend,
 		Latency: cfg.Latency,
 		Seed:    cfg.Seed,
+		Agg:     agg,
 	})
 }

@@ -79,7 +79,7 @@ func TestFigure7Structure(t *testing.T) {
 
 func TestAblationsStructure(t *testing.T) {
 	figs := Ablations(tinyConfig())
-	if len(figs) != 8 {
+	if len(figs) != 9 {
 		t.Fatalf("got %d ablations", len(figs))
 	}
 	ids := map[string]bool{}
@@ -89,7 +89,7 @@ func TestAblationsStructure(t *testing.T) {
 			t.Fatalf("ablation %s empty", f.ID)
 		}
 	}
-	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"} {
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9"} {
 		if !ids[id] {
 			t.Fatalf("missing ablation %s (have %v)", id, ids)
 		}
@@ -244,6 +244,74 @@ func TestAblationA8(t *testing.T) {
 	}
 	if pt.Comm.CacheInval == 0 || pt.Comm.CacheHits == 0 {
 		t.Fatalf("storm exercised nothing: %v", pt.Comm)
+	}
+}
+
+// The write-absorption ablation's claims, asserted on the
+// deterministic counters (the CI smoke gate for PR 6, run with
+// -short alongside A7/A8):
+//
+//  1. with combining on, shipped aggregated ops collapse by >= 5x
+//     against the enqueued count under the hot-key storm, and the
+//     absorption arithmetic balances (shipped + combined == enqueued);
+//  2. with combining off, nothing is absorbed: every enqueued op
+//     ships, and the owner's CAS work is O(ops) — at least 4x the
+//     combined arm's;
+//  3. the flat combiner serializes the owner-side replay, so the
+//     combined arm's CAS retry count is exactly zero.
+func TestAblationA9(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.05 // ~25 writes per locale over 4 hot keys: 6.25x absorbable
+	f := AblationWriteAbsorption(cfg)
+	if f.ID != "A9" || len(f.Panels) != 2 {
+		t.Fatalf("A9 shape: id=%s panels=%d", f.ID, len(f.Panels))
+	}
+	for _, panel := range f.Panels {
+		plain, combined := panel.Series[0], panel.Series[1]
+		for i, p := range plain.Points {
+			if p.Comm.AggOpsEnq == 0 {
+				t.Fatalf("%s: uncombined point %d enqueued nothing: %v", panel.Title, i, p.Comm)
+			}
+			if p.Comm.AggCombined != 0 {
+				t.Fatalf("%s: uncombined point %d absorbed %d ops: %v",
+					panel.Title, i, p.Comm.AggCombined, p.Comm)
+			}
+			if p.Comm.AggOps != p.Comm.AggOpsEnq {
+				t.Fatalf("%s: uncombined point %d shipped %d of %d enqueued: %v",
+					panel.Title, i, p.Comm.AggOps, p.Comm.AggOpsEnq, p.Comm)
+			}
+		}
+		for i, p := range combined.Points {
+			if p.Comm.AggCombined == 0 {
+				t.Fatalf("%s: combined point %d absorbed nothing: %v", panel.Title, i, p.Comm)
+			}
+			if p.Comm.AggOps+p.Comm.AggCombined != p.Comm.AggOpsEnq {
+				t.Fatalf("%s: combined point %d books don't balance: shipped %d + absorbed %d != enqueued %d",
+					panel.Title, i, p.Comm.AggOps, p.Comm.AggCombined, p.Comm.AggOpsEnq)
+			}
+			if p.Comm.AggOps*5 > p.Comm.AggOpsEnq {
+				t.Fatalf("%s: combined point %d shipped %d of %d enqueued (< 5x absorption)",
+					panel.Title, i, p.Comm.AggOps, p.Comm.AggOpsEnq)
+			}
+			if p.Comm.CASRetries != 0 {
+				t.Fatalf("%s: combined point %d retried %d CASes under the flat combiner",
+					panel.Title, i, p.Comm.CASRetries)
+			}
+		}
+	}
+	// Owner-side CAS work: the upsert storm replays every shipped write
+	// through the bucket lists' CAS, so the uncombined arm pays O(ops)
+	// attempts while the combined arm pays O(hot keys).
+	plainU, combU := f.Panels[0].Series[0], f.Panels[0].Series[1]
+	for i, p := range plainU.Points {
+		q := combU.Points[i]
+		if p.Comm.CASAttempts == 0 {
+			t.Fatalf("uncombined upsert point %d did no CAS work: %v", i, p.Comm)
+		}
+		if q.Comm.CASAttempts*4 > p.Comm.CASAttempts {
+			t.Fatalf("combined upsert point %d CAS attempts %d not bounded vs uncombined %d",
+				i, q.Comm.CASAttempts, p.Comm.CASAttempts)
+		}
 	}
 }
 

@@ -16,8 +16,10 @@ import (
 	"testing"
 
 	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
 	"gopgas/internal/gas"
 	"gopgas/internal/pgas"
+	"gopgas/internal/structures/hashmap"
 )
 
 // Locales is the fixed sweep point the hot-path benchmarks run at.
@@ -48,6 +50,62 @@ func DispatchHotPath(b *testing.B) {
 		_ = sink
 	})
 }
+
+// writeStormHotKey measures the per-write cost of the aggregated
+// hashmap upsert path under a hot-key storm: every writer hammers a
+// small set of keys all homed on locale 0 through UpsertAgg, flushing
+// its buffer every flushEvery writes so the timed region is the
+// steady-state enqueue→ship→owner-replay cycle, not one unbounded
+// buffer fill. The combine flag is the only difference between the
+// two BENCH_6 arms: with absorption on, each flush window collapses
+// to at most hotKeys shipped ops (8× fewer deliveries and owner-side
+// list CASes per window). Writers run on locales 1..Locales-1 only —
+// locale 0's writes would execute inline, bypassing the aggregation
+// path under measurement.
+func writeStormHotKey(b *testing.B, combine bool) {
+	const hotKeys = 8
+	const flushEvery = 64
+	s := pgas.NewSystem(pgas.Config{
+		Locales: Locales,
+		Backend: comm.BackendNone,
+		Seed:    42,
+		Agg:     comm.AggConfig{Combine: combine},
+	})
+	b.Cleanup(s.Shutdown)
+	c0 := s.Ctx(0)
+	em := epoch.NewEpochManager(c0)
+	m := hashmap.New[int](c0, 8*Locales, em)
+	hot := make([]uint64, 0, hotKeys)
+	for k := uint64(0); len(hot) < hotKeys; k++ {
+		if m.HomeOf(k) == 0 {
+			hot = append(hot, k)
+		}
+	}
+	var nextTask atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		src := 1 + int(nextTask.Add(1)-1)%(Locales-1)
+		c := s.Ctx(src)
+		i := 0
+		for pb.Next() {
+			m.UpsertAgg(c, hot[i%hotKeys], i)
+			i++
+			if i%flushEvery == 0 {
+				c.Flush()
+			}
+		}
+		c.Flush()
+	})
+}
+
+// WriteStormHotKeyUncombined is the BENCH_6 baseline arm: every
+// enqueued write ships and replays on the owner.
+func WriteStormHotKeyUncombined(b *testing.B) { writeStormHotKey(b, false) }
+
+// WriteStormHotKeyCombined is the BENCH_6 current arm: repeat writes
+// to a hot key absorb in flight before the buffer ships.
+func WriteStormHotKeyCombined(b *testing.B) { writeStormHotKey(b, true) }
 
 // HeapLoadParallel measures locale-local heap reads from many tasks
 // at once, spread over the locales: the gas.Heap fast path every

@@ -44,6 +44,47 @@ type AggConfig struct {
 
 	// Policy selects the flush policy.
 	Policy FlushPolicy
+
+	// Combine enables in-flight write absorption: an enqueued op whose
+	// payload implements CombinableOp is merged into an already-buffered
+	// op with the same CombineKey instead of occupying its own slot.
+	// Off by default — combining is an opt-in policy because it changes
+	// the shipped-op stream (though never the observable final state;
+	// see CombinableOp).
+	Combine bool
+}
+
+// CombineKey identifies the merge target of a combinable operation:
+// two buffered ops with equal keys address the same logical cell and
+// may be merged. Kind namespaces the key space per operation type
+// (an Add and a Put to the same word must not merge), Ref anchors the
+// key to a structure or word identity (any comparable value — a
+// pointer, a Privatized handle), and K carries the cell index or
+// hashmap key within that structure.
+type CombineKey struct {
+	Kind uint8
+	Ref  any
+	K    uint64
+}
+
+// CombinableOp is the opt-in merge surface of an aggregated
+// operation. When AggConfig.Combine is set and an enqueued op's Exec
+// payload implements CombinableOp, the aggregator asks the buffered
+// op with the same CombineKey to Absorb the later one.
+//
+// Absorb folds later into the receiver in enqueue order — summing a
+// delta (commutative Add), replacing a value (last-writer Put), or
+// concatenating a batch — and reports how many payload bytes the
+// merged op grew by (zero for value merges, positive for
+// concatenation) plus whether the merge happened at all. Returning
+// ok=false keeps both ops; the aggregator never retries the pair.
+// Absorption must preserve the observable outcome of executing both
+// ops in order: per-key last-writer order is maintained because ops
+// merge only within one task's buffer, where enqueue order IS program
+// order.
+type CombinableOp interface {
+	CombineKey() CombineKey
+	Absorb(later CombinableOp) (grow int64, ok bool)
 }
 
 // Op is one buffered remote operation: an opaque payload interpreted
@@ -69,6 +110,11 @@ type Aggregator struct {
 	deliver  func(dst int, batch []Op)
 	bufs     [][]Op
 	bytes    []int64
+
+	// idx maps CombineKey → buffer slot per destination, built lazily
+	// when Combine is on and dropped whole at flush (the slots it holds
+	// are positions in the flushed buffer).
+	idx []map[CombineKey]int
 }
 
 // NewAggregator creates an aggregator for operations issued from
@@ -88,6 +134,7 @@ func NewAggregator(src, nDest int, cfg AggConfig, counters *Counters, matrix *Ma
 		deliver:  deliver,
 		bufs:     make([][]Op, nDest),
 		bytes:    make([]int64, nDest),
+		idx:      make([]map[CombineKey]int, nDest),
 	}
 }
 
@@ -101,10 +148,31 @@ func (a *Aggregator) Capacity() int { return a.cfg.Capacity }
 func (a *Aggregator) SetPerturbation(p Perturbation) { a.perturb = p }
 
 // Enqueue buffers op for dst, flushing the destination's buffer first
-// if the policy is FlushOnCapacity and the buffer is full.
+// if the policy is FlushOnCapacity and the buffer is full. Under
+// AggConfig.Combine a combinable op may instead be absorbed into an
+// already-buffered op with the same merge key, in which case nothing
+// is appended and no flush can trigger.
 func (a *Aggregator) Enqueue(dst int, op Op) {
 	if dst < 0 || dst >= len(a.bufs) {
 		panic(fmt.Sprintf("comm: aggregator destination %d out of range [0, %d)", dst, len(a.bufs)))
+	}
+	a.counters.IncAggEnqueue(a.src)
+	if a.cfg.Combine {
+		if co, isCombinable := op.Exec.(CombinableOp); isCombinable {
+			key := co.CombineKey()
+			if i, hit := a.idx[dst][key]; hit {
+				if grow, ok := a.bufs[dst][i].Exec.(CombinableOp).Absorb(co); ok {
+					a.bufs[dst][i].Bytes += grow
+					a.bytes[dst] += grow
+					a.counters.IncAggCombined(a.src)
+					return
+				}
+			}
+			if a.idx[dst] == nil {
+				a.idx[dst] = make(map[CombineKey]int)
+			}
+			a.idx[dst][key] = len(a.bufs[dst])
+		}
 	}
 	a.bufs[dst] = append(a.bufs[dst], op)
 	a.bytes[dst] += op.Bytes
@@ -139,6 +207,7 @@ func (a *Aggregator) FlushDst(dst int) {
 	bytes := a.bytes[dst]
 	a.bufs[dst] = nil
 	a.bytes[dst] = 0
+	a.idx[dst] = nil
 	a.counters.IncAggFlush(a.src, int64(len(batch)), bytes)
 	a.counters.IncBulk(a.src, bytes)
 	if a.matrix != nil && dst != a.src {

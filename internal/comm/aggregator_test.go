@@ -33,9 +33,158 @@ func TestAggregatorCapacityFlush(t *testing.T) {
 	if total != 1000 {
 		t.Fatalf("delivered %d ops, want 1000", total)
 	}
-	want := Snapshot{AggFlushes: 4, AggOps: 1000, AggBytes: 8000, BulkXfers: 4, BulkBytes: 8000}
+	want := Snapshot{AggFlushes: 4, AggOps: 1000, AggOpsEnq: 1000, AggBytes: 8000, BulkXfers: 4, BulkBytes: 8000}
 	if s != want {
 		t.Fatalf("counters = %+v, want %+v", s, want)
+	}
+}
+
+// sumOp is a test CombinableOp: a commutative delta against cell K of
+// a shared ref. Absorb folds the later delta in without growing the
+// payload.
+type sumOp struct {
+	ref   *int
+	k     uint64
+	delta int64
+}
+
+func (o *sumOp) CombineKey() CombineKey { return CombineKey{Kind: 1, Ref: o.ref, K: o.k} }
+func (o *sumOp) Absorb(later CombinableOp) (int64, bool) {
+	o.delta += later.(*sumOp).delta
+	return 0, true
+}
+
+// lastOp is a test CombinableOp with last-writer-wins semantics.
+type lastOp struct {
+	ref *int
+	k   uint64
+	v   int64
+}
+
+func (o *lastOp) CombineKey() CombineKey { return CombineKey{Kind: 2, Ref: o.ref, K: o.k} }
+func (o *lastOp) Absorb(later CombinableOp) (int64, bool) {
+	o.v = later.(*lastOp).v
+	return 0, true
+}
+
+// catOp is a test CombinableOp whose merge concatenates payloads, so
+// the merged op's byte tally must grow.
+type catOp struct {
+	ref  *int
+	vals []int64
+}
+
+func (o *catOp) CombineKey() CombineKey { return CombineKey{Kind: 3, Ref: o.ref} }
+func (o *catOp) Absorb(later CombinableOp) (int64, bool) {
+	l := later.(*catOp)
+	o.vals = append(o.vals, l.vals...)
+	return int64(len(l.vals)) * 8, true
+}
+
+// With Combine on, N deltas to one key collapse to one summed op, N
+// stores to one key keep only the last value, and distinct keys stay
+// distinct. The enqueue/combined/shipped counters account exactly.
+func TestAggregatorCombine(t *testing.T) {
+	var c Counters
+	var delivered []Op
+	ref := new(int)
+	a := NewAggregator(0, 4, AggConfig{Capacity: 256, Combine: true}, &c, nil, Zero(),
+		func(dst int, batch []Op) { delivered = append(delivered, batch...) })
+	for i := 0; i < 10; i++ {
+		a.Enqueue(1, Op{Bytes: 16, Exec: &sumOp{ref: ref, k: 7, delta: 1}})
+		a.Enqueue(1, Op{Bytes: 16, Exec: &lastOp{ref: ref, k: 7, v: int64(i)}})
+	}
+	a.Enqueue(1, Op{Bytes: 16, Exec: &sumOp{ref: ref, k: 8, delta: 100}})
+	a.Flush()
+
+	if len(delivered) != 3 {
+		t.Fatalf("shipped %d ops, want 3", len(delivered))
+	}
+	if got := delivered[0].Exec.(*sumOp); got.delta != 10 {
+		t.Fatalf("summed delta = %d, want 10", got.delta)
+	}
+	if got := delivered[1].Exec.(*lastOp); got.v != 9 {
+		t.Fatalf("last-writer value = %d, want 9", got.v)
+	}
+	if got := delivered[2].Exec.(*sumOp); got.delta != 100 {
+		t.Fatalf("distinct key merged: delta = %d, want 100", got.delta)
+	}
+	s := c.Snapshot()
+	want := Snapshot{
+		AggFlushes: 1, AggOps: 3, AggOpsEnq: 21, AggCombined: 18,
+		AggBytes: 48, BulkXfers: 1, BulkBytes: 48,
+	}
+	if s != want {
+		t.Fatalf("counters = %+v, want %+v", s, want)
+	}
+	if s.AggOps+s.AggCombined != s.AggOpsEnq {
+		t.Fatalf("shipped+combined != enqueued: %+v", s)
+	}
+}
+
+// Concatenating merges grow the buffered op's byte tally, so the bulk
+// transfer still charges for every payload byte that ships.
+func TestAggregatorCombineGrowsBytes(t *testing.T) {
+	var c Counters
+	ref := new(int)
+	a := NewAggregator(0, 2, AggConfig{Combine: true}, &c, nil, Zero(), func(int, []Op) {})
+	a.Enqueue(1, Op{Bytes: 16, Exec: &catOp{ref: ref, vals: []int64{1, 2}}})
+	a.Enqueue(1, Op{Bytes: 24, Exec: &catOp{ref: ref, vals: []int64{3, 4, 5}}})
+	a.Flush()
+	s := c.Snapshot()
+	if s.AggOps != 1 || s.AggCombined != 1 {
+		t.Fatalf("counters = %+v, want 1 shipped / 1 combined", s)
+	}
+	// 16 initial + 3 appended values * 8 bytes.
+	if s.AggBytes != 40 || s.BulkBytes != 40 {
+		t.Fatalf("bytes = %d/%d, want 40/40", s.AggBytes, s.BulkBytes)
+	}
+}
+
+// With Combine off, combinable ops ship one-for-one; opaque ops never
+// merge even with Combine on.
+func TestAggregatorCombineOptIn(t *testing.T) {
+	var c Counters
+	ref := new(int)
+	off := NewAggregator(0, 2, AggConfig{}, &c, nil, Zero(), func(int, []Op) {})
+	for i := 0; i < 5; i++ {
+		off.Enqueue(1, Op{Bytes: 16, Exec: &sumOp{ref: ref, k: 1, delta: 1}})
+	}
+	off.Flush()
+	if s := c.Snapshot(); s.AggOps != 5 || s.AggCombined != 0 {
+		t.Fatalf("Combine=false merged: %+v", s)
+	}
+	c.Reset()
+	on := NewAggregator(0, 2, AggConfig{Combine: true}, &c, nil, Zero(), func(int, []Op) {})
+	for i := 0; i < 5; i++ {
+		on.Enqueue(1, Op{Bytes: 8, Exec: func() {}}) // opaque payload
+	}
+	on.Flush()
+	if s := c.Snapshot(); s.AggOps != 5 || s.AggCombined != 0 {
+		t.Fatalf("opaque ops merged: %+v", s)
+	}
+}
+
+// The merge index is dropped at flush: ops enqueued after a flush must
+// not absorb into positions of the already-shipped buffer.
+func TestAggregatorCombineIndexResetOnFlush(t *testing.T) {
+	var c Counters
+	ref := new(int)
+	var batches [][]Op
+	a := NewAggregator(0, 2, AggConfig{Combine: true}, &c, nil, Zero(),
+		func(dst int, batch []Op) { batches = append(batches, batch) })
+	a.Enqueue(1, Op{Bytes: 16, Exec: &sumOp{ref: ref, k: 1, delta: 1}})
+	a.FlushDst(1)
+	a.Enqueue(1, Op{Bytes: 16, Exec: &sumOp{ref: ref, k: 1, delta: 2}})
+	a.FlushDst(1)
+	if len(batches) != 2 || len(batches[0]) != 1 || len(batches[1]) != 1 {
+		t.Fatalf("batches = %v", batches)
+	}
+	if d := batches[0][0].Exec.(*sumOp).delta; d != 1 {
+		t.Fatalf("pre-flush op mutated after shipping: delta = %d", d)
+	}
+	if d := batches[1][0].Exec.(*sumOp).delta; d != 2 {
+		t.Fatalf("post-flush delta = %d, want 2", d)
 	}
 }
 

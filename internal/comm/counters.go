@@ -51,12 +51,17 @@ const (
 	cCacheHits
 	cCacheMiss
 	cCacheInval
+	cAggOpsEnq
+	cAggCombined
+	cCASAttempts
+	cCASRetries
 	numCounters
 )
 
-// counterShard is one padded cell: 16 counters is exactly two 64-byte
-// cache lines, and the trailing pad keeps neighbouring shards' lines
-// from abutting whatever alignment the enclosing array lands on.
+// counterShard is one padded cell: 20 counters span three 64-byte
+// cache lines (the third half-full), and the trailing pad keeps
+// neighbouring shards' lines from abutting whatever alignment the
+// enclosing array lands on.
 type counterShard struct {
 	v [numCounters]atomic.Int64
 	_ [64]byte
@@ -96,6 +101,22 @@ type Snapshot struct {
 	CacheHits  int64
 	CacheMiss  int64
 	CacheInval int64
+
+	// Write-absorption counters. AggOpsEnq counts operations handed to
+	// an aggregator's Enqueue; AggOps (above) counts operations that
+	// actually shipped at flush time. Their gap is AggCombined: ops
+	// absorbed into an already-buffered mergeable op before the wire.
+	AggOpsEnq   int64
+	AggCombined int64
+
+	// CAS accounting, threaded through the pgas word primitives the
+	// same way shard hints were: CASAttempts counts every
+	// compare-and-swap tried on a simulated word (local or remote,
+	// including DCAS), CASRetries the failed subset. Neither enters
+	// Remote() — a CAS's communication is already counted by its
+	// transport (NIC AMO, AM, or on-stmt).
+	CASAttempts int64
+	CASRetries  int64
 }
 
 // IncPut records a small remote write issued by locale src.
@@ -153,6 +174,28 @@ func (c *Counters) IncCacheHit(src int) { c.shard(src).v[cCacheHits].Add(1) }
 // events are counted separately by the dispatch layer as usual).
 func (c *Counters) IncCacheMiss(src int) { c.shard(src).v[cCacheMiss].Add(1) }
 
+// IncAggEnqueue records one operation handed to an aggregator by
+// locale src, before any combining. Together with AggOps (ops shipped
+// at flush) it bounds the absorption rate: shipped + combined == enq.
+func (c *Counters) IncAggEnqueue(src int) { c.shard(src).v[cAggOpsEnq].Add(1) }
+
+// IncAggCombined records one enqueued operation absorbed into an
+// already-buffered mergeable op on locale src instead of occupying its
+// own buffer slot.
+func (c *Counters) IncAggCombined(src int) { c.shard(src).v[cAggCombined].Add(1) }
+
+// IncCAS records one compare-and-swap attempt on a simulated word by
+// locale src; ok reports whether it succeeded. Failed attempts also
+// count as retries, so a CAS loop that spins k times records k
+// attempts and k-1 retries.
+func (c *Counters) IncCAS(src int, ok bool) {
+	s := c.shard(src)
+	s.v[cCASAttempts].Add(1)
+	if !ok {
+		s.v[cCASRetries].Add(1)
+	}
+}
+
 // IncCacheInval records one invalidation operation executed on locale
 // src. A write-through mutation broadcasts one such op per locale, so
 // this counter exposes the write-amplification cost of replication;
@@ -185,6 +228,11 @@ func (c *Counters) Snapshot() Snapshot {
 		CacheHits:  sums[cCacheHits],
 		CacheMiss:  sums[cCacheMiss],
 		CacheInval: sums[cCacheInval],
+
+		AggOpsEnq:   sums[cAggOpsEnq],
+		AggCombined: sums[cAggCombined],
+		CASAttempts: sums[cCASAttempts],
+		CASRetries:  sums[cCASRetries],
 	}
 }
 
@@ -217,6 +265,11 @@ func (s Snapshot) Sub(old Snapshot) Snapshot {
 		CacheHits:  s.CacheHits - old.CacheHits,
 		CacheMiss:  s.CacheMiss - old.CacheMiss,
 		CacheInval: s.CacheInval - old.CacheInval,
+
+		AggOpsEnq:   s.AggOpsEnq - old.AggOpsEnq,
+		AggCombined: s.AggCombined - old.AggCombined,
+		CASAttempts: s.CASAttempts - old.CASAttempts,
+		CASRetries:  s.CASRetries - old.CASRetries,
 	}
 }
 
@@ -237,6 +290,12 @@ func (s Snapshot) String() string {
 		s.AggFlushes, s.AggOps, s.AggBytes)
 	if s.CacheHits != 0 || s.CacheMiss != 0 || s.CacheInval != 0 {
 		out += fmt.Sprintf(" cache=%d/%d/%d", s.CacheHits, s.CacheMiss, s.CacheInval)
+	}
+	if s.AggCombined != 0 {
+		out += fmt.Sprintf(" absorbed=%d/%denq", s.AggCombined, s.AggOpsEnq)
+	}
+	if s.CASAttempts != 0 {
+		out += fmt.Sprintf(" cas=%d/%dretry", s.CASAttempts, s.CASRetries)
 	}
 	return out
 }

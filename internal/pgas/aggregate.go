@@ -52,7 +52,14 @@ func newAggregator(c *Ctx) *Aggregator {
 			// comes from the same pool the sync dispatch path uses.
 			tc := s.borrowCtx(s.locales[dst])
 			for _, op := range batch {
-				op.Exec.(func(*Ctx))(tc)
+				switch exec := op.Exec.(type) {
+				case func(*Ctx):
+					exec(tc)
+				case CombinableCall:
+					exec.Exec(tc)
+				default:
+					panic(fmt.Sprintf("pgas: unknown aggregated op payload %T", op.Exec))
+				}
 			}
 			s.releaseCtx(tc)
 		})
@@ -108,6 +115,83 @@ func (b AggBuffer) enqueue(bytes int64, fn func(*Ctx)) {
 	b.a.agg.Enqueue(b.dst, comm.Op{Bytes: bytes, Exec: fn})
 }
 
+// CombinableCall is the mergeable form of an aggregated operation: a
+// comm.CombinableOp that also knows how to execute on its destination.
+// When the system's AggConfig.Combine policy is on, buffered calls
+// with equal merge keys are folded together before the wire (see
+// comm.CombinableOp for the ordering contract); with the policy off
+// they ship one-for-one, exactly like Call.
+type CombinableCall interface {
+	comm.CombinableOp
+	Exec(c *Ctx)
+}
+
+// CallCombinable buffers op for deferred execution on the destination
+// locale, exposing its merge surface to the aggregator. bytes is the
+// modelled wire size (clamped up to the plain Call size). A local
+// destination executes inline immediately, mirroring Call — absorption
+// never applies locally because there is no wire to absorb from.
+func (b AggBuffer) CallCombinable(bytes int64, op CombinableCall) {
+	if bytes < aggCallBytes {
+		bytes = aggCallBytes
+	}
+	if b.dst == b.a.c.here.id {
+		op.Exec(b.a.c)
+		return
+	}
+	b.a.agg.Enqueue(b.dst, comm.Op{Bytes: bytes, Exec: op})
+}
+
+// addOp is the mergeable payload behind AggBuffer.Add: deltas against
+// one word sum in-buffer (addition commutes, so folding N adds into
+// one preserves the final value and every concurrent interleaving).
+type addOp struct {
+	w     *Word64
+	delta uint64
+}
+
+func (o *addOp) CombineKey() comm.CombineKey {
+	return comm.CombineKey{Kind: combineKindAdd, Ref: o.w}
+}
+
+func (o *addOp) Absorb(later comm.CombinableOp) (int64, bool) {
+	o.delta += later.(*addOp).delta
+	return 0, true
+}
+
+func (o *addOp) Exec(tc *Ctx) {
+	o.w.amo(tc, func() uint64 { return o.w.v.Add(o.delta) })
+}
+
+// putOp is the mergeable payload behind AggBuffer.Put: stores to one
+// address keep only the last buffered value (within one task's buffer,
+// enqueue order is program order, so last-writer-wins is exact).
+type putOp struct {
+	addr gas.Addr
+	obj  any
+}
+
+func (o *putOp) CombineKey() comm.CombineKey {
+	return comm.CombineKey{Kind: combineKindPut, K: uint64(o.addr)}
+}
+
+func (o *putOp) Absorb(later comm.CombinableOp) (int64, bool) {
+	o.obj = later.(*putOp).obj
+	return 0, true
+}
+
+func (o *putOp) Exec(tc *Ctx) {
+	tc.here.heap.Store(o.addr, o.obj)
+}
+
+// Merge-key kind namespace for the pgas layer's own combinable ops.
+// Structure layers define their own kinds; keys never collide across
+// kinds regardless of the Ref/K values.
+const (
+	combineKindAdd uint8 = 1
+	combineKindPut uint8 = 2
+)
+
 // Call buffers fn for deferred execution on the destination locale —
 // a batched on-statement. fn receives a Ctx pinned to the destination
 // and runs there in enqueue order when the buffer flushes; it must be
@@ -154,9 +238,7 @@ func (b AggBuffer) Put(addr gas.Addr, obj any) {
 	if addr.Locale() != b.dst {
 		panic(fmt.Sprintf("pgas: aggregated Put(%v) into buffer for locale %d", addr, b.dst))
 	}
-	b.enqueue(aggPutBytes, func(tc *Ctx) {
-		tc.here.heap.Store(addr, obj)
-	})
+	b.CallCombinable(aggPutBytes, &putOp{addr: addr, obj: obj})
 }
 
 // Add buffers a fire-and-forget atomic add on w, which must be homed
@@ -172,9 +254,7 @@ func (b AggBuffer) Add(w *Word64, delta uint64) {
 	if w.Home() != b.dst {
 		panic(fmt.Sprintf("pgas: aggregated Add on word homed on %d into buffer for locale %d", w.Home(), b.dst))
 	}
-	b.enqueue(aggAddBytes, func(tc *Ctx) {
-		w.amo(tc, func() uint64 { return w.v.Add(delta) })
-	})
+	b.CallCombinable(aggAddBytes, &addOp{w: w, delta: delta})
 }
 
 // Flush drains every aggregation buffer this task has filled (one bulk

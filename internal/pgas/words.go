@@ -62,13 +62,18 @@ func (w *Word64) Exchange(c *Ctx, val uint64) uint64 {
 }
 
 // CompareAndSwap atomically replaces old with new, reporting success.
+// Every attempt (and the failed subset) is recorded in the CAS
+// counters, making retry storms on contended words a counter
+// assertion.
 func (w *Word64) CompareAndSwap(c *Ctx, old, new uint64) bool {
-	return w.amo(c, func() uint64 {
+	ok := w.amo(c, func() uint64 {
 		if w.v.CompareAndSwap(old, new) {
 			return 1
 		}
 		return 0
 	}) == 1
+	c.sys.counters.IncCAS(c.here.id, ok)
+	return ok
 }
 
 // Add atomically adds delta and returns the new value.
@@ -197,7 +202,7 @@ func (w *Word128) ExchangeLo64(c *Ctx, lo uint64) uint64 {
 
 // CASLo64 atomically compares-and-swaps the low word only.
 func (w *Word128) CASLo64(c *Ctx, old, new uint64) bool {
-	return w.lo64(c, func() uint64 {
+	ok := w.lo64(c, func() uint64 {
 		w.mu.Lock()
 		defer w.mu.Unlock()
 		if w.lo != old {
@@ -206,6 +211,8 @@ func (w *Word128) CASLo64(c *Ctx, old, new uint64) bool {
 		w.lo = new
 		return 1
 	}) == 1
+	c.sys.counters.IncCAS(c.here.id, ok)
+	return ok
 }
 
 // WriteLoBumpHi atomically stores the low word and increments the high
@@ -245,5 +252,6 @@ func (w *Word128) DCAS(c *Ctx, expLo, expHi, newLo, newHi uint64) (ok bool) {
 		}
 		w.mu.Unlock()
 	})
+	c.sys.counters.IncCAS(c.here.id, ok)
 	return
 }

@@ -24,16 +24,22 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"gopgas/internal/comm"
 	"gopgas/internal/core/epoch"
 	"gopgas/internal/pgas"
 	"gopgas/internal/structures/list"
+	"gopgas/internal/structures/shared"
 )
 
 // table is one locale's replica of the bucket metadata. The bucket
 // list handles are immutable after construction, so replicas never
-// need coherence traffic — exactly what makes privatization free.
+// need coherence traffic — exactly what makes privatization free. The
+// combiner is the one mutable member: each locale's replica carries
+// the flat combiner that serializes combined writes delivered to that
+// locale's buckets (see UpsertAgg).
 type table[V any] struct {
 	buckets []*list.List[V]
+	comb    shared.Combiner
 }
 
 // Map is a distributed lock-free hash map from uint64 keys to V. It is
@@ -170,6 +176,70 @@ func (m Map[V]) InsertBulk(c *pgas.Ctx, pairs []KV[V]) int {
 // existing value.
 func (m Map[V]) Upsert(c *pgas.Ctx, tok *epoch.Token, k uint64, v V) bool {
 	return m.bucket(c, k).Upsert(c, tok, k, v)
+}
+
+// combineKindMapWrite namespaces the hashmap's merge keys away from
+// the pgas and shared layers' kinds.
+const combineKindMapWrite uint8 = 32
+
+// mapWriteOp is one buffered fire-and-forget write (upsert or remove)
+// headed for its key's home locale. Writes to the same key absorb
+// last-writer-wins in the task's aggregation buffer — an upsert
+// superseded by a remove ships only the remove, and vice versa — and
+// the survivor applies on the owner through the table replica's flat
+// combiner instead of CAS-ing the hot bucket directly.
+type mapWriteOp[V any] struct {
+	m      Map[V]
+	k      uint64
+	v      V
+	remove bool
+}
+
+func (o *mapWriteOp[V]) CombineKey() comm.CombineKey {
+	return comm.CombineKey{Kind: combineKindMapWrite, Ref: o.m.priv, K: o.k}
+}
+
+func (o *mapWriteOp[V]) Absorb(later comm.CombinableOp) (int64, bool) {
+	l := later.(*mapWriteOp[V])
+	o.v = l.v
+	o.remove = l.remove
+	return 0, true
+}
+
+func (o *mapWriteOp[V]) Exec(tc *pgas.Ctx) {
+	t := o.m.priv.Get(tc)
+	t.comb.Do(func() {
+		o.m.em.Protect(tc, func(tok *epoch.Token) {
+			b := t.buckets[hash(o.k)&o.m.mask]
+			if o.remove {
+				b.Remove(tc, tok, o.k)
+			} else {
+				b.Upsert(tc, tok, o.k, o.v)
+			}
+		})
+	})
+}
+
+// mapWriteBytes models one aggregated map write on the wire: a key
+// plus one value word, matching the pgas layer's put convention.
+const mapWriteBytes = 16
+
+// UpsertAgg buffers a fire-and-forget upsert of (k, v) into the
+// calling task's aggregation buffer toward k's home locale. The write
+// executes there when the buffer flushes (at capacity, or at
+// Ctx.Flush), under a destination-local epoch token, serialized
+// through the owner replica's flat combiner. Under the system's
+// AggConfig.Combine policy, repeated writes to one key collapse to the
+// last buffered one before the wire. Use Upsert when the replaced
+// verdict or immediate visibility matters.
+func (m Map[V]) UpsertAgg(c *pgas.Ctx, k uint64, v V) {
+	c.Aggregator(m.HomeOf(k)).CallCombinable(mapWriteBytes, &mapWriteOp[V]{m: m, k: k, v: v})
+}
+
+// RemoveAgg buffers a fire-and-forget removal of k, with the same
+// routing, combining and visibility contract as UpsertAgg.
+func (m Map[V]) RemoveAgg(c *pgas.Ctx, k uint64) {
+	c.Aggregator(m.HomeOf(k)).CallCombinable(mapWriteBytes, &mapWriteOp[V]{m: m, k: k, remove: true})
 }
 
 // Remove deletes k, reporting whether it was present.

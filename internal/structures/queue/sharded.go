@@ -67,10 +67,10 @@ func (q Sharded[T]) EnqueueBulkOn(c *pgas.Ctx, owner int, vals []T) {
 		return
 	}
 	batch := append([]T(nil), vals...) // detach from the caller's buffer
-	q.obj.AggOnOwnerSized(c, owner, int64(len(batch))*shared.ValueBytes,
-		func(lc *pgas.Ctx, s *segment[T]) {
+	shared.CombineBulkOn(c, q.obj, owner, batch,
+		func(lc *pgas.Ctx, s *segment[T], vals []T) {
 			q.obj.Protect(lc, func(tok *epoch.Token) {
-				s.q.EnqueueBulk(lc, tok, batch)
+				s.q.EnqueueBulk(lc, tok, vals)
 			})
 		})
 }

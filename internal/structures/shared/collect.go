@@ -1,6 +1,7 @@
 package shared
 
 import (
+	"gopgas/internal/comm"
 	"gopgas/internal/core/epoch"
 	"gopgas/internal/pgas"
 )
@@ -19,6 +20,56 @@ type PopFunc[S, T any] func(lc *pgas.Ctx, tok *epoch.Token, s *S) (T, bool)
 // aggregation layer's per-op payload convention, used by Drain's bulk
 // accounting.
 const ValueBytes = 16
+
+// combineKindBulk namespaces this package's merge keys away from the
+// pgas layer's built-in combinable ops.
+const combineKindBulk uint8 = 16
+
+// bulkOp is the mergeable payload behind CombineBulkOn: batches headed
+// for one (object, owner) pair concatenate in-buffer, so k bulk calls
+// ship as one op whose payload is the combined batch. The merged op
+// grows by the absorbed batch's wire size, keeping the byte counters
+// honest. On delivery the combined batch drains through the owner
+// shard's flat combiner.
+type bulkOp[S, T any] struct {
+	obj   Object[S]
+	owner int
+	vals  []T
+	apply func(lc *pgas.Ctx, s *S, vals []T)
+}
+
+func (o *bulkOp[S, T]) CombineKey() comm.CombineKey {
+	return comm.CombineKey{Kind: combineKindBulk, Ref: o.obj.priv, K: uint64(o.owner)}
+}
+
+func (o *bulkOp[S, T]) Absorb(later comm.CombinableOp) (int64, bool) {
+	l := later.(*bulkOp[S, T])
+	o.vals = append(o.vals, l.vals...)
+	return int64(len(l.vals)) * ValueBytes, true
+}
+
+func (o *bulkOp[S, T]) Exec(lc *pgas.Ctx) {
+	o.obj.comb.Get(lc).Do(func() {
+		o.apply(lc, o.obj.priv.Get(lc), o.vals)
+	})
+}
+
+// CombineBulkOn routes a batch of values to shard `owner` through both
+// absorption layers: in flight, batches to the same (object, owner)
+// merge per the system's AggConfig.Combine policy; at the owner, the
+// delivered batch applies through the shard's flat combiner. apply
+// must be uniform for a given object — merged batches keep the
+// earliest buffered apply — and runs serialized against every other
+// combined op on the shard. Within one task, per-owner batch order is
+// enqueue order, so FIFO structures keep their per-(task, owner)
+// ordering contract.
+func CombineBulkOn[S, T any](c *pgas.Ctx, o Object[S], owner int, vals []T, apply func(lc *pgas.Ctx, s *S, vals []T)) {
+	if len(vals) == 0 {
+		return
+	}
+	c.Aggregator(owner).CallCombinable(int64(len(vals))*ValueBytes,
+		&bulkOp[S, T]{obj: o, owner: owner, vals: vals, apply: apply})
+}
 
 // TryTakeAny pops from the calling locale's shard if it has work, and
 // otherwise steals: it visits the other shards (next locale first,

@@ -1,0 +1,109 @@
+package shared
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Combiner is a flat combiner (Hendler, Incze, Shavit, Tzafrir):
+// instead of every delivered operation CAS-ing into a shard's cells
+// individually — a retry storm when the shard is hot — each operation
+// publishes itself on a lock-free list and one elected task drains the
+// whole list in a single sequential pass while the others spin on
+// their record's done flag. Contended parallel retries become
+// uncontended sequential applies; the election lock is only ever
+// TryLock'd, so no task blocks on it.
+//
+// One Combiner guards one structure shard. It serializes the apply
+// functions handed to Do against each other, which is what lets those
+// functions touch the shard with plain (uncontended) operations.
+type Combiner struct {
+	head atomic.Pointer[combineRecord]
+	mu   sync.Mutex
+
+	applied atomic.Int64 // operations drained, across all passes
+	passes  atomic.Int64 // drain passes (combiner elections that found work)
+}
+
+// combineRecord is one published operation awaiting a drain pass.
+type combineRecord struct {
+	fn   func()
+	next *combineRecord
+	done atomic.Bool
+}
+
+// Do publishes fn and returns once it has executed — either applied by
+// this task (if it wins the combiner election) or by whichever task is
+// draining the publication list. fn runs exactly once, serialized
+// against every other fn passed to this Combiner.
+//
+// The publish/done handshake is a synchronization edge: everything
+// that happened before Do is visible to the applier, and everything fn
+// did is visible to the caller after Do returns. That edge is what
+// makes it safe for fn to capture the caller's Ctx even though a
+// different task may run it — the two tasks' uses never overlap.
+func (cb *Combiner) Do(fn func()) {
+	rec := &combineRecord{fn: fn}
+	for {
+		old := cb.head.Load()
+		rec.next = old
+		if cb.head.CompareAndSwap(old, rec) {
+			break
+		}
+	}
+	for {
+		if rec.done.Load() {
+			return
+		}
+		if cb.mu.TryLock() {
+			cb.drain()
+			cb.mu.Unlock()
+			if rec.done.Load() {
+				return
+			}
+			// Our record was published after another combiner swapped
+			// the list out but drained before we locked: spin again.
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// drain detaches the current publication list and applies it oldest
+// first. Callers must hold mu. One Swap claims every record published
+// so far; records published during the pass wait for the next one.
+func (cb *Combiner) drain() {
+	top := cb.head.Swap(nil)
+	if top == nil {
+		return
+	}
+	// The list is LIFO; reverse it so operations apply in publication
+	// order.
+	var rev *combineRecord
+	for top != nil {
+		next := top.next
+		top.next = rev
+		rev = top
+		top = next
+	}
+	var n int64
+	for rec := rev; rec != nil; {
+		next := rec.next
+		rec.fn()
+		rec.done.Store(true)
+		rec = next
+		n++
+	}
+	cb.applied.Add(n)
+	cb.passes.Add(1)
+}
+
+// Applied returns the total number of operations drained through this
+// combiner.
+func (cb *Combiner) Applied() int64 { return cb.applied.Load() }
+
+// Passes returns the number of drain passes that found work. The ratio
+// Applied/Passes is the combining factor: how many operations each
+// elected combiner absorbed per pass.
+func (cb *Combiner) Passes() int64 { return cb.passes.Load() }

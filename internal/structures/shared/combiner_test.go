@@ -1,0 +1,53 @@
+package shared
+
+import (
+	"sync"
+	"testing"
+)
+
+// A concurrent publication storm: every Do applies exactly once, and
+// the combiner's serialization is strong enough that the published
+// functions can mutate plain shared state with no atomics of their
+// own — the property the -race run verifies.
+func TestCombinerStorm(t *testing.T) {
+	const workers, perWorker = 8, 500
+	var cb Combiner
+	counter := 0 // plain int: combiner serialization is its only guard
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				cb.Do(func() { counter++ })
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*perWorker {
+		t.Fatalf("counter = %d, want %d (ops lost or doubled)", counter, workers*perWorker)
+	}
+	if cb.Applied() != workers*perWorker {
+		t.Fatalf("Applied = %d, want %d", cb.Applied(), workers*perWorker)
+	}
+	if cb.Passes() < 1 || cb.Passes() > cb.Applied() {
+		t.Fatalf("Passes = %d outside [1, %d]", cb.Passes(), cb.Applied())
+	}
+}
+
+// One task's Do calls apply in program order even when another task is
+// the elected combiner: the drain reverses the LIFO publication list
+// back to publication order.
+func TestCombinerOrder(t *testing.T) {
+	var cb Combiner
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		cb.Do(func() { got = append(got, i) })
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("apply order broken at %d: %v", i, got[:i+1])
+		}
+	}
+}

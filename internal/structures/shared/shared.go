@@ -9,6 +9,7 @@ import (
 // of type S per locale. The zero value is invalid; create with New.
 type Object[S any] struct {
 	priv pgas.Privatized[S]
+	comb pgas.Privatized[Combiner]
 	em   epoch.EpochManager
 }
 
@@ -23,6 +24,9 @@ func New[S any](c *pgas.Ctx, em epoch.EpochManager, create func(lc *pgas.Ctx, sh
 		em: em,
 		priv: pgas.NewPrivatized(c, func(lc *pgas.Ctx) *S {
 			return create(lc, lc.Here())
+		}),
+		comb: pgas.NewPrivatized(c, func(*pgas.Ctx) *Combiner {
+			return &Combiner{}
 		}),
 	}
 }
@@ -91,6 +95,27 @@ func (o Object[S]) AggOnOwnerSized(c *pgas.Ctx, owner int, bytes int64, fn func(
 	})
 }
 
+// CombineOnOwner is AggOnOwner routed through shard `owner`'s flat
+// combiner: the buffered op still ships with the task's aggregation
+// buffer, but on delivery it publishes itself on the owner shard's
+// Combiner and is applied in one sequential drain pass alongside every
+// other concurrently delivered op. Use it for writes that would
+// otherwise CAS-storm a hot shard; fn runs serialized against all
+// other combined ops on that shard.
+func (o Object[S]) CombineOnOwner(c *pgas.Ctx, owner int, fn func(lc *pgas.Ctx, s *S)) {
+	c.Aggregator(owner).Call(func(lc *pgas.Ctx) {
+		o.comb.Get(lc).Do(func() {
+			fn(lc, o.priv.Get(lc))
+		})
+	})
+}
+
+// ShardCombiner returns shard `owner`'s Combiner — a diagnostic peek
+// for tests asserting on combining factors, like Shard.
+func (o Object[S]) ShardCombiner(c *pgas.Ctx, owner int) *Combiner {
+	return o.comb.GetOn(c, owner)
+}
+
 // ForEachShard runs fn once per shard, on the shard's locale, in
 // parallel (a coforall over locales: one on-statement per remote
 // locale). It returns when every shard has been visited.
@@ -105,6 +130,7 @@ func (o Object[S]) ForEachShard(c *pgas.Ctx, fn func(lc *pgas.Ctx, s *S)) {
 // reuse. No task may use any copy of the handle afterwards.
 func (o Object[S]) Destroy(c *pgas.Ctx, finalize func(lc *pgas.Ctx, s *S)) {
 	o.priv.Destroy(c, finalize)
+	o.comb.Destroy(c, nil)
 }
 
 // Gather computes f over every shard, on the shard's locale, and

@@ -63,10 +63,10 @@ func (s Sharded[T]) PushBulkOn(c *pgas.Ctx, owner int, vals []T) {
 		return
 	}
 	batch := append([]T(nil), vals...) // detach from the caller's buffer
-	s.obj.AggOnOwnerSized(c, owner, int64(len(batch))*shared.ValueBytes,
-		func(lc *pgas.Ctx, seg *segment[T]) {
+	shared.CombineBulkOn(c, s.obj, owner, batch,
+		func(lc *pgas.Ctx, seg *segment[T], vals []T) {
 			s.obj.Protect(lc, func(tok *epoch.Token) {
-				seg.s.PushBulk(lc, tok, batch)
+				seg.s.PushBulk(lc, tok, vals)
 			})
 		})
 }

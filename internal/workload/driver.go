@@ -52,11 +52,15 @@ func NewDriver(s Structure) (Driver, error) {
 // aggregation buffers. When the spec enables the cache, every op goes
 // through a hashmap.CachedView instead: gets are served from
 // per-locale replicas, mutations write through with broadcast
-// invalidation.
+// invalidation. When the spec enables combining, mutations route
+// through the fire-and-forget UpsertAgg/RemoveAgg path instead —
+// absorbed in flight per the spec's combine policy and drained through
+// the owner's flat combiner — while gets stay on the direct path.
 type hashmapDriver struct {
-	m      hashmap.Map[int64]
-	cv     hashmap.CachedView[int64]
-	cached bool
+	m        hashmap.Map[int64]
+	cv       hashmap.CachedView[int64]
+	cached   bool
+	combined bool
 }
 
 func (d *hashmapDriver) Structure() Structure { return StructureHashmap }
@@ -72,6 +76,7 @@ func (d *hashmapDriver) Supports(k OpKind) bool {
 func (d *hashmapDriver) Setup(c *pgas.Ctx, em epoch.EpochManager, spec Spec) {
 	d.m = hashmap.New[int64](c, spec.Buckets, em)
 	d.cached = spec.Cache != nil && spec.Cache.Enabled
+	d.combined = spec.Combine != nil && spec.Combine.Enabled
 	if d.cached {
 		d.cv = d.m.Cached(c, spec.Cache.Slots)
 	}
@@ -86,6 +91,17 @@ func (d *hashmapDriver) Apply(c *pgas.Ctx, tok *epoch.Token, kind OpKind, key ui
 			d.cv.Get(c, tok, key)
 		case OpRemove:
 			d.cv.Remove(c, tok, key)
+		}
+		return
+	}
+	if d.combined {
+		switch kind {
+		case OpInsert:
+			d.m.UpsertAgg(c, key, int64(key))
+		case OpGet:
+			d.m.Get(c, tok, key)
+		case OpRemove:
+			d.m.RemoveAgg(c, key)
 		}
 		return
 	}

@@ -37,6 +37,7 @@ func Run(spec Spec, progress io.Writer) (*Report, error) {
 		Latency: latency,
 		Perturb: spec.Faults.perturbation(spec.Locales),
 		Seed:    spec.Seed,
+		Agg:     comm.AggConfig{Combine: spec.Combine != nil && spec.Combine.Enabled},
 	})
 	defer sys.Shutdown()
 	c0 := sys.Ctx(0)

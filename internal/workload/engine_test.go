@@ -205,12 +205,71 @@ func TestCachedScenarioHotspotRelief(t *testing.T) {
 	if cr.Comm.CacheHits == 0 || cr.Comm.CacheHits < 4*cr.Comm.CacheMiss {
 		t.Fatalf("cached run not read-mostly-hit: %v", cr.Comm)
 	}
-	if 4*cr.MaxInbound >= ur.MaxInbound {
+	// The relief bound is 2x, not the ~4x typically observed: with two
+	// tasks per locale racing to fill one replica, duplicate misses and
+	// set evictions make the cached run's busiest column vary by about
+	// a factor of two across schedules (the uncached column is exact).
+	// 2x keeps a wide margin on both sides of every observed schedule;
+	// the deterministic hit-rate bound above carries the precision.
+	if 2*cr.MaxInbound >= ur.MaxInbound {
 		t.Fatalf("cache did not relieve the hotspot: busiest column %d cached vs %d uncached",
 			cr.MaxInbound, ur.MaxInbound)
 	}
 	if cached.Phases[2].Comm.CacheInval == 0 {
 		t.Fatal("churn-phase inserts produced no invalidations")
+	}
+}
+
+// TestCombinedScenarioDigestInvariant runs one seeded write-heavy
+// hot-set scenario with write absorption on and off. The op-stream
+// digests — drawn from the seeded streams, independent of execution —
+// must match exactly (absorption must not change what the workload
+// asked for), the combined run's counters must show real absorption,
+// and both runs must pass the usual safety verdicts.
+func TestCombinedScenarioDigestInvariant(t *testing.T) {
+	base := Spec{
+		Name:           "write-storm",
+		Structure:      StructureHashmap,
+		Locales:        4,
+		TasksPerLocale: 2,
+		Backend:        "none",
+		Seed:           11,
+		Keyspace:       64, // tiny keyspace: heavy per-buffer key reuse
+		Dist:           KeyDist{Kind: DistHotSet, HotFraction: 0.1, HotProb: 0.95},
+		Phases: []Phase{
+			{Name: "storm", Mix: Mix{Insert: 8, Remove: 1}, OpsPerTask: 1500},
+		},
+	}
+	plain, err := Run(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := base
+	combined.Combine = &CombineSpec{Enabled: true}
+	absorbed, err := Run(combined, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range map[string]*Report{"plain": plain, "combined": absorbed} {
+		if !rep.Heap.Safe() {
+			t.Fatalf("%s run unsafe: %+v", name, rep.Heap)
+		}
+		if !rep.Epoch.Balanced() {
+			t.Fatalf("%s epoch leak: %+v", name, rep.Epoch)
+		}
+	}
+	pp, ap := plain.Phases[0], absorbed.Phases[0]
+	if pp.Digest != ap.Digest {
+		t.Fatalf("absorption changed the op stream: %x vs %x", pp.Digest, ap.Digest)
+	}
+	if pp.Comm.AggCombined != 0 {
+		t.Fatalf("plain run absorbed ops: %v", pp.Comm)
+	}
+	if ap.Comm.AggCombined == 0 {
+		t.Fatalf("combined run absorbed nothing: %v", ap.Comm)
+	}
+	if ap.Comm.AggOps+ap.Comm.AggCombined != ap.Comm.AggOpsEnq {
+		t.Fatalf("shipped+combined != enqueued: %v", ap.Comm)
 	}
 }
 

@@ -116,6 +116,16 @@ func (r *Report) WriteSummary(w io.Writer) {
 			}
 			fmt.Fprintf(w, "  cache=%d/%d (%.0f%% hit) invals=%d", hits, miss, 100*rate, p.Comm.CacheInval)
 		}
+		if p.Comm.AggCombined > 0 {
+			rate := 0.0
+			if p.Comm.AggOpsEnq > 0 {
+				rate = float64(p.Comm.AggCombined) / float64(p.Comm.AggOpsEnq)
+			}
+			fmt.Fprintf(w, "  absorbed=%d/%d enq (%.0f%%)", p.Comm.AggCombined, p.Comm.AggOpsEnq, 100*rate)
+		}
+		if p.Comm.CASAttempts > 0 {
+			fmt.Fprintf(w, "  cas=%d (%d retry)", p.Comm.CASAttempts, p.Comm.CASRetries)
+		}
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "  total: %d ops in %.2fs; heap live=%d uafLoads=%d uafStores=%d uafFrees=%d; epoch reclaimed=%d/%d\n",

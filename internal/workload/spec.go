@@ -176,6 +176,20 @@ type CacheSpec struct {
 	Slots int `json:"slots,omitempty"`
 }
 
+// CombineSpec configures write absorption: the aggregator's in-flight
+// merge policy (comm.AggConfig.Combine) plus the hashmap driver's
+// routing of Insert/Remove through the combinable UpsertAgg/RemoveAgg
+// path, which also drains writes through the owner's flat combiner.
+// The run's comm evidence gains AggOpsEnq/AggCombined and the CAS
+// attempt/retry counters quantify the owner-side relief.
+type CombineSpec struct {
+	// Enabled turns write absorption on. Only the hashmap structure
+	// supports it, and it is mutually exclusive with the read cache
+	// (combined writes bypass the CachedView's invalidation broadcast);
+	// Validate rejects both misuses.
+	Enabled bool `json:"enabled"`
+}
+
 // Spec is one complete declarative scenario.
 type Spec struct {
 	Name           string    `json:"name"`
@@ -200,8 +214,11 @@ type Spec struct {
 	Faults       Faults  `json:"faults,omitempty"`
 	// Cache enables the hashmap's read replication layer; nil (or
 	// Enabled false) runs the plain owner-computed path.
-	Cache  *CacheSpec `json:"cache,omitempty"`
-	Phases []Phase    `json:"phases"`
+	Cache *CacheSpec `json:"cache,omitempty"`
+	// Combine enables write absorption on the hashmap's write path;
+	// nil (or Enabled false) runs writes one-for-one.
+	Combine *CombineSpec `json:"combine,omitempty"`
+	Phases  []Phase      `json:"phases"`
 }
 
 // WithDefaults returns a copy of s with zero-valued knobs replaced by
@@ -249,6 +266,10 @@ func (s Spec) WithDefaults() Spec {
 			cp.Slots = 256
 		}
 		s.Cache = &cp
+	}
+	if s.Combine != nil {
+		cp := *s.Combine
+		s.Combine = &cp
 	}
 	return s
 }
@@ -303,6 +324,14 @@ func (s Spec) Validate() error {
 		}
 		if ca.Slots < 0 {
 			return fmt.Errorf("workload: cache slots must be >= 0, got %d", ca.Slots)
+		}
+	}
+	if co := s.Combine; co != nil && co.Enabled {
+		if s.Structure != StructureHashmap {
+			return fmt.Errorf("workload: combine is only supported by the hashmap structure, not %q", s.Structure)
+		}
+		if s.Cache != nil && s.Cache.Enabled {
+			return fmt.Errorf("workload: combine and cache are mutually exclusive (combined writes bypass cache invalidation)")
 		}
 	}
 	if f := s.Faults; f.SlowFactor < 0 {

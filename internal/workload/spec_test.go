@@ -107,6 +107,7 @@ func goldenSpec() Spec {
 		LatencyScale:   0.5,
 		Faults:         Faults{SlowFactor: 4, SlowLocale: 3},
 		Cache:          &CacheSpec{Enabled: true, Slots: 128},
+		Combine:        &CombineSpec{Enabled: false},
 		Phases: []Phase{
 			{Name: "load", Mix: Mix{Insert: 1}, OpsPerTask: 100},
 			{Name: "run", Mix: Mix{Insert: 1, Get: 18, Remove: 1, Bulk: 0.5},
@@ -166,9 +167,10 @@ func TestSpecGoldenRoundTrip(t *testing.T) {
 	}
 
 	// A disabled-cache spec omits the field entirely (pointer +
-	// omitempty), keeping cacheless specs clean.
+	// omitempty), keeping cacheless specs clean; same for combine.
 	s2 := s
 	s2.Cache = nil
+	s2.Combine = nil
 	var buf strings.Builder
 	if err := s2.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -176,18 +178,28 @@ func TestSpecGoldenRoundTrip(t *testing.T) {
 	if strings.Contains(buf.String(), "\"cache\"") {
 		t.Fatalf("nil cache serialized:\n%s", buf.String())
 	}
+	if strings.Contains(buf.String(), "\"combine\"") {
+		t.Fatalf("nil combine serialized:\n%s", buf.String())
+	}
 }
 
-// Strict parsing applies inside nested objects too: a typo'd cache
-// knob fails loudly instead of silently running the default.
+// Strict parsing applies inside nested objects too: a typo'd cache or
+// combine knob fails loudly instead of silently running the default.
 func TestLoadSpecRejectsUnknownNestedFields(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "nested.json")
-	spec := `{"structure": "hashmap", "cache": {"enabld": true}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`
-	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
-		t.Fatal(err)
+	cases := map[string]string{
+		"cache":   `{"structure": "hashmap", "cache": {"enabld": true}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`,
+		"combine": `{"structure": "hashmap", "combine": {"enbaled": true}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`,
 	}
-	if _, err := LoadSpec(path); err == nil {
-		t.Fatal("unknown nested field accepted")
+	for name, spec := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "nested.json")
+			if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadSpec(path); err == nil {
+				t.Fatal("unknown nested field accepted")
+			}
+		})
 	}
 }
 
@@ -212,6 +224,33 @@ func TestValidateCache(t *testing.T) {
 	bad.Cache = &CacheSpec{Enabled: true, Slots: -1}
 	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "slots") {
 		t.Fatalf("negative cache slots accepted (err=%v)", err)
+	}
+}
+
+func TestValidateCombine(t *testing.T) {
+	s := validSpec()
+	s.Combine = &CombineSpec{Enabled: true}
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("combined hashmap spec rejected: %v", err)
+	}
+	q := validSpec()
+	q.Structure = StructureQueue
+	q.Phases = []Phase{{Name: "run", Mix: Mix{Enqueue: 1}, OpsPerTask: 10}}
+	q.Combine = &CombineSpec{Enabled: true}
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "combine") {
+		t.Fatalf("combine on queue accepted (err=%v)", err)
+	}
+	both := validSpec()
+	both.Cache = &CacheSpec{Enabled: true, Slots: 16}
+	both.Combine = &CombineSpec{Enabled: true}
+	if err := both.Validate(); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("cache+combine accepted (err=%v)", err)
+	}
+	// A disabled combine spec is inert: legal anywhere, cache included.
+	both.Combine = &CombineSpec{Enabled: false}
+	if err := both.WithDefaults().Validate(); err != nil {
+		t.Fatalf("disabled combine rejected: %v", err)
 	}
 }
 
