@@ -344,6 +344,11 @@ func BenchmarkHeapLoadParallel(b *testing.B) { hotpath.HeapLoadParallel(b) }
 func BenchmarkWriteStormHotKeyUncombined(b *testing.B) { hotpath.WriteStormHotKeyUncombined(b) }
 func BenchmarkWriteStormHotKeyCombined(b *testing.B)   { hotpath.WriteStormHotKeyCombined(b) }
 
+// The BENCH_7 pair: the moving-hot-set write storm with ownership
+// static (baseline) and dynamically rebalanced (current).
+func BenchmarkMovingHotStormStatic(b *testing.B)     { hotpath.MovingHotStormStatic(b) }
+func BenchmarkMovingHotStormRebalanced(b *testing.B) { hotpath.MovingHotStormRebalanced(b) }
+
 func BenchmarkAblationLimboDeferDelete(b *testing.B) {
 	s := benchSystem(b, 1, comm.BackendNone)
 	c := s.Ctx(0)

@@ -14,7 +14,7 @@
 //	        [-dist uniform|zipfian|hotset] [-theta F] [-ops N]
 //	        [-bulk N] [-rate F] [-latency-scale F]
 //	        [-slow-locale I -slow-factor F]
-//	        [-cache] [-cache-slots N] [-combine]
+//	        [-cache] [-cache-slots N] [-combine] [-rebalance]
 //	        [-out report.json] [-print-spec] [-quiet]
 //
 // -cache enables the hashmap's per-locale read replication cache
@@ -32,6 +32,16 @@
 // enqueued and CAS counters — compare the run phase's shipped-op total
 // with and without it under a hot-set distribution to see the write
 // storm collapse.
+//
+// -rebalance enables dynamic hot-shard rebalancing (hashmap only,
+// composable with -combine, mutually exclusive with -cache): writes
+// route to each bucket's current owner through the live owner table, a
+// rebalance.Controller samples windowed comm-matrix column deltas on a
+// periodic tick, and over-ratio owners hand their hottest buckets —
+// contents included, via the epoch-coherent handoff — to cold locales.
+// The phase summaries gain migration, moved-byte, and reroute counts —
+// compare the run phase's maxInbound with and without it under a
+// hot-set distribution to see the owner hotspot dissolve.
 //
 // -print-spec writes the effective spec JSON to stdout (pipe it to a
 // file, tweak, and feed it back with -spec). The run summary prints to
@@ -69,6 +79,7 @@ func main() {
 		useCache  = flag.Bool("cache", false, "enable the hot-key read replication cache (hashmap only)")
 		cacheSlot = flag.Int("cache-slots", 0, "per-locale cache slots (0 = 256)")
 		combine   = flag.Bool("combine", false, "enable write absorption: in-flight combining + owner-side flat combining (hashmap only, excludes -cache)")
+		rebalance = flag.Bool("rebalance", false, "enable dynamic hot-shard rebalancing: owner-table routing + controller-driven bucket migration (hashmap only, excludes -cache)")
 		outPath   = flag.String("out", "", "write the full report JSON here")
 		printSpec = flag.Bool("print-spec", false, "print the effective spec JSON to stdout and exit")
 		quiet     = flag.Bool("quiet", false, "suppress per-phase progress lines")
@@ -93,6 +104,10 @@ func main() {
 		if *combine {
 			spec.Combine = &workload.CombineSpec{Enabled: true}
 			spec.Name += "-combined"
+		}
+		if *rebalance {
+			spec.Rebalance = &workload.RebalanceSpec{Enabled: true}
+			spec.Name += "-rebalanced"
 		}
 	}
 	spec = spec.WithDefaults()

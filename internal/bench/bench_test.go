@@ -79,7 +79,7 @@ func TestFigure7Structure(t *testing.T) {
 
 func TestAblationsStructure(t *testing.T) {
 	figs := Ablations(tinyConfig())
-	if len(figs) != 9 {
+	if len(figs) != 10 {
 		t.Fatalf("got %d ablations", len(figs))
 	}
 	ids := map[string]bool{}
@@ -89,7 +89,7 @@ func TestAblationsStructure(t *testing.T) {
 			t.Fatalf("ablation %s empty", f.ID)
 		}
 	}
-	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9"} {
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10"} {
 		if !ids[id] {
 			t.Fatalf("missing ablation %s (have %v)", id, ids)
 		}
@@ -414,5 +414,85 @@ func TestBestKeepsFastest(t *testing.T) {
 	}
 	if i != 3 {
 		t.Fatalf("ran %d times", i)
+	}
+}
+
+// The rebalancing ablation's claims, asserted on the deterministic
+// counters (the CI smoke gate for the dynamic-rebalancing PR):
+//
+//  1. static ownership: the moving hot set funnels every window's
+//     writes into locale 0's inbound column, which grows with the
+//     locale count (and books zero migrations);
+//  2. rebalanced: the controller migrates every window's hot buckets
+//     off the overloaded locale — exactly (locales-1) per window —
+//     and the busiest inbound column stays within 2x the per-locale
+//     mean (the imbalance the controller is built to cap);
+//  3. the books balance exactly: shards adopted == shards retired ==
+//     the controller's migration count, and the comm layer's moved
+//     bytes equal both the controller's total and 16 bytes per
+//     migration (each hot bucket carries exactly one entry);
+//  4. the handoff is epoch-coherent: zero detected use-after-free,
+//     every deferred node reclaimed.
+func TestAblationA10(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.05 // 25 writes per quantum: 7 flush events per writer
+	for _, locales := range cfg.localeSweep(2) {
+		sp, sv := movingHotStorm(cfg, locales, false)
+		if sv.Ctrl.Migrations != 0 || sv.Comm.MigRetired != 0 || sv.Comm.MigReroutes != 0 {
+			t.Fatalf("L=%d: static arm migrated: %+v %+v", locales, sv.Ctrl, sv.Comm)
+		}
+		if sp.MaxInbound == 0 {
+			t.Fatalf("L=%d: static arm funneled nothing", locales)
+		}
+
+		rp, rv := movingHotStorm(cfg, locales, true)
+		wantMigs := int64(a10Windows * (locales - 1))
+		if rv.Ctrl.Migrations != wantMigs {
+			t.Fatalf("L=%d: controller migrated %d, want %d (steps=%d)",
+				locales, rv.Ctrl.Migrations, wantMigs, rv.Ctrl.Steps)
+		}
+		if rv.Comm.MigAdopted != wantMigs || rv.Comm.MigRetired != wantMigs {
+			t.Fatalf("L=%d: books: adopted %d retired %d, want %d both",
+				locales, rv.Comm.MigAdopted, rv.Comm.MigRetired, wantMigs)
+		}
+		if rv.Comm.MigBytes != rv.Ctrl.BytesMoved || rv.Comm.MigBytes != 16*wantMigs {
+			t.Fatalf("L=%d: moved bytes %d (ctrl %d), want %d",
+				locales, rv.Comm.MigBytes, rv.Ctrl.BytesMoved, 16*wantMigs)
+		}
+		// The bound: the rebalanced run's busiest inbound column stays
+		// within 2x the per-locale mean, wherever the controller parked
+		// the buckets; the static run concentrates far beyond it.
+		var total int64
+		for _, row := range rp.Matrix {
+			for _, n := range row {
+				total += n
+			}
+		}
+		mean := float64(total) / float64(locales)
+		if float64(rp.MaxInbound) > 2*mean {
+			t.Fatalf("L=%d: rebalanced busiest column %d exceeds 2x mean %.1f (total %d)",
+				locales, rp.MaxInbound, mean, total)
+		}
+		if rp.MaxInbound >= sp.MaxInbound {
+			t.Fatalf("L=%d: rebalancing did not relieve the hot column: %d vs static %d",
+				locales, rp.MaxInbound, sp.MaxInbound)
+		}
+		if rv.Heap.UAFLoads != 0 || rv.Heap.UAFStores != 0 || rv.Heap.UAFFrees != 0 {
+			t.Fatalf("L=%d: heap verdict: %+v", locales, rv.Heap)
+		}
+		if rv.Epoch.Deferred != rv.Epoch.Reclaimed {
+			t.Fatalf("L=%d: epoch verdict: deferred=%d reclaimed=%d",
+				locales, rv.Epoch.Deferred, rv.Epoch.Reclaimed)
+		}
+	}
+
+	// The static arm's hot column grows with the locale count — the
+	// O(L) failure mode the controller exists to cap.
+	sweep := cfg.localeSweep(2)
+	firstPt, _ := movingHotStorm(cfg, sweep[0], false)
+	lastPt, _ := movingHotStorm(cfg, sweep[len(sweep)-1], false)
+	if lastPt.MaxInbound < 2*firstPt.MaxInbound {
+		t.Fatalf("static hot column did not grow with locales: %d -> %d",
+			firstPt.MaxInbound, lastPt.MaxInbound)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"gopgas/internal/gas"
 	"gopgas/internal/pgas"
 	"gopgas/internal/structures/hashmap"
+	"gopgas/internal/structures/rebalance"
 )
 
 // Locales is the fixed sweep point the hot-path benchmarks run at.
@@ -140,3 +141,120 @@ func HeapLoadParallel(b *testing.B) {
 		}
 	})
 }
+
+// movingHotStorm measures the per-write cost of the owner-table-routed
+// hashmap upsert path under a moving hot set: every writer hammers one
+// hot key homed on locale 0, and the hot set jumps to fresh buckets
+// (still homed on 0) every windowEvery writes — the workload static
+// placement cannot serve without funnelling every window into one
+// locale. The rebalance flag is the only difference between the two
+// BENCH_7 arms: with the controller stepping, each window's hot
+// buckets migrate off the overloaded locale through the epoch-coherent
+// handoff, so writes land owner-local for the rest of the window;
+// without it, every write ships to locale 0 and replays there behind
+// its combiner. Writers run on locales 1..Locales-1 only — locale 0's
+// writes would execute inline and blur the arms.
+//
+// In-flight absorption stays OFF: with combining on, a hot-key window
+// collapses to one shipped op, and the comparison would measure
+// absorption (BENCH_6's subject), not routing locality. On the plain
+// aggregated path each static-arm write pays enqueue + ship + replay
+// at the owner, while a rebalanced-arm write — once the bucket has
+// migrated to its writer — pays only the local apply.
+//
+// The first writer steps the controller inline every stepEvery of its
+// own writes (the workload engine uses a wall-clock ticker instead,
+// but a timed benchmark needs the control loop deterministic and
+// unstarvable — at GOMAXPROCS=1 a ticker goroutine barely runs under
+// RunParallel, and an unlucky schedule would measure an arbitrary
+// remote/local mix). The stepping cost is part of the measured arm, as
+// it should be.
+func movingHotStorm(b *testing.B, rebalanced bool) {
+	const windows = 8
+	const windowEvery = 2048
+	const flushEvery = 64
+	const stepEvery = 512
+	s := pgas.NewSystem(pgas.Config{
+		Locales: Locales,
+		Backend: comm.BackendNone,
+		Seed:    42,
+	})
+	b.Cleanup(s.Shutdown)
+	c0 := s.Ctx(0)
+	em := epoch.NewEpochManager(c0)
+	// windows*(Locales-1) distinct hot buckets must all be homed on
+	// locale 0, and only 1/Locales of the buckets are: size accordingly.
+	m := hashmap.New[int](c0, 64*Locales, em)
+	rv := m.Rebalanced(c0)
+	hot := make([][]uint64, windows)
+	used := make(map[int]bool)
+	k := uint64(0)
+	for w := range hot {
+		for len(hot[w]) < Locales-1 {
+			if e := m.BucketOf(k); m.HomeOf(k) == 0 && !used[e] {
+				used[e] = true
+				hot[w] = append(hot[w], k)
+			}
+			k++
+		}
+	}
+	em.Protect(c0, func(tok *epoch.Token) {
+		for _, ks := range hot {
+			for _, hk := range ks {
+				m.Insert(c0, tok, hk, int(hk))
+			}
+		}
+	})
+
+	var ctrl *rebalance.Controller
+	if rebalanced {
+		// MinEvents is the per-step noise floor: a rerouted straggler
+		// books a couple of on-stmt events, and without the floor a
+		// single stray event reads as an over-ratio source and migrates
+		// the (quiet, all-local) hot buckets right back off the writers.
+		ctrl = rebalance.NewController(c0, rv, rebalance.Config{
+			Ratio:     1.5,
+			MinEvents: 4,
+			MaxMoves:  Locales,
+			Cooldown:  1,
+		})
+	}
+
+	var nextTask atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(nextTask.Add(1) - 1)
+		src := 1 + id%(Locales-1)
+		c := s.Ctx(src)
+		i := 0
+		for pb.Next() {
+			w := (i / windowEvery) % windows
+			rv.UpsertAgg(c, hot[w][src-1], i)
+			i++
+			if i%flushEvery == 0 {
+				c.Flush()
+			}
+			// One stepper only: the controller is single-threaded.
+			if ctrl != nil && id == 0 && i%stepEvery == 0 {
+				ctrl.Step(c)
+			}
+		}
+		c.Flush()
+	})
+	b.StopTimer()
+	if ctrl != nil {
+		// A stale routed write re-routed by a late migration may still
+		// be an async task in flight; quiesce before teardown.
+		c0.Flush()
+	}
+}
+
+// MovingHotStormStatic is the BENCH_7 baseline arm: ownership never
+// moves, so every window's writes ship to locale 0.
+func MovingHotStormStatic(b *testing.B) { movingHotStorm(b, false) }
+
+// MovingHotStormRebalanced is the BENCH_7 current arm: the controller
+// migrates each window's hot buckets to their writers, turning the
+// steady-state write local.
+func MovingHotStormRebalanced(b *testing.B) { movingHotStorm(b, true) }

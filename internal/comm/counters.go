@@ -55,11 +55,15 @@ const (
 	cAggCombined
 	cCASAttempts
 	cCASRetries
+	cMigAdopted
+	cMigRetired
+	cMigBytes
+	cMigReroutes
 	numCounters
 )
 
-// counterShard is one padded cell: 20 counters span three 64-byte
-// cache lines (the third half-full), and the trailing pad keeps
+// counterShard is one padded cell: 24 counters span exactly three
+// 64-byte cache lines, and the trailing pad keeps
 // neighbouring shards' lines from abutting whatever alignment the
 // enclosing array lands on.
 type counterShard struct {
@@ -117,6 +121,22 @@ type Snapshot struct {
 	// transport (NIC AMO, AM, or on-stmt).
 	CASAttempts int64
 	CASRetries  int64
+
+	// Ownership-migration accounting. MigAdopted counts shards (bucket
+	// contents) adopted by a destination locale, MigRetired shards
+	// retired by the source after the handoff — a balanced run has
+	// MigAdopted == MigRetired, each equal to the controller's migration
+	// count. MigBytes is the payload volume shipped through the bulk
+	// framing by migrations (key + value words per entry, the same
+	// convention as aggregated map writes). MigReroutes counts
+	// delivered ops that found a stale owner generation and re-routed to
+	// the current owner. None of these enters Remote() — the on-stmts
+	// and bulk transfers a migration rides are counted by their
+	// transports as usual.
+	MigAdopted  int64
+	MigRetired  int64
+	MigBytes    int64
+	MigReroutes int64
 }
 
 // IncPut records a small remote write issued by locale src.
@@ -196,6 +216,24 @@ func (c *Counters) IncCAS(src int, ok bool) {
 	}
 }
 
+// IncMigAdopt records one migrated shard's contents adopted by locale
+// src (the destination executing the migration's fill op).
+func (c *Counters) IncMigAdopt(src int) { c.shard(src).v[cMigAdopted].Add(1) }
+
+// IncMigRetire records one shard retired by locale src after its
+// contents were handed off to a new owner.
+func (c *Counters) IncMigRetire(src int) { c.shard(src).v[cMigRetired].Add(1) }
+
+// IncMigBytes records n payload bytes shipped by a migration's bulk
+// fill from locale src. The bulk framing the bytes ride is charged to
+// the aggregated-volume counters by the transport, as usual.
+func (c *Counters) IncMigBytes(src int, n int64) { c.shard(src).v[cMigBytes].Add(n) }
+
+// IncMigReroute records one delivered operation that observed a stale
+// owner generation on locale src and re-dispatched itself to the
+// current owner.
+func (c *Counters) IncMigReroute(src int) { c.shard(src).v[cMigReroutes].Add(1) }
+
 // IncCacheInval records one invalidation operation executed on locale
 // src. A write-through mutation broadcasts one such op per locale, so
 // this counter exposes the write-amplification cost of replication;
@@ -233,6 +271,11 @@ func (c *Counters) Snapshot() Snapshot {
 		AggCombined: sums[cAggCombined],
 		CASAttempts: sums[cCASAttempts],
 		CASRetries:  sums[cCASRetries],
+
+		MigAdopted:  sums[cMigAdopted],
+		MigRetired:  sums[cMigRetired],
+		MigBytes:    sums[cMigBytes],
+		MigReroutes: sums[cMigReroutes],
 	}
 }
 
@@ -270,6 +313,11 @@ func (s Snapshot) Sub(old Snapshot) Snapshot {
 		AggCombined: s.AggCombined - old.AggCombined,
 		CASAttempts: s.CASAttempts - old.CASAttempts,
 		CASRetries:  s.CASRetries - old.CASRetries,
+
+		MigAdopted:  s.MigAdopted - old.MigAdopted,
+		MigRetired:  s.MigRetired - old.MigRetired,
+		MigBytes:    s.MigBytes - old.MigBytes,
+		MigReroutes: s.MigReroutes - old.MigReroutes,
 	}
 }
 
@@ -296,6 +344,9 @@ func (s Snapshot) String() string {
 	}
 	if s.CASAttempts != 0 {
 		out += fmt.Sprintf(" cas=%d/%dretry", s.CASAttempts, s.CASRetries)
+	}
+	if s.MigAdopted != 0 || s.MigRetired != 0 || s.MigReroutes != 0 {
+		out += fmt.Sprintf(" mig=%d/%d/%dB/%dre", s.MigAdopted, s.MigRetired, s.MigBytes, s.MigReroutes)
 	}
 	return out
 }

@@ -31,15 +31,33 @@ import (
 	"gopgas/internal/structures/shared"
 )
 
-// table is one locale's replica of the bucket metadata. The bucket
-// list handles are immutable after construction, so replicas never
-// need coherence traffic — exactly what makes privatization free. The
-// combiner is the one mutable member: each locale's replica carries
-// the flat combiner that serializes combined writes delivered to that
-// locale's buckets (see UpsertAgg).
+// bucketSlot is one bucket's shared, mutable cell: the current list
+// behind an atomic pointer (swapped by ownership migrations, loaded by
+// every operation) and a heat counter the rebalance controller reads
+// to rank candidate buckets. Slots are shared across every locale's
+// table replica, so a migration's single pointer store republishes the
+// new list to all locales at once.
+type bucketSlot[V any] struct {
+	list atomic.Pointer[list.List[V]]
+	heat atomic.Int64
+}
+
+// table is one locale's replica of the bucket metadata. The slot
+// handles are immutable after construction (the slots' contents are
+// the mutable part), so replicas never need coherence traffic —
+// exactly what makes privatization free. The combiner is the other
+// mutable member: each locale's replica carries the flat combiner that
+// serializes combined writes delivered to that locale's buckets (see
+// UpsertAgg) and, under rebalancing, the migrations of buckets it
+// owns.
 type table[V any] struct {
-	buckets []*list.List[V]
+	buckets []*bucketSlot[V]
 	comb    shared.Combiner
+}
+
+// bucket returns the slot's current list.
+func (t *table[V]) bucket(e int) *list.List[V] {
+	return t.buckets[e].list.Load()
 }
 
 // Map is a distributed lock-free hash map from uint64 keys to V. It is
@@ -67,17 +85,20 @@ func New[V any](c *pgas.Ctx, buckets int, em epoch.EpochManager) Map[V] {
 		n <<= 1
 	}
 	L := c.NumLocales()
-	// Build the shared bucket lists once: list i's head word is homed
-	// on locale i%L, so the bucket's mutable state lives with its owner
-	// regardless of which locale's replica resolved it.
-	lists := make([]*list.List[V], n)
-	for i := range lists {
-		lists[i] = list.New[V](c, i%L, em)
+	// Build the shared bucket slots once: slot i's initial list is
+	// homed on locale i%L, so the bucket's mutable state lives with its
+	// owner regardless of which locale's replica resolved it. The slot
+	// pointers are shared across replicas; a migration's list swap is
+	// therefore visible to every locale with one store.
+	slots := make([]*bucketSlot[V], n)
+	for i := range slots {
+		slots[i] = &bucketSlot[V]{}
+		slots[i].list.Store(list.New[V](c, i%L, em))
 	}
 	m := Map[V]{mask: uint64(n - 1), nbuckets: n, em: em, locales: L}
 	m.priv = pgas.NewPrivatized(c, func(lc *pgas.Ctx) *table[V] {
-		replica := make([]*list.List[V], n)
-		copy(replica, lists)
+		replica := make([]*bucketSlot[V], n)
+		copy(replica, slots)
 		return &table[V]{buckets: replica}
 	})
 	return m
@@ -96,8 +117,8 @@ func (m Map[V]) Manager() epoch.EpochManager { return m.em }
 // any copy of the handle afterwards. Churn scenarios rely on this
 // leaving zero gas-heap or registry residue.
 func (m Map[V]) Destroy(c *pgas.Ctx) {
-	for _, b := range m.priv.Get(c).buckets {
-		b.Destroy(c)
+	for _, s := range m.priv.Get(c).buckets {
+		s.list.Load().Destroy(c)
 	}
 	m.priv.Destroy(c, nil)
 }
@@ -116,17 +137,25 @@ func hash(k uint64) uint64 {
 	return k
 }
 
-// bucket returns the list for k, resolved through the calling locale's
-// privatized table replica — zero communication.
+// bucket returns the current list for k, resolved through the calling
+// locale's privatized table replica — zero communication beyond the
+// slot's atomic pointer load.
 func (m Map[V]) bucket(c *pgas.Ctx, k uint64) *list.List[V] {
-	return m.priv.Get(c).buckets[hash(k)&m.mask]
+	return m.priv.Get(c).bucket(int(hash(k) & m.mask))
+}
+
+// BucketOf reports which bucket index k hashes to — the entry
+// granularity the rebalanced view migrates at. Zero communication.
+func (m Map[V]) BucketOf(k uint64) int {
+	return int(hash(k) & m.mask)
 }
 
 // HomeOf reports which locale owns k's bucket. Callers co-locate work
 // with it (run the mutation in an on-statement or aggregation batch
 // toward HomeOf(k)) to make the bucket CAS locale-local; InsertBulk
 // does exactly this. Zero communication: the routing map is replicated
-// with the table.
+// with the table. This is the *static* owner arithmetic; the
+// Rebalanced view routes through a live owner table instead.
 func (m Map[V]) HomeOf(k uint64) int {
 	return int(hash(k)&m.mask) % m.locales
 }
@@ -210,7 +239,7 @@ func (o *mapWriteOp[V]) Exec(tc *pgas.Ctx) {
 	t := o.m.priv.Get(tc)
 	t.comb.Do(func() {
 		o.m.em.Protect(tc, func(tok *epoch.Token) {
-			b := t.buckets[hash(o.k)&o.m.mask]
+			b := t.bucket(int(hash(o.k) & o.m.mask))
 			if o.remove {
 				b.Remove(tc, tok, o.k)
 			} else {
@@ -262,7 +291,8 @@ func (m Map[V]) Contains(c *pgas.Ctx, tok *epoch.Token, k uint64) bool {
 // concurrently may or may not be observed). Iteration order is bucket
 // order then key order. fn returning false stops early.
 func (m Map[V]) ForEach(c *pgas.Ctx, tok *epoch.Token, fn func(k uint64, v V) bool) {
-	for _, b := range m.priv.Get(c).buckets {
+	for _, s := range m.priv.Get(c).buckets {
+		b := s.list.Load()
 		stop := false
 		for _, k := range b.Keys(c, tok) {
 			if v, ok := b.Get(c, tok, k); ok {
@@ -281,8 +311,8 @@ func (m Map[V]) ForEach(c *pgas.Ctx, tok *epoch.Token, fn func(k uint64, v V) bo
 // Len counts entries across all buckets (O(n), diagnostic).
 func (m Map[V]) Len(c *pgas.Ctx, tok *epoch.Token) int {
 	n := 0
-	for _, b := range m.priv.Get(c).buckets {
-		n += b.Len(c, tok)
+	for _, s := range m.priv.Get(c).buckets {
+		n += s.list.Load().Len(c, tok)
 	}
 	return n
 }
@@ -292,8 +322,8 @@ func (m Map[V]) Len(c *pgas.Ctx, tok *epoch.Token) int {
 // privatized replica.
 func (m Map[V]) Stats(c *pgas.Ctx) list.Stats {
 	var s list.Stats
-	for _, b := range m.priv.Get(c).buckets {
-		bs := b.Stats()
+	for _, slot := range m.priv.Get(c).buckets {
+		bs := slot.list.Load().Stats()
 		s.Inserts += bs.Inserts
 		s.Removes += bs.Removes
 		s.Unlinks += bs.Unlinks

@@ -1,0 +1,284 @@
+package hashmap
+
+import (
+	"sync/atomic"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+	"gopgas/internal/structures/list"
+	"gopgas/internal/structures/shared"
+)
+
+// Rebalanced is the map behind a live owner table: writes route to the
+// bucket's *current* owner (a shared.OwnerTable entry per bucket)
+// instead of the static i%L arithmetic, and Migrate hands a bucket's
+// contents — and its future write traffic — to a new locale at
+// runtime. It is the per-bucket instantiation of the shared layer's
+// entry-routing protocol, kept separate from shared.Object only so the
+// routed writes stay combinable (absorbable in flight, like
+// UpsertAgg's).
+//
+// The handoff is epoch-coherent and write-serialized:
+//
+//  1. the migration runs inside the source replica's flat combiner —
+//     the same serialization every routed write applies under — so no
+//     write can land on the old list after the snapshot;
+//  2. the snapshot ships to the destination via the aggregation
+//     buffer's bulk framing and is drained synchronously (a
+//     single-destination flush, legal while holding the combiner);
+//  3. the slot's list pointer swings to the filled destination list
+//     and the owner table republishes (owner, generation+1) in one
+//     atomic store;
+//  4. the old list is retired through the EpochManager: every node is
+//     defer-deleted but the list stays structurally intact, so pinned
+//     readers that resolved it before the swap keep traversing live
+//     memory until they drain.
+//
+// A routed write that raced the migration — sampled the old owner,
+// delivered after the republish — detects the generation mismatch
+// inside the (old) owner's combiner and re-dispatches itself to the
+// current owner as an async task, counted in comm's MigReroutes. Reads
+// never consult the table: they follow the slot's list pointer, which
+// always names a complete list (old until the swap, new after).
+//
+// Caveat: a re-routed write applies when its async redelivery runs, so
+// two same-task writes to one key that straddle a migration may apply
+// out of program order (the fire-and-forget UpsertAgg contract already
+// promises only eventual visibility; this widens the window). Callers
+// that need a deterministic final state quiesce (Ctx.Flush) and write
+// a final pass, as the storm test does.
+type Rebalanced[V any] struct {
+	m     Map[V]
+	tab   *shared.OwnerTable
+	slots []*bucketSlot[V]
+}
+
+// Rebalanced wraps the map in an owner-table-routed view. The table
+// starts as the identity over HomeOf — callers see identical routing
+// until the first Migrate. The base Map handle remains usable for
+// reads and diagnostics; owner-routed writes must go through the view.
+func (m Map[V]) Rebalanced(c *pgas.Ctx) Rebalanced[V] {
+	return Rebalanced[V]{
+		m:     m,
+		tab:   shared.NewOwnerTable(m.nbuckets, func(e int) int { return e % m.locales }),
+		slots: m.priv.Get(c).buckets,
+	}
+}
+
+// Map returns the underlying map handle.
+func (r Rebalanced[V]) Map() Map[V] { return r.m }
+
+// NumEntries returns the bucket count — the migration granularity.
+func (r Rebalanced[V]) NumEntries() int { return r.m.nbuckets }
+
+// EntryOwner returns bucket e's current owner locale.
+func (r Rebalanced[V]) EntryOwner(e int) int {
+	owner, _ := r.tab.Owner(e)
+	return owner
+}
+
+// EntryHeat returns bucket e's accumulated traffic count — bumped by
+// every routed write and view read, read (and differenced) by the
+// rebalance controller to rank candidate buckets.
+func (r Rebalanced[V]) EntryHeat(e int) int64 { return r.slots[e].heat.Load() }
+
+// OwnerOf reports which locale currently owns k's bucket — the live
+// counterpart of HomeOf.
+func (r Rebalanced[V]) OwnerOf(k uint64) int {
+	return r.EntryOwner(r.m.BucketOf(k))
+}
+
+// Get returns the value for k, following the slot's current list
+// pointer — no owner-table consultation, no migration race: the
+// pointer always names a complete list.
+func (r Rebalanced[V]) Get(c *pgas.Ctx, tok *epoch.Token, k uint64) (V, bool) {
+	e := r.m.BucketOf(k)
+	t := r.m.priv.Get(c)
+	t.buckets[e].heat.Add(1)
+	return t.bucket(e).Get(c, tok, k)
+}
+
+// Contains reports whether k is present.
+func (r Rebalanced[V]) Contains(c *pgas.Ctx, tok *epoch.Token, k uint64) bool {
+	_, ok := r.Get(c, tok, k)
+	return ok
+}
+
+// combineKindMapWriteRouted namespaces the routed write's merge keys
+// away from the static-owner mapWriteOp's.
+const combineKindMapWriteRouted uint8 = 33
+
+// routedWriteOp is mapWriteOp's owner-table-routed twin: it carries
+// the generation sampled at enqueue time and re-checks it inside the
+// delivered locale's combiner. Absorption still applies — two routed
+// writes to one key merge last-writer-wins, keeping the later
+// (fresher) generation sample.
+type routedWriteOp[V any] struct {
+	r      Rebalanced[V]
+	e      int
+	gen    uint64
+	k      uint64
+	v      V
+	remove bool
+}
+
+func (o *routedWriteOp[V]) CombineKey() comm.CombineKey {
+	return comm.CombineKey{Kind: combineKindMapWriteRouted, Ref: o.r.m.priv, K: o.k}
+}
+
+func (o *routedWriteOp[V]) Absorb(later comm.CombinableOp) (int64, bool) {
+	l := later.(*routedWriteOp[V])
+	o.gen = l.gen
+	o.v = l.v
+	o.remove = l.remove
+	return 0, true
+}
+
+func (o *routedWriteOp[V]) Exec(tc *pgas.Ctx) {
+	op := *o
+	o.r.applyRouted(tc, o.e, o.gen, func(ac *pgas.Ctx, tok *epoch.Token, b *list.List[V]) {
+		if op.remove {
+			b.Remove(ac, tok, op.k)
+		} else {
+			b.Upsert(ac, tok, op.k, op.v)
+		}
+	})
+}
+
+// applyRouted is the delivered side of every routed mutation: take the
+// local replica's combiner, re-check the generation inside it (exact —
+// migrations of this bucket serialize on the same combiner), and
+// either apply against the slot's current list or re-dispatch to the
+// bucket's new owner. The re-dispatch is an async task: a synchronous
+// on-stmt here could deadlock two locales draining each other's
+// combined deliveries, while an async task is tracked by system
+// quiescence and holds no lock across the hop.
+func (r Rebalanced[V]) applyRouted(tc *pgas.Ctx, e int, gen uint64, apply func(ac *pgas.Ctx, tok *epoch.Token, b *list.List[V])) {
+	t := r.m.priv.Get(tc)
+	t.comb.Do(func() {
+		owner, cur := r.tab.Owner(e)
+		if cur != gen {
+			tc.Sys().Counters().IncMigReroute(tc.Here())
+			tc.AsyncOn(owner, func(ac *pgas.Ctx) {
+				r.applyRouted(ac, e, cur, apply)
+			})
+			return
+		}
+		slot := t.buckets[e]
+		slot.heat.Add(1)
+		r.m.em.Protect(tc, func(tok *epoch.Token) {
+			apply(tc, tok, slot.list.Load())
+		})
+	})
+}
+
+// UpsertAgg buffers a fire-and-forget upsert toward k's *current*
+// owner — UpsertAgg's contract with owner-table routing. Composable
+// with the system's combine policy: repeat writes to k absorb in
+// flight exactly as on the static path.
+func (r Rebalanced[V]) UpsertAgg(c *pgas.Ctx, k uint64, v V) {
+	e := r.m.BucketOf(k)
+	owner, gen := r.tab.Owner(e)
+	c.Aggregator(owner).CallCombinable(mapWriteBytes, &routedWriteOp[V]{r: r, e: e, gen: gen, k: k, v: v})
+}
+
+// RemoveAgg buffers a fire-and-forget removal of k with the same
+// routing and combining contract as UpsertAgg.
+func (r Rebalanced[V]) RemoveAgg(c *pgas.Ctx, k uint64) {
+	e := r.m.BucketOf(k)
+	owner, gen := r.tab.Owner(e)
+	c.Aggregator(owner).CallCombinable(mapWriteBytes, &routedWriteOp[V]{r: r, e: e, gen: gen, k: k, remove: true})
+}
+
+// InsertBulk adds every absent pair, routed to each bucket's current
+// owner and applied under its combiner (insert-if-absent does not
+// merge, so the pairs ride the plain aggregated path). Returns how
+// many inserted.
+func (r Rebalanced[V]) InsertBulk(c *pgas.Ctx, pairs []KV[V]) int {
+	var inserted atomic.Int64
+	for _, kv := range pairs {
+		kv := kv
+		e := r.m.BucketOf(kv.K)
+		owner, gen := r.tab.Owner(e)
+		c.Aggregator(owner).Call(func(tc *pgas.Ctx) {
+			r.applyRouted(tc, e, gen, func(ac *pgas.Ctx, tok *epoch.Token, b *list.List[V]) {
+				if b.Insert(ac, tok, kv.K, kv.V) {
+					inserted.Add(1)
+				}
+			})
+		})
+	}
+	c.Flush()
+	return int(inserted.Load())
+}
+
+// Migrate hands bucket e to locale dst: drain the source's combiner,
+// snapshot the bucket, ship the contents through the bulk framing,
+// swap the slot's list pointer, republish the owner table with a
+// bumped generation, and retire the old list's memory through the
+// epoch manager. Returns the payload bytes shipped and whether the
+// migration ran — it declines (false) when dst already owns e or when
+// another migration republished e after the caller sampled it.
+//
+// Every completed migration books one MigAdopted at the destination
+// (inside the shipped fill op), one MigRetired and the payload's
+// MigBytes at the source — an empty bucket still ships its (empty)
+// fill op, so adopted == retired == migrations exactly.
+func (r Rebalanced[V]) Migrate(c *pgas.Ctx, e, dst int) (bytes int64, ok bool) {
+	if dst < 0 || dst >= r.m.locales {
+		return 0, false
+	}
+	src, gen := r.tab.Owner(e)
+	if src == dst {
+		return 0, false
+	}
+	c.On(src, func(lc *pgas.Ctx) {
+		t := r.m.priv.Get(lc)
+		t.comb.Do(func() {
+			// Re-check under the combiner: a migration that won the race
+			// republished e, and this one must not double-move it.
+			if _, cur := r.tab.Owner(e); cur != gen {
+				return
+			}
+			slot := t.buckets[e]
+			old := slot.list.Load()
+			var keys []uint64
+			var vals []V
+			r.m.em.Protect(lc, func(tok *epoch.Token) {
+				keys, vals = old.Entries(lc, tok)
+			})
+			// The fresh list is homed on dst; it stays private (published
+			// to nobody) until the fill op below has drained, so the swap
+			// installs a complete list.
+			fresh := list.New[V](lc, dst, r.m.em)
+			bytes = int64(len(keys)) * mapWriteBytes
+			agg := lc.Aggregator(dst)
+			agg.CallSized(bytes, func(ac *pgas.Ctx) {
+				ac.Sys().Counters().IncMigAdopt(ac.Here())
+				r.m.em.Protect(ac, func(tok *epoch.Token) {
+					for i, k := range keys {
+						fresh.Insert(ac, tok, k, vals[i])
+					}
+				})
+			})
+			// Synchronous single-destination drain: legal while holding
+			// the combiner (no system quiesce, no foreign combiner taken —
+			// the fill op touches only the still-private fresh list).
+			agg.Flush()
+			slot.list.Store(fresh)
+			r.tab.Republish(e, dst)
+			r.m.em.Protect(lc, func(tok *epoch.Token) {
+				old.Retire(lc, tok)
+			})
+			sc := lc.Sys().Counters()
+			sc.IncMigRetire(lc.Here())
+			sc.IncMigBytes(lc.Here(), bytes)
+			ok = true
+		})
+	})
+	if !ok {
+		bytes = 0
+	}
+	return bytes, ok
+}

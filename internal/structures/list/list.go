@@ -268,6 +268,57 @@ func (l *List[V]) Keys(c *pgas.Ctx, tok *epoch.Token) []uint64 {
 	return keys
 }
 
+// Entries returns the unmarked (key, value) pairs in key order — the
+// snapshot a migration ships to the new owner. Like Keys it is only a
+// consistent snapshot when mutation is quiescent; migrations guarantee
+// that by holding the bucket's combiner.
+func (l *List[V]) Entries(c *pgas.Ctx, tok *epoch.Token) (keys []uint64, vals []V) {
+	tok.Pin(c)
+	defer tok.Unpin(c)
+	curr, _ := unpack(l.head.Read(c))
+	for !curr.IsNil() {
+		cn := pgas.MustDeref[*node[V]](c, curr)
+		succ, marked := unpack(cn.next.Read(c))
+		if !marked {
+			keys = append(keys, cn.key)
+			vals = append(vals, cn.val)
+		}
+		curr = succ
+	}
+	return keys, vals
+}
+
+// Retire defer-deletes every node still reachable from the head and
+// returns how many it deferred, leaving the list structurally intact:
+// readers that resolved this list before it was unpublished keep
+// traversing live, linked memory, and the nodes are reclaimed only
+// after those pinned readers drain. This is the memory half of an
+// ownership migration — the contents have been shipped to a new list
+// and the old one is being unpublished.
+//
+// The caller must hold the list's combiner (no concurrent mutation).
+// Under that serialization no marked node is still linked — a writer's
+// mark is followed by its unlink (or a reader's helping unlink, which
+// defers the node) before the writer's turn ends — so every node seen
+// here is unmarked and this is its only DeferDelete. Marked nodes are
+// skipped defensively: their unlinker owns their retirement.
+func (l *List[V]) Retire(c *pgas.Ctx, tok *epoch.Token) int {
+	tok.Pin(c)
+	defer tok.Unpin(c)
+	n := 0
+	curr, _ := unpack(l.head.Read(c))
+	for !curr.IsNil() {
+		cn := pgas.MustDeref[*node[V]](c, curr)
+		succ, marked := unpack(cn.next.Read(c))
+		if !marked {
+			tok.DeferDelete(c, curr)
+			n++
+		}
+		curr = succ
+	}
+	return n
+}
+
 // Destroy frees every node still reachable from the head (one bulk
 // free toward the home locale) and empties the list, so churn
 // scenarios can create and drop lists without leaking gas-heap slots.

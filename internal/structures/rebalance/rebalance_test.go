@@ -1,0 +1,196 @@
+package rebalance
+
+import (
+	"reflect"
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/pgas"
+)
+
+// fakeTarget is an in-memory Target: owners and heat the test sets
+// directly, migrations recorded and applied to the owner array.
+type fakeTarget struct {
+	owners  []int
+	heat    []int64
+	moved   [][2]int // (entry, dst) in issue order
+	decline bool
+}
+
+func (f *fakeTarget) NumEntries() int       { return len(f.owners) }
+func (f *fakeTarget) EntryOwner(e int) int  { return f.owners[e] }
+func (f *fakeTarget) EntryHeat(e int) int64 { return f.heat[e] }
+func (f *fakeTarget) Migrate(c *pgas.Ctx, e, dst int) (int64, bool) {
+	if f.decline {
+		return 0, false
+	}
+	f.moved = append(f.moved, [2]int{e, dst})
+	f.owners[e] = dst
+	return 16, true
+}
+
+func newControllerHarness(t *testing.T) (*pgas.System, *pgas.Ctx, *fakeTarget) {
+	t.Helper()
+	s := pgas.NewSystem(pgas.Config{Locales: 4, Backend: comm.BackendNone})
+	t.Cleanup(s.Shutdown)
+	tgt := &fakeTarget{
+		owners: []int{0, 1, 2, 3, 0, 1, 2, 3},
+		heat:   make([]int64, 8),
+	}
+	return s, s.Ctx(0), tgt
+}
+
+// inbound injects n inbound events at dst (from some other locale).
+func inbound(s *pgas.System, dst int, n int) {
+	src := (dst + 1) % s.NumLocales()
+	for i := 0; i < n; i++ {
+		s.Matrix().Inc(src, dst)
+	}
+}
+
+// A window whose busiest column exceeds Ratio x mean moves the
+// source's hottest entries to the coldest destinations, round-robin,
+// hottest first — deterministically.
+func TestControllerMigratesHotSource(t *testing.T) {
+	s, c, tgt := newControllerHarness(t)
+	ct := NewController(c, tgt, Config{Ratio: 1.5, MinEvents: 4, MaxMoves: 2, Cooldown: 1})
+
+	// Quiet window: below MinEvents, no judgement at all.
+	inbound(s, 0, 2)
+	if n := ct.Step(c); n != 0 {
+		t.Fatalf("quiet window migrated %d", n)
+	}
+
+	// Hot window: locale 0 takes all traffic; its entries 0 and 4 are
+	// hot (entry 0 hotter).
+	inbound(s, 0, 12)
+	tgt.heat[0] += 5
+	tgt.heat[4] += 3
+	if n := ct.Step(c); n != 2 {
+		t.Fatalf("hot window migrated %d, want 2", n)
+	}
+	// Hottest entry first; destinations coldest-first (1,2,3 all at 0
+	// delta, tie broken by index) assigned round-robin.
+	want := [][2]int{{0, 1}, {4, 2}}
+	if !reflect.DeepEqual(tgt.moved, want) {
+		t.Fatalf("moves = %v, want %v", tgt.moved, want)
+	}
+	st := ct.Stats()
+	if st.Migrations != 2 || st.BytesMoved != 32 {
+		t.Fatalf("stats = %+v, want 2 migrations / 32 bytes", st)
+	}
+	if st.Steps != 2 {
+		t.Fatalf("steps = %d, want 2", st.Steps)
+	}
+}
+
+// Balanced traffic — or a busiest column within the ratio — never
+// triggers, no matter how much of it there is.
+func TestControllerIgnoresBalancedTraffic(t *testing.T) {
+	s, c, tgt := newControllerHarness(t)
+	ct := NewController(c, tgt, Config{Ratio: 1.5, MinEvents: 4, MaxMoves: 2, Cooldown: 1})
+	for l := 0; l < 4; l++ {
+		inbound(s, l, 25)
+	}
+	for e := range tgt.heat {
+		tgt.heat[e] += 10
+	}
+	if n := ct.Step(c); n != 0 {
+		t.Fatalf("balanced window migrated %d", n)
+	}
+	if len(tgt.moved) != 0 {
+		t.Fatalf("moves = %v, want none", tgt.moved)
+	}
+}
+
+// Pre-existing traffic is anchored away at construction: only deltas
+// after NewController count.
+func TestControllerAnchorsAtConstruction(t *testing.T) {
+	s, c, tgt := newControllerHarness(t)
+	inbound(s, 0, 100) // setup / loading traffic
+	tgt.heat[0] = 50
+	ct := NewController(c, tgt, Config{Ratio: 1.5, MinEvents: 4, MaxMoves: 2, Cooldown: 1})
+	if n := ct.Step(c); n != 0 {
+		t.Fatalf("anchored history still migrated %d", n)
+	}
+}
+
+// Cooldown: a source that migrated in window w is not eligible again
+// before window w+Cooldown, even if it stays hot.
+func TestControllerCooldownRestsSource(t *testing.T) {
+	s, c, tgt := newControllerHarness(t)
+	ct := NewController(c, tgt, Config{Ratio: 1.5, MinEvents: 4, MaxMoves: 1, Cooldown: 2})
+
+	hotWindow := func() {
+		inbound(s, 0, 12)
+		for e := range tgt.owners {
+			if tgt.owners[e] == 0 {
+				tgt.heat[e] += 5
+			}
+		}
+	}
+	hotWindow()
+	if n := ct.Step(c); n != 1 {
+		t.Fatalf("first hot window migrated %d, want 1", n)
+	}
+	hotWindow()
+	if n := ct.Step(c); n != 0 {
+		t.Fatalf("cooling window migrated %d, want 0", n)
+	}
+	hotWindow()
+	if n := ct.Step(c); n != 1 {
+		t.Fatalf("rested window migrated %d, want 1", n)
+	}
+}
+
+// Declined migrations (the target raced another migration) are not
+// counted, and a window that moved nothing sets no cooldown.
+func TestControllerDeclinedMovesUncounted(t *testing.T) {
+	s, c, tgt := newControllerHarness(t)
+	ct := NewController(c, tgt, Config{Ratio: 1.5, MinEvents: 4, MaxMoves: 2, Cooldown: 3})
+
+	tgt.decline = true
+	inbound(s, 0, 12)
+	tgt.heat[0] += 5
+	if n := ct.Step(c); n != 0 {
+		t.Fatalf("declined window counted %d migrations", n)
+	}
+	if st := ct.Stats(); st.Migrations != 0 || st.BytesMoved != 0 {
+		t.Fatalf("stats after declines = %+v", st)
+	}
+
+	// No cooldown was set, so the very next hot window migrates.
+	tgt.decline = false
+	inbound(s, 0, 12)
+	tgt.heat[0] += 5
+	if n := ct.Step(c); n != 1 {
+		t.Fatalf("window after declines migrated %d, want 1", n)
+	}
+}
+
+// A hot source with no hot entries (traffic not attributable to any
+// entry this window) moves nothing.
+func TestControllerNoCandidatesNoMoves(t *testing.T) {
+	s, c, tgt := newControllerHarness(t)
+	ct := NewController(c, tgt, Config{Ratio: 1.5, MinEvents: 4, MaxMoves: 2, Cooldown: 1})
+	inbound(s, 1, 12)
+	// Heat rose only on locale 0's entries — none owned by the hot
+	// source (locale 1).
+	tgt.heat[0] += 9
+	if n := ct.Step(c); n != 0 {
+		t.Fatalf("candidate-free window migrated %d", n)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	want := Config{Ratio: 2, MinEvents: 1, MaxMoves: 4, Cooldown: 1}
+	if cfg != want {
+		t.Fatalf("defaults = %+v, want %+v", cfg, want)
+	}
+	// Explicit knobs pass through.
+	cfg = Config{Ratio: 1.5, MinEvents: 8, MaxMoves: 2, Cooldown: 3}.withDefaults()
+	if cfg.Ratio != 1.5 || cfg.MinEvents != 8 || cfg.MaxMoves != 2 || cfg.Cooldown != 3 {
+		t.Fatalf("explicit knobs changed: %+v", cfg)
+	}
+}

@@ -1,0 +1,176 @@
+package shared
+
+import (
+	"sync"
+	"testing"
+
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+// Owner and generation pack into one word: a single load observes a
+// consistent pair, and every republish bumps the generation.
+func TestOwnerTablePacking(t *testing.T) {
+	tab := NewOwnerTable(8, func(e int) int { return e % 3 })
+	if tab.Len() != 8 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for e := 0; e < 8; e++ {
+		owner, gen := tab.Owner(e)
+		if owner != e%3 || gen != 0 {
+			t.Fatalf("entry %d = (%d,%d), want (%d,0)", e, owner, gen, e%3)
+		}
+	}
+	if g := tab.Republish(5, 7); g != 1 {
+		t.Fatalf("first republish gen = %d, want 1", g)
+	}
+	if g := tab.Republish(5, 2); g != 2 {
+		t.Fatalf("second republish gen = %d, want 2", g)
+	}
+	owner, gen := tab.Owner(5)
+	if owner != 2 || gen != 2 {
+		t.Fatalf("entry 5 = (%d,%d), want (2,2)", owner, gen)
+	}
+	if tab.Gen(5) != 2 {
+		t.Fatalf("Gen = %d, want 2", tab.Gen(5))
+	}
+	// Neighbours are untouched.
+	if owner, gen := tab.Owner(4); owner != 1 || gen != 0 {
+		t.Fatalf("entry 4 = (%d,%d), want (1,0)", owner, gen)
+	}
+}
+
+func TestOwnerTableRejectsWideOwners(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewOwnerTable(1, func(int) int { return 1 << 16 }) },
+		func() { NewOwnerTable(1, func(int) int { return -1 }) },
+		func() { NewOwnerTable(1, func(int) int { return 0 }).Republish(0, 1<<16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("owner outside the 16-bit field did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// A buffered entry-routed op that raced a republish re-dispatches to
+// the new owner and applies exactly once, there — and the re-route is
+// booked in the comm evidence.
+func TestCombineOnEntryReroutesAfterRepublish(t *testing.T) {
+	s := newTestSystem(t, 3)
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		o := New(c, em, func(lc *pgas.Ctx, shard int) *testShard {
+			return &testShard{builtOn: lc.Here()}
+		})
+		tab := NewOwnerTable(1, func(int) int { return 1 })
+
+		before := s.Counters().Snapshot()
+		ranOn := -1
+		runs := 0
+		o.CombineOnEntry(c, tab, 0, func(lc *pgas.Ctx, sh *testShard) {
+			ranOn = sh.builtOn
+			runs++
+		})
+		// The op sits in locale 0's buffer for owner 1; the migration
+		// completes before it is delivered.
+		tab.Republish(0, 2)
+		c.Flush()
+
+		if runs != 1 || ranOn != 2 {
+			t.Fatalf("op ran %d times on shard %d, want once on 2", runs, ranOn)
+		}
+		delta := s.Counters().Snapshot().Sub(before)
+		if delta.MigReroutes != 1 {
+			t.Fatalf("MigReroutes = %d, want 1", delta.MigReroutes)
+		}
+
+		// With the table settled, the next op applies directly.
+		o.CombineOnEntry(c, tab, 0, func(lc *pgas.Ctx, sh *testShard) {
+			ranOn = sh.builtOn
+			runs++
+		})
+		c.Flush()
+		if runs != 2 || ranOn != 2 {
+			t.Fatalf("settled op ran %d times on shard %d, want twice on 2", runs, ranOn)
+		}
+		if d := s.Counters().Snapshot().Sub(before); d.MigReroutes != 1 {
+			t.Fatalf("settled op re-routed: %d", d.MigReroutes)
+		}
+	})
+}
+
+// Same protocol on the plain aggregated path (no combiner): the
+// generation check is advisory but the redelivery contract is the
+// same — exactly one application, on a current owner.
+func TestAggOnEntryReroutesAfterRepublish(t *testing.T) {
+	s := newTestSystem(t, 3)
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		o := New(c, em, func(lc *pgas.Ctx, shard int) *testShard {
+			return &testShard{builtOn: lc.Here()}
+		})
+		tab := NewOwnerTable(4, func(int) int { return 1 })
+		ranOn := -1
+		o.AggOnEntry(c, tab, 3, func(lc *pgas.Ctx, sh *testShard) { ranOn = sh.builtOn })
+		tab.Republish(3, 0)
+		c.Flush()
+		if ranOn != 0 {
+			t.Fatalf("op applied on shard %d, want 0", ranOn)
+		}
+	})
+}
+
+// The synchronous path retries caller-side: a stale delivery declines
+// and the caller re-samples, so fn runs exactly once even while a
+// republisher keeps moving the entry. (The republisher is a single
+// task, honouring the one-republisher-per-entry contract.)
+func TestOnEntryExactlyOnceUnderRepublishStorm(t *testing.T) {
+	const calls = 200
+	s := newTestSystem(t, 4)
+	c0 := s.Ctx(0)
+	em := epoch.NewEpochManager(c0)
+	o := New(c0, em, func(lc *pgas.Ctx, shard int) *testShard {
+		return &testShard{builtOn: lc.Here()}
+	})
+	tab := NewOwnerTable(1, func(int) int { return 1 })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tab.Republish(0, 1+i%3)
+		}
+	}()
+
+	c := s.Ctx(0)
+	for i := 0; i < calls; i++ {
+		o.OnEntry(c, tab, 0, func(lc *pgas.Ctx, sh *testShard) {
+			if sh.builtOn != lc.Here() {
+				t.Errorf("fn ran on locale %d against shard %d", lc.Here(), sh.builtOn)
+			}
+			sh.ops.Add(1)
+		})
+	}
+	close(stop)
+	wg.Wait()
+
+	var total int64
+	for l := 0; l < 4; l++ {
+		total += o.Shard(c, l).ops.Load()
+	}
+	if total != calls {
+		t.Fatalf("applied %d ops across shards, want exactly %d", total, calls)
+	}
+}

@@ -2,11 +2,13 @@ package workload
 
 import (
 	"fmt"
+	"time"
 
 	"gopgas/internal/core/epoch"
 	"gopgas/internal/pgas"
 	"gopgas/internal/structures/hashmap"
 	"gopgas/internal/structures/queue"
+	"gopgas/internal/structures/rebalance"
 	"gopgas/internal/structures/skiplist"
 	"gopgas/internal/structures/stack"
 )
@@ -29,6 +31,16 @@ type Driver interface {
 	ApplyBulk(c *pgas.Ctx, owner int, keys []uint64)
 	// Destroy tears the structure down (quiescent; locale 0).
 	Destroy(c *pgas.Ctx)
+}
+
+// Ticker is an optional Driver extension: a periodic control loop the
+// engine runs beside each round's workers, on its own task context.
+// TickInterval returning 0 disables the loop for this run. Tick is
+// called from exactly one goroutine; it may communicate (the context
+// is the loop's own).
+type Ticker interface {
+	TickInterval() time.Duration
+	Tick(c *pgas.Ctx)
 }
 
 // NewDriver returns the driver for a structure.
@@ -56,11 +68,19 @@ func NewDriver(s Structure) (Driver, error) {
 // through the fire-and-forget UpsertAgg/RemoveAgg path instead —
 // absorbed in flight per the spec's combine policy and drained through
 // the owner's flat combiner — while gets stay on the direct path.
+// When the spec enables rebalancing, every op goes through the
+// owner-table-routed hashmap.Rebalanced view instead, and the driver
+// exposes a Ticker control loop stepping a rebalance.Controller that
+// migrates hot buckets off overloaded locales mid-phase.
 type hashmapDriver struct {
-	m        hashmap.Map[int64]
-	cv       hashmap.CachedView[int64]
-	cached   bool
-	combined bool
+	m          hashmap.Map[int64]
+	cv         hashmap.CachedView[int64]
+	rv         hashmap.Rebalanced[int64]
+	ctrl       *rebalance.Controller
+	cached     bool
+	combined   bool
+	rebalanced bool
+	interval   time.Duration
 }
 
 func (d *hashmapDriver) Structure() Structure { return StructureHashmap }
@@ -77,10 +97,33 @@ func (d *hashmapDriver) Setup(c *pgas.Ctx, em epoch.EpochManager, spec Spec) {
 	d.m = hashmap.New[int64](c, spec.Buckets, em)
 	d.cached = spec.Cache != nil && spec.Cache.Enabled
 	d.combined = spec.Combine != nil && spec.Combine.Enabled
+	d.rebalanced = spec.Rebalance != nil && spec.Rebalance.Enabled
 	if d.cached {
 		d.cv = d.m.Cached(c, spec.Cache.Slots)
 	}
+	if d.rebalanced {
+		rb := spec.Rebalance
+		d.rv = d.m.Rebalanced(c)
+		d.ctrl = rebalance.NewController(c, d.rv, rebalance.Config{
+			Ratio:    rb.Ratio,
+			MaxMoves: rb.MaxMoves,
+			Cooldown: rb.Cooldown,
+		})
+		d.interval = time.Duration(rb.IntervalMS) * time.Millisecond
+	}
 }
+
+// TickInterval exposes the rebalance controller's window length; 0
+// (no control loop) unless the spec enabled rebalancing.
+func (d *hashmapDriver) TickInterval() time.Duration {
+	if !d.rebalanced {
+		return 0
+	}
+	return d.interval
+}
+
+// Tick judges one rebalancing window.
+func (d *hashmapDriver) Tick(c *pgas.Ctx) { d.ctrl.Step(c) }
 
 func (d *hashmapDriver) Apply(c *pgas.Ctx, tok *epoch.Token, kind OpKind, key uint64) {
 	if d.cached {
@@ -91,6 +134,17 @@ func (d *hashmapDriver) Apply(c *pgas.Ctx, tok *epoch.Token, kind OpKind, key ui
 			d.cv.Get(c, tok, key)
 		case OpRemove:
 			d.cv.Remove(c, tok, key)
+		}
+		return
+	}
+	if d.rebalanced {
+		switch kind {
+		case OpInsert:
+			d.rv.UpsertAgg(c, key, int64(key))
+		case OpGet:
+			d.rv.Get(c, tok, key)
+		case OpRemove:
+			d.rv.RemoveAgg(c, key)
 		}
 		return
 	}
@@ -122,6 +176,10 @@ func (d *hashmapDriver) ApplyBulk(c *pgas.Ctx, _ int, keys []uint64) {
 	}
 	if d.cached {
 		d.cv.InsertBulk(c, pairs)
+		return
+	}
+	if d.rebalanced {
+		d.rv.InsertBulk(c, pairs)
 		return
 	}
 	d.m.InsertBulk(c, pairs)

@@ -96,6 +96,29 @@ func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver,
 	beforeM := sys.Matrix().Snapshot()
 	start := time.Now()
 	for round := 0; round < ph.rounds(); round++ {
+		// Drivers with a periodic control loop (rebalancing) get one
+		// ticker task per round, on its own context, stopped before any
+		// churn teardown so the loop never races Destroy/Setup.
+		var tickStop chan struct{}
+		var tickWG sync.WaitGroup
+		if tk, ok := drv.(Ticker); ok && tk.TickInterval() > 0 {
+			tickStop = make(chan struct{})
+			tickWG.Add(1)
+			go func() {
+				defer tickWG.Done()
+				tc := sys.Ctx(0)
+				ticker := time.NewTicker(tk.TickInterval())
+				defer ticker.Stop()
+				for {
+					select {
+					case <-tickStop:
+						return
+					case <-ticker.C:
+						tk.Tick(tc)
+					}
+				}
+			}()
+		}
 		var wg sync.WaitGroup
 		for loc := 0; loc < spec.Locales; loc++ {
 			for t := 0; t < spec.TasksPerLocale; t++ {
@@ -108,6 +131,14 @@ func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver,
 			}
 		}
 		wg.Wait()
+		if tickStop != nil {
+			close(tickStop)
+			tickWG.Wait()
+			// A stale routed write the last windows re-routed may still
+			// be an async task in flight; quiesce before judging the
+			// round or tearing anything down.
+			c0.Flush()
+		}
 		if ph.Churn && round != ph.rounds()-1 {
 			// Between rounds: reclaim the deferred set, tear the
 			// structure down (registry slots recycle), rebuild.

@@ -384,3 +384,61 @@ func TestOpenLoopPacing(t *testing.T) {
 		t.Fatalf("open-loop phase ran at %.0f ops/s, target 400", p.Throughput)
 	}
 }
+
+// TestRebalancedScenarioDigestInvariant runs one seeded hot-bucket
+// scenario with dynamic rebalancing on and off. The op-stream digests
+// must match exactly (migrating ownership must not change what the
+// workload asked for), the rebalanced run must actually migrate —
+// with exactly balanced adopt/retire books — and both runs must pass
+// the heap-safety and epoch verdicts. The phase is open-loop paced so
+// it spans many controller windows regardless of host speed.
+func TestRebalancedScenarioDigestInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive (paced phase)")
+	}
+	base := Spec{
+		Name:           "hot-bucket",
+		Structure:      StructureHashmap,
+		Locales:        4,
+		TasksPerLocale: 2,
+		Backend:        "none",
+		Seed:           17,
+		Keyspace:       16, // ~1-key hot set: one bucket takes most traffic
+		Dist:           KeyDist{Kind: DistHotSet, HotFraction: 0.07, HotProb: 0.95},
+		Phases: []Phase{
+			{Name: "storm", Mix: Mix{Insert: 6, Get: 3, Remove: 1},
+				OpsPerTask: 300, TargetRate: 3000}, // ≈100ms of windows
+		},
+	}
+	static, err := Run(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := base
+	moved.Rebalance = &RebalanceSpec{Enabled: true, Ratio: 1.5, IntervalMS: 1}
+	rebalanced, err := Run(moved, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range map[string]*Report{"static": static, "rebalanced": rebalanced} {
+		if !rep.Heap.Safe() {
+			t.Fatalf("%s run unsafe: %+v", name, rep.Heap)
+		}
+		if !rep.Epoch.Balanced() {
+			t.Fatalf("%s epoch leak: %+v", name, rep.Epoch)
+		}
+	}
+	sp, rp := static.Phases[0], rebalanced.Phases[0]
+	if sp.Digest != rp.Digest {
+		t.Fatalf("rebalancing changed the op stream: %x vs %x", sp.Digest, rp.Digest)
+	}
+	if sp.Comm.MigRetired != 0 || sp.Comm.MigAdopted != 0 {
+		t.Fatalf("static run booked migrations: %v", sp.Comm)
+	}
+	if rp.Comm.MigRetired == 0 {
+		t.Fatalf("rebalanced run never migrated: %v", rp.Comm)
+	}
+	if rp.Comm.MigAdopted != rp.Comm.MigRetired {
+		t.Fatalf("books unbalanced: adopted %d retired %d", rp.Comm.MigAdopted, rp.Comm.MigRetired)
+	}
+}

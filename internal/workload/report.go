@@ -126,6 +126,10 @@ func (r *Report) WriteSummary(w io.Writer) {
 		if p.Comm.CASAttempts > 0 {
 			fmt.Fprintf(w, "  cas=%d (%d retry)", p.Comm.CASAttempts, p.Comm.CASRetries)
 		}
+		if p.Comm.MigRetired > 0 || p.Comm.MigReroutes > 0 {
+			fmt.Fprintf(w, "  migrations=%d moved=%dB reroutes=%d",
+				p.Comm.MigRetired, p.Comm.MigBytes, p.Comm.MigReroutes)
+		}
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "  total: %d ops in %.2fs; heap live=%d uafLoads=%d uafStores=%d uafFrees=%d; epoch reclaimed=%d/%d\n",

@@ -190,6 +190,32 @@ type CombineSpec struct {
 	Enabled bool `json:"enabled"`
 }
 
+// RebalanceSpec configures dynamic hot-shard rebalancing: the driver
+// routes hashmap traffic through the owner-table view
+// (hashmap.Rebalanced) and runs a rebalance.Controller beside the
+// workers, migrating the hottest buckets off any locale whose windowed
+// inbound traffic exceeds the imbalance ratio. The run's comm evidence
+// gains the MigAdopted/MigRetired/MigBytes/MigReroutes counters.
+type RebalanceSpec struct {
+	// Enabled turns rebalancing on. Only the hashmap structure supports
+	// it, and it is mutually exclusive with the read cache (owner-routed
+	// writes bypass the CachedView's invalidation broadcast); Validate
+	// rejects both misuses. Composable with combine: routed writes stay
+	// absorbable in flight.
+	Enabled bool `json:"enabled"`
+	// Ratio is the imbalance trigger (busiest inbound column vs the
+	// per-locale mean, per window); must be > 1 when set, 0 means 2.
+	Ratio float64 `json:"ratio,omitempty"`
+	// IntervalMS is the controller's window length in milliseconds;
+	// 0 means 2.
+	IntervalMS int `json:"interval_ms,omitempty"`
+	// MaxMoves caps migrations per window; 0 means 4.
+	MaxMoves int `json:"max_moves,omitempty"`
+	// Cooldown is how many windows a source rests after migrating;
+	// 0 means 1.
+	Cooldown int `json:"cooldown,omitempty"`
+}
+
 // Spec is one complete declarative scenario.
 type Spec struct {
 	Name           string    `json:"name"`
@@ -218,7 +244,10 @@ type Spec struct {
 	// Combine enables write absorption on the hashmap's write path;
 	// nil (or Enabled false) runs writes one-for-one.
 	Combine *CombineSpec `json:"combine,omitempty"`
-	Phases  []Phase      `json:"phases"`
+	// Rebalance enables dynamic hot-shard rebalancing on the hashmap;
+	// nil (or Enabled false) keeps ownership static.
+	Rebalance *RebalanceSpec `json:"rebalance,omitempty"`
+	Phases    []Phase        `json:"phases"`
 }
 
 // WithDefaults returns a copy of s with zero-valued knobs replaced by
@@ -270,6 +299,24 @@ func (s Spec) WithDefaults() Spec {
 	if s.Combine != nil {
 		cp := *s.Combine
 		s.Combine = &cp
+	}
+	if s.Rebalance != nil {
+		cp := *s.Rebalance
+		if cp.Enabled {
+			if cp.Ratio == 0 {
+				cp.Ratio = 2
+			}
+			if cp.IntervalMS == 0 {
+				cp.IntervalMS = 2
+			}
+			if cp.MaxMoves == 0 {
+				cp.MaxMoves = 4
+			}
+			if cp.Cooldown == 0 {
+				cp.Cooldown = 1
+			}
+		}
+		s.Rebalance = &cp
 	}
 	return s
 }
@@ -332,6 +379,20 @@ func (s Spec) Validate() error {
 		}
 		if s.Cache != nil && s.Cache.Enabled {
 			return fmt.Errorf("workload: combine and cache are mutually exclusive (combined writes bypass cache invalidation)")
+		}
+	}
+	if rb := s.Rebalance; rb != nil && rb.Enabled {
+		if s.Structure != StructureHashmap {
+			return fmt.Errorf("workload: rebalance is only supported by the hashmap structure, not %q", s.Structure)
+		}
+		if s.Cache != nil && s.Cache.Enabled {
+			return fmt.Errorf("workload: rebalance and cache are mutually exclusive (owner-routed writes bypass cache invalidation)")
+		}
+		if rb.Ratio <= 1 {
+			return fmt.Errorf("workload: rebalance ratio must be > 1, got %v", rb.Ratio)
+		}
+		if rb.IntervalMS < 0 || rb.MaxMoves < 0 || rb.Cooldown < 0 {
+			return fmt.Errorf("workload: rebalance knobs must be >= 0")
 		}
 	}
 	if f := s.Faults; f.SlowFactor < 0 {

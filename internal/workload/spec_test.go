@@ -108,6 +108,7 @@ func goldenSpec() Spec {
 		Faults:         Faults{SlowFactor: 4, SlowLocale: 3},
 		Cache:          &CacheSpec{Enabled: true, Slots: 128},
 		Combine:        &CombineSpec{Enabled: false},
+		Rebalance:      &RebalanceSpec{Enabled: false, Ratio: 1.75, IntervalMS: 3, MaxMoves: 2, Cooldown: 2},
 		Phases: []Phase{
 			{Name: "load", Mix: Mix{Insert: 1}, OpsPerTask: 100},
 			{Name: "run", Mix: Mix{Insert: 1, Get: 18, Remove: 1, Bulk: 0.5},
@@ -171,6 +172,7 @@ func TestSpecGoldenRoundTrip(t *testing.T) {
 	s2 := s
 	s2.Cache = nil
 	s2.Combine = nil
+	s2.Rebalance = nil
 	var buf strings.Builder
 	if err := s2.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -181,14 +183,18 @@ func TestSpecGoldenRoundTrip(t *testing.T) {
 	if strings.Contains(buf.String(), "\"combine\"") {
 		t.Fatalf("nil combine serialized:\n%s", buf.String())
 	}
+	if strings.Contains(buf.String(), "\"rebalance\"") {
+		t.Fatalf("nil rebalance serialized:\n%s", buf.String())
+	}
 }
 
 // Strict parsing applies inside nested objects too: a typo'd cache or
 // combine knob fails loudly instead of silently running the default.
 func TestLoadSpecRejectsUnknownNestedFields(t *testing.T) {
 	cases := map[string]string{
-		"cache":   `{"structure": "hashmap", "cache": {"enabld": true}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`,
-		"combine": `{"structure": "hashmap", "combine": {"enbaled": true}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`,
+		"cache":     `{"structure": "hashmap", "cache": {"enabld": true}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`,
+		"combine":   `{"structure": "hashmap", "combine": {"enbaled": true}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`,
+		"rebalance": `{"structure": "hashmap", "rebalance": {"ratioo": 2}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`,
 	}
 	for name, spec := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -251,6 +257,56 @@ func TestValidateCombine(t *testing.T) {
 	both.Combine = &CombineSpec{Enabled: false}
 	if err := both.WithDefaults().Validate(); err != nil {
 		t.Fatalf("disabled combine rejected: %v", err)
+	}
+}
+
+func TestValidateRebalance(t *testing.T) {
+	s := validSpec()
+	s.Rebalance = &RebalanceSpec{Enabled: true}
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("rebalanced hashmap spec rejected: %v", err)
+	}
+	if s.Rebalance.Ratio != 2 || s.Rebalance.IntervalMS != 2 || s.Rebalance.MaxMoves != 4 || s.Rebalance.Cooldown != 1 {
+		t.Fatalf("rebalance defaults = %+v", s.Rebalance)
+	}
+	q := validSpec()
+	q.Structure = StructureQueue
+	q.Phases = []Phase{{Name: "run", Mix: Mix{Enqueue: 1}, OpsPerTask: 10}}
+	q.Rebalance = &RebalanceSpec{Enabled: true}
+	if err := q.WithDefaults().Validate(); err == nil || !strings.Contains(err.Error(), "rebalance") {
+		t.Fatalf("rebalance on queue accepted (err=%v)", err)
+	}
+	both := validSpec()
+	both.Cache = &CacheSpec{Enabled: true, Slots: 16}
+	both.Rebalance = &RebalanceSpec{Enabled: true}
+	if err := both.WithDefaults().Validate(); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("cache+rebalance accepted (err=%v)", err)
+	}
+	// The imbalance trigger must exceed 1: a ratio at or below the mean
+	// would fire on perfectly balanced traffic.
+	bad := validSpec()
+	bad.Rebalance = &RebalanceSpec{Enabled: true, Ratio: 1}
+	if err := bad.WithDefaults().Validate(); err == nil || !strings.Contains(err.Error(), "ratio") {
+		t.Fatalf("ratio 1 accepted (err=%v)", err)
+	}
+	neg := validSpec()
+	neg.Rebalance = &RebalanceSpec{Enabled: true, IntervalMS: -1}
+	if err := neg.WithDefaults().Validate(); err == nil || !strings.Contains(err.Error(), "rebalance") {
+		t.Fatalf("negative interval accepted (err=%v)", err)
+	}
+	// Composable with combine; disabled rebalance is inert anywhere.
+	combo := validSpec()
+	combo.Combine = &CombineSpec{Enabled: true}
+	combo.Rebalance = &RebalanceSpec{Enabled: true}
+	if err := combo.WithDefaults().Validate(); err != nil {
+		t.Fatalf("combine+rebalance rejected: %v", err)
+	}
+	off := validSpec()
+	off.Cache = &CacheSpec{Enabled: true, Slots: 16}
+	off.Rebalance = &RebalanceSpec{Enabled: false}
+	if err := off.WithDefaults().Validate(); err != nil {
+		t.Fatalf("disabled rebalance rejected: %v", err)
 	}
 }
 
