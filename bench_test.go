@@ -349,6 +349,13 @@ func BenchmarkWriteStormHotKeyCombined(b *testing.B)   { hotpath.WriteStormHotKe
 func BenchmarkMovingHotStormStatic(b *testing.B)     { hotpath.MovingHotStormStatic(b) }
 func BenchmarkMovingHotStormRebalanced(b *testing.B) { hotpath.MovingHotStormRebalanced(b) }
 
+// The BENCH_8 tracing arms: the dispatch storm with a recorder
+// attached but disabled (enabled-flag load only) and enabled at 1/64
+// sampling. BenchmarkDispatchHotPath above stays recorder-free — its
+// number must hold the BENCH_5 trajectory within noise.
+func BenchmarkDispatchHotPathTracerIdle(b *testing.B) { hotpath.DispatchHotPathTracerIdle(b) }
+func BenchmarkDispatchHotPathTraced(b *testing.B)     { hotpath.DispatchHotPathTraced(b) }
+
 func BenchmarkAblationLimboDeferDelete(b *testing.B) {
 	s := benchSystem(b, 1, comm.BackendNone)
 	c := s.Ctx(0)

@@ -15,7 +15,8 @@
 //	        [-bulk N] [-rate F] [-latency-scale F]
 //	        [-slow-locale I -slow-factor F]
 //	        [-cache] [-cache-slots N] [-combine] [-rebalance]
-//	        [-out report.json] [-print-spec] [-quiet]
+//	        [-trace] [-trace-sample N] [-trace-out trace.json]
+//	        [-http :8077] [-out report.json] [-print-spec] [-quiet]
 //
 // -cache enables the hashmap's per-locale read replication cache
 // (hashmap only): gets are served from locale-private replicas,
@@ -43,6 +44,19 @@
 // compare the run phase's maxInbound with and without it under a
 // hot-set distribution to see the owner hotspot dissolve.
 //
+// -trace enables the event-tracing plane: begin/end spans for
+// dispatch, flush, combine, epoch and migration lifecycles recorded
+// into per-locale lock-free rings at 1-in-N sampling (-trace-sample,
+// default 64; control-plane events always record). The report gains a
+// trace section, and -trace-out writes the drained events as Chrome
+// trace-event JSON — load it at https://ui.perfetto.dev to see the
+// run's spans laid out per locale.
+//
+// -http starts the live telemetry server on the given address for the
+// duration of the run: /api/status, /api/matrix, /api/hist,
+// /api/trace?window=N (a live Perfetto-loadable window), POST
+// /api/fault (runtime latency perturbation), and /debug/pprof.
+//
 // -print-spec writes the effective spec JSON to stdout (pipe it to a
 // file, tweak, and feed it back with -spec). The run summary prints to
 // stdout; -out writes the full workload.Report JSON. Exit status 1
@@ -56,6 +70,8 @@ import (
 	"io"
 	"os"
 
+	"gopgas/internal/telemetry"
+	"gopgas/internal/trace"
 	"gopgas/internal/workload"
 )
 
@@ -80,6 +96,10 @@ func main() {
 		cacheSlot = flag.Int("cache-slots", 0, "per-locale cache slots (0 = 256)")
 		combine   = flag.Bool("combine", false, "enable write absorption: in-flight combining + owner-side flat combining (hashmap only, excludes -cache)")
 		rebalance = flag.Bool("rebalance", false, "enable dynamic hot-shard rebalancing: owner-table routing + controller-driven bucket migration (hashmap only, excludes -cache)")
+		traceOn   = flag.Bool("trace", false, "enable the event-tracing plane (spans for dispatch/flush/combine/epoch/migrate)")
+		traceRate = flag.Int("trace-sample", 0, "trace 1 in N high-frequency events (0 = 64; control-plane events always record)")
+		traceOut  = flag.String("trace-out", "", "write the drained trace as Chrome trace-event JSON here (implies -trace)")
+		httpAddr  = flag.String("http", "", "serve live telemetry on this address (e.g. :8077) for the run's duration")
 		outPath   = flag.String("out", "", "write the full report JSON here")
 		printSpec = flag.Bool("print-spec", false, "print the effective spec JSON to stdout and exit")
 		quiet     = flag.Bool("quiet", false, "suppress per-phase progress lines")
@@ -110,6 +130,9 @@ func main() {
 			spec.Name += "-rebalanced"
 		}
 	}
+	if *traceOn || *traceOut != "" {
+		spec.Trace = &workload.TraceSpec{Enabled: true, SampleRate: *traceRate}
+	}
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -128,12 +151,41 @@ func main() {
 	if *quiet {
 		progress = nil
 	}
-	rep, err := workload.Run(spec, progress)
+	var tel *workload.Telemetry
+	if *httpAddr != "" {
+		tel = workload.NewTelemetry()
+		srv, err := telemetry.Start(*httpAddr, tel.Options())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s\n", srv.Addr())
+	}
+	rep, err := workload.RunLive(spec, progress, tel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(2)
 	}
 	rep.WriteSummary(os.Stdout)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteChromeTrace(f, rep.TraceEvents); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d events; load at https://ui.perfetto.dev)\n",
+			*traceOut, len(rep.TraceEvents))
+	}
 
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

@@ -9,8 +9,15 @@
 //	go run ./cmd/soak -seconds 30 -locales 8
 //
 // -structure limits the soak to one target; -slow-factor adds the
-// slow-locale fault plan on top. Exit status 1 means an invariant was
-// violated.
+// slow-locale fault plan on top. -http starts the live telemetry and
+// control server for the whole soak — the server outlives scenario
+// boundaries, re-attaching to each structure's run in turn, so an
+// operator can watch /api/status and /api/matrix, pull live
+// /api/trace windows (with -trace), profile via /debug/pprof, and
+// inject latency faults into whichever scenario is running with POST
+// /api/fault. -trace additionally records the event-tracing plane at
+// 1/64 sampling and prints each run's span books in the summary. Exit
+// status 1 means an invariant was violated.
 //
 // The engine covers the four scenario targets (hashmap, sharded
 // queue/stack, skiplist); rcuarray and the bare Harris list keep
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"os"
 
+	"gopgas/internal/telemetry"
 	"gopgas/internal/workload"
 )
 
@@ -35,6 +43,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		structure = flag.String("structure", "", "soak only this structure (default: all)")
 		slowFac   = flag.Float64("slow-factor", 0, "also inject a slow locale 0 by this factor (0 = off)")
+		traceOn   = flag.Bool("trace", false, "record the event-tracing plane (1/64 sampling) during each scenario")
+		httpAddr  = flag.String("http", "", "serve live telemetry + control on this address (e.g. :8077) for the whole soak")
 	)
 	flag.Parse()
 
@@ -44,11 +54,26 @@ func main() {
 	}
 	perStructure := *seconds / float64(len(targets))
 
+	var tel *workload.Telemetry
+	if *httpAddr != "" {
+		tel = workload.NewTelemetry()
+		srv, err := telemetry.Start(*httpAddr, tel.Options())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soak:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry listening on http://%s\n", srv.Addr())
+	}
+
 	failures := 0
 	var totalOps int64
 	for _, s := range targets {
 		spec := soakSpec(s, *locales, *tasks, *backend, *seed, perStructure, *slowFac)
-		rep, err := workload.Run(spec, nil)
+		if *traceOn {
+			spec.Trace = &workload.TraceSpec{Enabled: true}
+		}
+		rep, err := workload.RunLive(spec, nil, tel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "soak:", err)
 			os.Exit(2)
@@ -66,6 +91,14 @@ func main() {
 		} else {
 			fmt.Printf("FAIL  %s: reclaimed %d of %d deferred\n", s, rep.Epoch.Reclaimed, rep.Epoch.Deferred)
 			failures++
+		}
+		if rep.Trace != nil {
+			if rep.Trace.Balanced {
+				fmt.Printf("PASS  %s: trace books balanced (%d events, %d dropped)\n", s, rep.Trace.Events, rep.Trace.Dropped)
+			} else {
+				fmt.Printf("FAIL  %s: trace books unbalanced: %v\n", s, rep.Trace.Spans)
+				failures++
+			}
 		}
 	}
 	fmt.Printf("soak total: %d ops across %d structures\n", totalOps, len(targets))

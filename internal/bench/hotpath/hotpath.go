@@ -21,20 +21,17 @@ import (
 	"gopgas/internal/pgas"
 	"gopgas/internal/structures/hashmap"
 	"gopgas/internal/structures/rebalance"
+	"gopgas/internal/trace"
 )
 
 // Locales is the fixed sweep point the hot-path benchmarks run at.
 const Locales = 8
 
-// DispatchHotPath measures the harness cost of a synchronous remote
-// on-statement under the zero latency profile: what remains is pure
-// measurement-plane overhead — counter and matrix increments plus
-// task-context management — which is exactly what caps the wall-clock
-// throughput of loadgen/soak sweeps. Tasks are spread across the
-// source locales, each firing at its neighbour, so the diagnostic
-// increments come from every shard at once.
-func DispatchHotPath(b *testing.B) {
-	s := pgas.NewSystem(pgas.Config{Locales: Locales, Backend: comm.BackendNone, Seed: 42})
+// dispatchHotPath is the shared body: a synchronous remote
+// on-statement storm under the zero latency profile, with an optional
+// trace recorder attached to the system.
+func dispatchHotPath(b *testing.B, rec *trace.Recorder) {
+	s := pgas.NewSystem(pgas.Config{Locales: Locales, Backend: comm.BackendNone, Seed: 42, Tracer: rec})
 	b.Cleanup(s.Shutdown)
 	var nextTask atomic.Int64
 	b.ReportAllocs()
@@ -50,6 +47,41 @@ func DispatchHotPath(b *testing.B) {
 		}
 		_ = sink
 	})
+}
+
+// DispatchHotPath measures the harness cost of a synchronous remote
+// on-statement under the zero latency profile: what remains is pure
+// measurement-plane overhead — counter and matrix increments plus
+// task-context management — which is exactly what caps the wall-clock
+// throughput of loadgen/soak sweeps. Tasks are spread across the
+// source locales, each firing at its neighbour, so the diagnostic
+// increments come from every shard at once. No trace recorder is
+// attached: this is the BENCH_5 trajectory point, and the tracing
+// plane's contract is that an absent recorder costs one nil check.
+func DispatchHotPath(b *testing.B) { dispatchHotPath(b, nil) }
+
+// TraceSampleRate is the sampling rate the traced dispatch arm runs
+// at — the same 1-in-64 default the workload spec applies.
+const TraceSampleRate = 64
+
+// DispatchHotPathTraced is the BENCH_8 current arm: the same storm
+// with a recorder attached and sampling at 1/TraceSampleRate. Sampled-
+// out ops pay one atomic tick; sampled-in ops write two ring events.
+// The rings are never drained mid-run, so steady state includes the
+// wrap-around drop path — by design: the recorder must never block or
+// allocate on the hot path no matter how full it gets.
+func DispatchHotPathTraced(b *testing.B) {
+	dispatchHotPath(b, trace.NewRecorder(Locales, trace.Config{SampleRate: TraceSampleRate}))
+}
+
+// DispatchHotPathTracerIdle is the attached-but-disabled point: a
+// recorder is wired into the system with recording switched off, so
+// every dispatch pays the enabled-flag load and nothing else. This is
+// the cost a soak server pays while nobody is tracing.
+func DispatchHotPathTracerIdle(b *testing.B) {
+	rec := trace.NewRecorder(Locales, trace.Config{SampleRate: TraceSampleRate})
+	rec.SetEnabled(false)
+	dispatchHotPath(b, rec)
 }
 
 // writeStormHotKey measures the per-write cost of the aggregated

@@ -1,6 +1,10 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+
+	"gopgas/internal/trace"
+)
 
 // Aggregation: the generalisation of the EpochManager's scatter lists
 // into a first-class communication layer. Instead of paying one round
@@ -111,6 +115,9 @@ type Aggregator struct {
 	bufs     [][]Op
 	bytes    []int64
 
+	tracer    *trace.Recorder // nil unless SetTracer installed one
+	traceTask uint64
+
 	// idx maps CombineKey → buffer slot per destination, built lazily
 	// when Combine is on and dropped whole at flush (the slots it holds
 	// are positions in the flushed buffer).
@@ -146,6 +153,15 @@ func (a *Aggregator) Capacity() int { return a.cfg.Capacity }
 // how the dispatch layer perturbs unaggregated operations. Counters
 // are unaffected. Call before the first Enqueue.
 func (a *Aggregator) SetPerturbation(p Perturbation) { a.perturb = p }
+
+// SetTracer installs a span recorder: every flush records a KindFlush
+// span on the source locale carrying the batch's byte and op counts.
+// task identifies the owning task in exported traces. A nil tracer
+// (the default) keeps the flush path trace-free.
+func (a *Aggregator) SetTracer(tr *trace.Recorder, task uint64) {
+	a.tracer = tr
+	a.traceTask = task
+}
 
 // Enqueue buffers op for dst, flushing the destination's buffer first
 // if the policy is FlushOnCapacity and the buffer is full. Under
@@ -208,6 +224,10 @@ func (a *Aggregator) FlushDst(dst int) {
 	a.bufs[dst] = nil
 	a.bytes[dst] = 0
 	a.idx[dst] = nil
+	var sp trace.Span
+	if a.tracer != nil {
+		sp = a.tracer.Begin(a.src, trace.KindFlush, a.traceTask, a.src, dst, bytes, int64(len(batch)))
+	}
 	a.counters.IncAggFlush(a.src, int64(len(batch)), bytes)
 	a.counters.IncBulk(a.src, bytes)
 	if a.matrix != nil && dst != a.src {
@@ -219,6 +239,7 @@ func (a *Aggregator) FlushDst(dst int) {
 	}
 	Delay(ns)
 	a.deliver(dst, batch)
+	sp.End()
 }
 
 // Flush ships every non-empty buffer.

@@ -5,6 +5,7 @@ import (
 
 	"gopgas/internal/gas"
 	"gopgas/internal/pgas"
+	"gopgas/internal/trace"
 )
 
 // Epochs take the values 1, 2, 3 (advancing as e → (e mod 3) + 1);
@@ -177,20 +178,37 @@ func (em EpochManager) TryReclaim(c *pgas.Ctx) {
 		return
 	}
 
-	// Is it safe to reclaim across all locales?
+	// Is it safe to reclaim across all locales? The advance span covers
+	// the token scan through generation reclaim — a won election end to
+	// end. Its arg reports the epoch advanced to, or 0 when a pinned
+	// token blocked the advance; the per-locale pinned gauge is what the
+	// scan observed before it decided (it stops early at the first
+	// blocking token, so a blocked scan's gauge is a lower bound).
+	tr := c.Sys().Tracer()
+	var sp trace.Span
+	if tr != nil {
+		sp = tr.Begin(c.Here(), trace.KindEpochAdvance, c.TaskID(), c.Here(), c.Here(), 0, 0)
+	}
 	thisEpoch := em.global.epoch.Read(c)
 	safe := pgas.NewAndReduce()
 	c.CoforallLocales(func(lc *pgas.Ctx) {
 		li := em.priv.Get(lc)
 		ok := true
+		pinned := int64(0)
 		li.forEachToken(func(t *Token) bool {
 			e := t.epoch.Load()
+			if e != 0 {
+				pinned++
+			}
 			if e != 0 && e != thisEpoch {
 				ok = false
 				return false
 			}
 			return true
 		})
+		if tr != nil {
+			tr.Instant(lc.Here(), trace.KindPinned, lc.TaskID(), lc.Here(), lc.Here(), 0, pinned)
+		}
 		safe.And(ok)
 	})
 
@@ -203,8 +221,10 @@ func (em EpochManager) TryReclaim(c *pgas.Ctx) {
 			li.reclaimGeneration(lc, reclaimEpochOf(newEpoch))
 		})
 		inst.advances.Add(1)
+		sp.EndWith(0, int64(newEpoch))
 	} else {
 		inst.advanceFail.Add(1)
+		sp.End()
 	}
 
 	em.global.isSettingEpoch.Clear(c)
@@ -222,6 +242,12 @@ func (li *instance) reclaimGeneration(lc *pgas.Ctx, e uint64) {
 	node := list.PopAll()
 	if node.IsNil() {
 		return
+	}
+	var sp trace.Span
+	if tr := lc.Sys().Tracer(); tr != nil {
+		// Arg carries the generation being reclaimed; EndWith fills in
+		// the object count once the scatter is done.
+		sp = tr.Begin(lc.Here(), trace.KindEpochReclaim, lc.TaskID(), lc.Here(), lc.Here(), 0, int64(e))
 	}
 	// Scatter objects to their locale.
 	for !node.IsNil() {
@@ -244,11 +270,13 @@ func (li *instance) reclaimGeneration(lc *pgas.Ctx, e uint64) {
 		}
 		buf.Flush()
 	}
-	li.reclaimed.Add(lc.Aggregator(li.locale).Freed() - before)
+	freed := lc.Aggregator(li.locale).Freed() - before
+	li.reclaimed.Add(freed)
 	// Clear the scatter lists.
 	for i := range li.objsToDelete {
 		li.objsToDelete[i] = li.objsToDelete[i][:0]
 	}
+	sp.EndWith(0, freed)
 }
 
 // DeferDeleteOn queues obj for deferred deletion on another locale's
@@ -266,6 +294,9 @@ func (li *instance) reclaimGeneration(lc *pgas.Ctx, e uint64) {
 func (em EpochManager) DeferDeleteOn(c *pgas.Ctx, tok *Token, locale int, obj gas.Addr) {
 	if !tok.Pinned() {
 		panic("epoch: DeferDeleteOn with an unpinned token")
+	}
+	if tr := c.Sys().Tracer(); tr != nil {
+		tr.Instant(c.Here(), trace.KindDefer, c.TaskID(), c.Here(), locale, 0, 0)
 	}
 	c.Aggregator(locale).Call(func(tc *pgas.Ctx) {
 		li := em.priv.Get(tc)

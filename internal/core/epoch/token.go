@@ -6,6 +6,7 @@ import (
 
 	"gopgas/internal/gas"
 	"gopgas/internal/pgas"
+	"gopgas/internal/trace"
 )
 
 // Token tracks the epoch one task is engaged in. A task must Register
@@ -76,6 +77,9 @@ func (t *Token) DeferDelete(c *pgas.Ctx, obj gas.Addr) {
 	t.checkLocale(c)
 	if t.epoch.Load() == 0 {
 		panic("epoch: DeferDelete on an unpinned token")
+	}
+	if tr := c.Sys().Tracer(); tr != nil {
+		tr.Instant(c.Here(), trace.KindDefer, c.TaskID(), c.Here(), obj.Locale(), 0, 0)
 	}
 	t.inst.limbo[t.inst.localeEpoch.Load()].Push(c, obj)
 	t.inst.deferred.Add(1)

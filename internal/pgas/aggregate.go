@@ -63,7 +63,8 @@ func newAggregator(c *Ctx) *Aggregator {
 			}
 			s.releaseCtx(tc)
 		})
-	a.agg.SetPerturbation(s.cfg.Perturb)
+	a.agg.SetPerturbation(s.Perturbation())
+	a.agg.SetTracer(s.tracer, c.taskID)
 	return a
 }
 

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"gopgas/internal/comm"
+	"gopgas/internal/trace"
 )
 
 // The dispatch layer: every simulated remote operation — on-statement,
@@ -31,11 +32,19 @@ func (s *System) dispatchOn(src *Ctx, target int, fn func(*Ctx)) {
 		fn(src)
 		return
 	}
+	// The Enabled check is hoisted to the call site: Begin is too big to
+	// inline, and this is the hottest loop in every sweep — an idle
+	// recorder must cost one inlined atomic load, not a call.
+	var sp trace.Span
+	if tr := s.tracer; tr != nil && tr.Enabled() {
+		sp = tr.Begin(src.here.id, trace.KindDispatch, src.taskID, src.here.id, target, 0, 0)
+	}
 	s.chargeOnStmt(src.here.id, target)
 	s.delay(src.here.id, target, s.cfg.Latency.AMRoundTripNS+s.cfg.Latency.OnStmtNS)
 	tc := s.borrowCtx(s.locales[target])
 	fn(tc)
 	s.releaseCtx(tc)
+	sp.End()
 }
 
 // dispatchOnAsync launches fn on the target locale without waiting:
@@ -60,6 +69,10 @@ func (s *System) dispatchOnAsync(src *Ctx, target int, fn func(*Ctx)) {
 	if remote {
 		s.chargeOnStmt(srcID, target)
 	}
+	var sp trace.Span
+	if tr := s.tracer; tr != nil && tr.Enabled() {
+		sp = tr.Begin(srcID, trace.KindAsync, src.taskID, srcID, target, 0, 0)
+	}
 	go func() {
 		defer s.asyncPending.Add(-1)
 		if remote {
@@ -68,6 +81,7 @@ func (s *System) dispatchOnAsync(src *Ctx, target int, fn func(*Ctx)) {
 		tc := s.newCtx(s.locales[target])
 		tc.isAsync = true
 		fn(tc)
+		sp.End()
 	}()
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"gopgas/internal/comm"
 	"gopgas/internal/gas"
+	"gopgas/internal/trace"
 )
 
 // Config describes a System.
@@ -45,6 +46,12 @@ type Config struct {
 	// Counters are never affected.
 	Perturb comm.Perturbation
 
+	// Tracer, when non-nil, records begin/end spans for the dispatch,
+	// flush, combine, epoch and migration lifecycles. A nil Tracer (the
+	// default) costs every instrumented hot path exactly one nil check;
+	// counters and injected delays are never affected either way.
+	Tracer *trace.Recorder
+
 	// Seed makes per-task random streams reproducible. Defaults to 1.
 	Seed uint64
 
@@ -65,6 +72,14 @@ type System struct {
 	ctxPool sync.Pool     // recycled Ctx structs for the sync dispatch path
 
 	asyncPending atomic.Int64 // in-flight AsyncOn tasks (quiescence)
+
+	tracer *trace.Recorder // nil when tracing is off (Config.Tracer)
+
+	// perturb is the live latency fault plan. Config.Perturb installs
+	// the initial plan; SetPerturbation swaps it at runtime (the
+	// telemetry /api/fault path). delay() reads it on every injected
+	// delay, so a swap takes effect on the next simulated communication.
+	perturb atomic.Pointer[comm.Perturbation]
 
 	privMu   sync.Mutex
 	privNext int
@@ -112,7 +127,11 @@ func NewSystem(cfg Config) *System {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	s := &System{cfg: cfg, matrix: comm.NewMatrix(cfg.Locales)}
+	s := &System{cfg: cfg, matrix: comm.NewMatrix(cfg.Locales), tracer: cfg.Tracer}
+	if cfg.Perturb.Enabled() {
+		p := cfg.Perturb
+		s.perturb.Store(&p)
+	}
 	s.locales = make([]*Locale, cfg.Locales)
 	for i := range s.locales {
 		loc := &Locale{
@@ -236,15 +255,38 @@ func (s *System) amCall(src, target int, fn func()) {
 }
 
 // delay injects ns of simulated latency for an event between src and
-// dst, scaled by the configured perturbation plan (fault injection).
-// All dispatch-layer delay sites route through here so a fault plan
-// covers every class of communication uniformly.
+// dst, scaled by the live perturbation plan (fault injection). All
+// dispatch-layer delay sites route through here so a fault plan covers
+// every class of communication uniformly — including one installed
+// mid-run via SetPerturbation.
 func (s *System) delay(src, dst int, ns int64) {
-	if s.cfg.Perturb.Enabled() {
-		ns = int64(float64(ns) * s.cfg.Perturb.PairScale(src, dst))
+	if p := s.perturb.Load(); p != nil && p.Enabled() {
+		ns = int64(float64(ns) * p.PairScale(src, dst))
 	}
 	comm.Delay(ns)
 }
+
+// SetPerturbation swaps the live latency fault plan: every subsequent
+// injected delay uses p. The zero Perturbation clears faults. Two
+// cfg-time captures do not follow a swap: progress-worker AM handler
+// occupancy (fixed at boot) and the flush-delay scaling inside
+// already-created aggregation buffers — new tasks' aggregators pick up
+// the current plan.
+func (s *System) SetPerturbation(p comm.Perturbation) {
+	s.perturb.Store(&p)
+}
+
+// Perturbation returns the live latency fault plan.
+func (s *System) Perturbation() comm.Perturbation {
+	if p := s.perturb.Load(); p != nil {
+		return *p
+	}
+	return comm.Perturbation{}
+}
+
+// Tracer returns the system's span recorder, or nil when tracing is
+// off. Instrumentation sites nil-check this themselves on hot paths.
+func (s *System) Tracer() *trace.Recorder { return s.tracer }
 
 func (s *System) newCtx(l *Locale) *Ctx {
 	id := s.taskSeq.Add(1)

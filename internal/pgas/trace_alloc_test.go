@@ -1,0 +1,38 @@
+package pgas
+
+import (
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/trace"
+)
+
+// The tracing plane's dispatch-path contract: a system without a
+// recorder pays one nil check, a disabled recorder one atomic flag
+// load, and an enabled recorder writes fixed-size events into a
+// preallocated ring — none of the three may allocate on a remote
+// on-statement. The ns/op side of the same contract is benchmark-gated
+// (BenchmarkDispatchHotPath vs the BENCH_5 trajectory).
+func TestDispatchZeroAllocAcrossTracerStates(t *testing.T) {
+	disabled := trace.NewRecorder(2, trace.Config{BufferSize: 256})
+	disabled.SetEnabled(false)
+	cases := []struct {
+		name string
+		rec  *trace.Recorder
+	}{
+		{"nil-tracer", nil},
+		{"disabled-tracer", disabled},
+		{"enabled-tracer", trace.NewRecorder(2, trace.Config{BufferSize: 256})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSystem(Config{Locales: 2, Backend: comm.BackendNone, Tracer: tc.rec})
+			defer s.Shutdown()
+			c := s.Ctx(0)
+			fn := func(rc *Ctx) {}
+			if avg := testing.AllocsPerRun(200, func() { c.On(1, fn) }); avg != 0 {
+				t.Fatalf("remote dispatch allocates %.2f/op with %s", avg, tc.name)
+			}
+		})
+	}
+}

@@ -99,7 +99,9 @@ func New[V any](c *pgas.Ctx, buckets int, em epoch.EpochManager) Map[V] {
 	m.priv = pgas.NewPrivatized(c, func(lc *pgas.Ctx) *table[V] {
 		replica := make([]*bucketSlot[V], n)
 		copy(replica, slots)
-		return &table[V]{buckets: replica}
+		t := &table[V]{buckets: replica}
+		t.comb.SetTracer(lc.Sys().Tracer(), lc.Here())
+		return t
 	})
 	return m
 }

@@ -8,6 +8,7 @@ import (
 	"gopgas/internal/pgas"
 	"gopgas/internal/structures/list"
 	"gopgas/internal/structures/shared"
+	"gopgas/internal/trace"
 )
 
 // Rebalanced is the map behind a live owner table: writes route to the
@@ -160,6 +161,9 @@ func (r Rebalanced[V]) applyRouted(tc *pgas.Ctx, e int, gen uint64, apply func(a
 		owner, cur := r.tab.Owner(e)
 		if cur != gen {
 			tc.Sys().Counters().IncMigReroute(tc.Here())
+			if tr := tc.Sys().Tracer(); tr != nil {
+				tr.Instant(tc.Here(), trace.KindReroute, tc.TaskID(), tc.Here(), owner, 0, int64(e))
+			}
 			tc.AsyncOn(owner, func(ac *pgas.Ctx) {
 				r.applyRouted(ac, e, cur, apply)
 			})
@@ -241,6 +245,12 @@ func (r Rebalanced[V]) Migrate(c *pgas.Ctx, e, dst int) (bytes int64, ok bool) {
 			if _, cur := r.tab.Owner(e); cur != gen {
 				return
 			}
+			// The span opens only after the re-check: migration spans
+			// count completed handoffs exactly (begins == MigAdopted).
+			var sp trace.Span
+			if tr := lc.Sys().Tracer(); tr != nil {
+				sp = tr.Begin(lc.Here(), trace.KindMigrate, lc.TaskID(), lc.Here(), dst, 0, int64(e))
+			}
 			slot := t.buckets[e]
 			old := slot.list.Load()
 			var keys []uint64
@@ -275,6 +285,7 @@ func (r Rebalanced[V]) Migrate(c *pgas.Ctx, e, dst int) (bytes int64, ok bool) {
 			sc.IncMigRetire(lc.Here())
 			sc.IncMigBytes(lc.Here(), bytes)
 			ok = true
+			sp.EndWith(bytes, int64(e))
 		})
 	})
 	if !ok {

@@ -1,0 +1,84 @@
+package hashmap
+
+import (
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+	"gopgas/internal/trace"
+)
+
+// Migration spans are exact, deterministically: the span opens inside
+// the source combiner only after the generation re-check, so declined
+// and double-move-raced migrations record nothing, and every begin
+// pairs with one completed handoff (== one MigAdopted). A routed write
+// raced past a migration books a reroute instant instead.
+func TestRebalancedMigrateSpans(t *testing.T) {
+	const locales = 4
+	rec := trace.NewRecorder(locales, trace.Config{BufferSize: 1 << 10})
+	s := pgas.NewSystem(pgas.Config{Locales: locales, Backend: comm.BackendNone, Tracer: rec})
+	t.Cleanup(s.Shutdown)
+	c0 := s.Ctx(0)
+	em := epoch.NewEpochManager(c0)
+	m := New[int64](c0, 8, em)
+	rv := m.Rebalanced(c0)
+
+	for k := uint64(1); k <= 32; k++ {
+		rv.UpsertAgg(c0, k, int64(k))
+	}
+	c0.Flush()
+
+	// Three completed migrations, one decline (self-migration), one
+	// stale decline (raced generation), mirrored exactly by the comm
+	// books.
+	before := s.Counters().Snapshot()
+	e := m.BucketOf(1)
+	src := rv.EntryOwner(e)
+	dst := (src + 1) % locales
+	if _, ok := rv.Migrate(c0, e, dst); !ok {
+		t.Fatal("first migration declined")
+	}
+	if _, ok := rv.Migrate(c0, e, dst); ok {
+		t.Fatal("self-migration ran")
+	}
+	if _, ok := rv.Migrate(c0, e, src); !ok {
+		t.Fatal("migration back declined")
+	}
+	e2 := (e + 1) % rv.NumEntries()
+	src2 := rv.EntryOwner(e2)
+	if _, ok := rv.Migrate(c0, e2, (src2+2)%locales); !ok {
+		t.Fatal("third migration declined")
+	}
+	s.Quiesce()
+	delta := s.Counters().Snapshot().Sub(before)
+	if delta.MigAdopted != 3 {
+		t.Fatalf("MigAdopted = %d, want 3", delta.MigAdopted)
+	}
+
+	events := rec.Drain(0)
+	var begins, ends int
+	for _, ev := range events {
+		if ev.Kind != trace.KindMigrate {
+			continue
+		}
+		switch ev.Phase {
+		case trace.PhaseBegin:
+			begins++
+		case trace.PhaseEnd:
+			ends++
+		}
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events with a roomy buffer", rec.Dropped())
+	}
+	if begins != 3 || ends != 3 {
+		t.Fatalf("migrate spans = %d begins / %d ends, want 3/3 (== MigAdopted)", begins, ends)
+	}
+	if !trace.BooksBalanced(rec.Books()) {
+		t.Fatalf("books unbalanced: %+v", rec.Books())
+	}
+
+	em.Clear(c0)
+	m.Destroy(c0)
+}

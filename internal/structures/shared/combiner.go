@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"gopgas/internal/trace"
 )
 
 // Combiner is a flat combiner (Hendler, Incze, Shavit, Tzafrir):
@@ -24,6 +26,20 @@ type Combiner struct {
 
 	applied atomic.Int64 // operations drained, across all passes
 	passes  atomic.Int64 // drain passes (combiner elections that found work)
+
+	tracer *trace.Recorder // nil unless SetTracer installed one
+	locale int
+}
+
+// SetTracer installs a span recorder: every drain pass that finds work
+// records a KindCombine span on the owning locale, its arg carrying
+// the number of operations the pass applied. The draining task is
+// whichever publisher won the election, so spans carry task 0 rather
+// than a misleading specific task id. Call once at construction,
+// before the combiner is shared.
+func (cb *Combiner) SetTracer(tr *trace.Recorder, locale int) {
+	cb.tracer = tr
+	cb.locale = locale
 }
 
 // combineRecord is one published operation awaiting a drain pass.
@@ -78,6 +94,10 @@ func (cb *Combiner) drain() {
 	if top == nil {
 		return
 	}
+	var sp trace.Span
+	if cb.tracer != nil {
+		sp = cb.tracer.Begin(cb.locale, trace.KindCombine, 0, cb.locale, cb.locale, 0, 0)
+	}
 	// The list is LIFO; reverse it so operations apply in publication
 	// order.
 	var rev *combineRecord
@@ -97,6 +117,7 @@ func (cb *Combiner) drain() {
 	}
 	cb.applied.Add(n)
 	cb.passes.Add(1)
+	sp.EndWith(0, n)
 }
 
 // Applied returns the total number of operations drained through this

@@ -25,8 +25,10 @@ func New[S any](c *pgas.Ctx, em epoch.EpochManager, create func(lc *pgas.Ctx, sh
 		priv: pgas.NewPrivatized(c, func(lc *pgas.Ctx) *S {
 			return create(lc, lc.Here())
 		}),
-		comb: pgas.NewPrivatized(c, func(*pgas.Ctx) *Combiner {
-			return &Combiner{}
+		comb: pgas.NewPrivatized(c, func(lc *pgas.Ctx) *Combiner {
+			cb := &Combiner{}
+			cb.SetTracer(lc.Sys().Tracer(), lc.Here())
+			return cb
 		}),
 	}
 }

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"gopgas/internal/bench"
+	"gopgas/internal/trace"
+)
+
+func startTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, err := Start("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, s *Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", s.Addr(), path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestEndpoints(t *testing.T) {
+	r := trace.NewRecorder(2, trace.Config{BufferSize: 256})
+	r.Begin(0, trace.KindDispatch, 1, 0, 1, 0, 0).End()
+	var faults []FaultRequest
+	s := startTestServer(t, Options{
+		Status: func() any { return map[string]any{"scenario": "test", "ops": 42} },
+		Matrix: func() [][]int64 { return [][]int64{{0, 3}, {5, 0}} },
+		Hist: func() bench.LatencySummary {
+			var h bench.Histogram
+			h.Record(1000)
+			h.Record(2000)
+			return h.Summary()
+		},
+		Trace: func(max int) []trace.Event { return r.Drain(max) },
+		Fault: func(req FaultRequest) error {
+			if req.SlowFactor < 0 {
+				return fmt.Errorf("negative factor")
+			}
+			faults = append(faults, req)
+			return nil
+		},
+	})
+
+	code, body := get(t, s, "/api/status")
+	if code != http.StatusOK {
+		t.Fatalf("/api/status: %d %s", code, body)
+	}
+	var status map[string]any
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatalf("/api/status not JSON: %v", err)
+	}
+	if status["scenario"] != "test" {
+		t.Fatalf("status payload: %v", status)
+	}
+
+	code, body = get(t, s, "/api/matrix")
+	if code != http.StatusOK {
+		t.Fatalf("/api/matrix: %d %s", code, body)
+	}
+	var matrix struct {
+		Matrix    [][]int64 `json:"matrix"`
+		RowTotals []int64   `json:"row_totals"`
+		ColTotals []int64   `json:"col_totals"`
+	}
+	if err := json.Unmarshal(body, &matrix); err != nil {
+		t.Fatalf("/api/matrix not JSON: %v", err)
+	}
+	if matrix.RowTotals[0] != 3 || matrix.RowTotals[1] != 5 ||
+		matrix.ColTotals[0] != 5 || matrix.ColTotals[1] != 3 {
+		t.Fatalf("totals wrong: %+v", matrix)
+	}
+
+	code, body = get(t, s, "/api/hist")
+	if code != http.StatusOK {
+		t.Fatalf("/api/hist: %d %s", code, body)
+	}
+	var hist bench.LatencySummary
+	if err := json.Unmarshal(body, &hist); err != nil {
+		t.Fatalf("/api/hist not JSON: %v", err)
+	}
+	if hist.Count != 2 {
+		t.Fatalf("hist count %d, want 2", hist.Count)
+	}
+
+	code, body = get(t, s, "/api/trace?window=10")
+	if code != http.StatusOK {
+		t.Fatalf("/api/trace: %d %s", code, body)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/api/trace not trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/api/trace drained nothing")
+	}
+
+	if code, body = get(t, s, "/api/trace?window=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad window accepted: %d %s", code, body)
+	}
+
+	resp, err := http.Post(fmt.Sprintf("http://%s/api/fault", s.Addr()),
+		"application/json", bytes.NewBufferString(`{"slow_locale":1,"slow_factor":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/fault POST: %d", resp.StatusCode)
+	}
+	if len(faults) != 1 || faults[0].SlowLocale != 1 || faults[0].SlowFactor != 8 {
+		t.Fatalf("fault not delivered: %+v", faults)
+	}
+	resp, err = http.Post(fmt.Sprintf("http://%s/api/fault", s.Addr()),
+		"application/json", bytes.NewBufferString(`{"slow_factor":-1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("rejected fault returned %d", resp.StatusCode)
+	}
+	if code, _ = get(t, s, "/api/fault"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /api/fault returned %d", code)
+	}
+
+	if code, _ = get(t, s, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("pprof index: %d", code)
+	}
+}
+
+func TestNilProviders(t *testing.T) {
+	s := startTestServer(t, Options{})
+	for _, path := range []string{"/api/status", "/api/matrix", "/api/hist", "/api/trace"} {
+		if code, _ := get(t, s, path); code != http.StatusServiceUnavailable {
+			t.Fatalf("%s with nil provider returned %d, want 503", path, code)
+		}
+	}
+	resp, err := http.Post(fmt.Sprintf("http://%s/api/fault", s.Addr()),
+		"application/json", bytes.NewBufferString(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/api/fault with nil provider returned %d, want 503", resp.StatusCode)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"gopgas/internal/comm"
 	"gopgas/internal/core/epoch"
 	"gopgas/internal/pgas"
+	"gopgas/internal/trace"
 )
 
 // Run executes a scenario on a fresh simulated System and returns its
@@ -19,6 +20,15 @@ import (
 // latency profile (LatencyScale × the calibrated default) and the
 // fault-injection perturbation — and torn down before Run returns.
 func Run(spec Spec, progress io.Writer) (*Report, error) {
+	return RunLive(spec, progress, nil)
+}
+
+// RunLive is Run with a live telemetry bridge: when tel is non-nil the
+// run attaches its System and trace recorder to it for the duration,
+// so a telemetry.Server built from tel.Options() serves the run's
+// counters, latency percentiles, trace windows and fault control while
+// the scenario executes.
+func RunLive(spec Spec, progress io.Writer, tel *Telemetry) (*Report, error) {
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -31,6 +41,13 @@ func Run(spec Spec, progress io.Writer) (*Report, error) {
 	if spec.LatencyScale > 0 {
 		latency = comm.DefaultProfile().Scale(spec.LatencyScale)
 	}
+	var tracer *trace.Recorder
+	if spec.Trace != nil && spec.Trace.Enabled {
+		tracer = trace.NewRecorder(spec.Locales, trace.Config{
+			BufferSize: spec.Trace.BufferSize,
+			SampleRate: spec.Trace.SampleRate,
+		})
+	}
 	sys := pgas.NewSystem(pgas.Config{
 		Locales: spec.Locales,
 		Backend: backend,
@@ -38,8 +55,13 @@ func Run(spec Spec, progress io.Writer) (*Report, error) {
 		Perturb: spec.Faults.perturbation(spec.Locales),
 		Seed:    spec.Seed,
 		Agg:     comm.AggConfig{Combine: spec.Combine != nil && spec.Combine.Enabled},
+		Tracer:  tracer,
 	})
 	defer sys.Shutdown()
+	if tel != nil {
+		tel.attach(spec.Name, sys, tracer)
+		defer tel.detach()
+	}
 	c0 := sys.Ctx(0)
 
 	em := epoch.NewEpochManager(c0)
@@ -59,7 +81,7 @@ func Run(spec Spec, progress io.Writer) (*Report, error) {
 
 	rep := &Report{Spec: spec}
 	for pi, ph := range spec.Phases {
-		pr := runPhase(sys, c0, em, drv, spec, pi, ph, zipf)
+		pr := runPhase(sys, c0, em, drv, spec, pi, ph, zipf, tel)
 		rep.Phases = append(rep.Phases, pr)
 		rep.TotalOps += pr.Ops
 		rep.TotalSeconds += pr.Seconds
@@ -79,11 +101,43 @@ func Run(spec Spec, progress io.Writer) (*Report, error) {
 	}
 	est := em.Stats(c0)
 	rep.Epoch = EpochReport{Deferred: est.Deferred, Reclaimed: est.Reclaimed, Advances: est.Advances}
+	if tracer != nil {
+		rep.Trace, rep.TraceEvents = drainTrace(sys, tracer)
+	}
 	return rep, nil
 }
 
+// drainTrace quiesces the system, drains whatever the live window left
+// buffered, and reduces the recorder's books into the report verdict.
+// Span counts come from the books — recording decisions, exact even
+// under ring drops or concurrent HTTP window drains — so Balanced is a
+// hard invariant of a quiesced run, and the migrate span count must
+// equal the comm plane's MigAdopted total.
+func drainTrace(sys *pgas.System, tracer *trace.Recorder) (*TraceReport, []trace.Event) {
+	sys.Quiesce()
+	events := tracer.Drain(0)
+	books := tracer.Books()
+	tr := &TraceReport{
+		SampleRate: int(tracer.SampleRate()),
+		Events:     len(events),
+		Dropped:    tracer.Dropped(),
+		Spans:      make(map[string]int64),
+		Instants:   make(map[string]int64),
+		Balanced:   trace.BooksBalanced(books),
+	}
+	for _, b := range books {
+		if b.Begins > 0 {
+			tr.Spans[b.Kind] = b.Begins
+		}
+		if b.Instants > 0 {
+			tr.Instants[b.Kind] = b.Instants
+		}
+	}
+	return tr, events
+}
+
 // runPhase executes one phase (all rounds) and assembles its report.
-func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver, spec Spec, phaseIdx int, ph Phase, zipf *zipfGen) PhaseReport {
+func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver, spec Spec, phaseIdx int, ph Phase, zipf *zipfGen, tel *Telemetry) PhaseReport {
 	workers := spec.Locales * spec.TasksPerLocale
 	hists := make([]*bench.Histogram, workers)
 	for i := range hists {
@@ -126,7 +180,7 @@ func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver,
 				go func(loc, t int) {
 					defer wg.Done()
 					runTask(sys, em, drv, spec, phaseIdx, round, loc, t, ph, zipf,
-						hists[loc*spec.TasksPerLocale+t], counts, &digest)
+						hists[loc*spec.TasksPerLocale+t], counts, &digest, tel)
 				}(loc, t)
 			}
 		}
@@ -188,7 +242,16 @@ func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver,
 // latency per op.
 func runTask(sys *pgas.System, em epoch.EpochManager, drv Driver, spec Spec,
 	phaseIdx, round, loc, task int, ph Phase, zipf *zipfGen,
-	hist *bench.Histogram, counts []atomic.Int64, digest *atomic.Uint64) {
+	hist *bench.Histogram, counts []atomic.Int64, digest *atomic.Uint64, tel *Telemetry) {
+
+	// Live telemetry rides in batches: samples accumulate in a private
+	// chunk and merge into the bridge every liveChunkSize ops, so the
+	// worker never takes the bridge mutex on the per-op path.
+	var live *liveChunk
+	if tel != nil {
+		live = tel.newChunk()
+		defer live.flush()
+	}
 
 	c := sys.Ctx(loc)
 	tok := em.Register(c)
@@ -232,7 +295,11 @@ func runTask(sys *pgas.System, em epoch.EpochManager, drv Driver, spec Spec,
 			owner := int(st.next() % uint64(spec.Locales))
 			t0 := time.Now()
 			drv.ApplyBulk(c, owner, keys)
-			hist.Record(time.Since(t0).Nanoseconds())
+			ns := time.Since(t0).Nanoseconds()
+			hist.Record(ns)
+			if live != nil {
+				live.record(ns)
+			}
 			for _, k := range keys {
 				sum += opDigest(kind, k)
 			}
@@ -240,7 +307,11 @@ func runTask(sys *pgas.System, em epoch.EpochManager, drv Driver, spec Spec,
 			key := st.NextKey()
 			t0 := time.Now()
 			drv.Apply(c, tok, kind, key)
-			hist.Record(time.Since(t0).Nanoseconds())
+			ns := time.Since(t0).Nanoseconds()
+			hist.Record(ns)
+			if live != nil {
+				live.record(ns)
+			}
 			sum += opDigest(kind, key)
 		}
 		counts[kind].Add(1)

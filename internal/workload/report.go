@@ -7,6 +7,7 @@ import (
 
 	"gopgas/internal/bench"
 	"gopgas/internal/comm"
+	"gopgas/internal/trace"
 )
 
 // Report is the machine-readable record of one scenario run: the spec
@@ -22,6 +23,30 @@ type Report struct {
 
 	Heap  HeapReport  `json:"heap"`
 	Epoch EpochReport `json:"epoch"`
+
+	// Trace is present when the spec enabled tracing: the recorder's
+	// end-of-run accounting plus per-kind span counts.
+	Trace *TraceReport `json:"trace,omitempty"`
+
+	// TraceEvents holds the drained events for exporters (loadgen
+	// -trace-out); they are bulky and reproducible from the trace plane,
+	// so they stay out of the JSON report.
+	TraceEvents []trace.Event `json:"-"`
+}
+
+// TraceReport is the tracing plane's run verdict. Spans counts
+// recording decisions per kind from the recorder's books — begin/end
+// bookkeeping that is exact even when the ring dropped events — so
+// Balanced must hold on every quiesced run regardless of buffer
+// pressure. Dropped is the TraceDropped counter: events the ring
+// rejected under wrap-around rather than block a hot path.
+type TraceReport struct {
+	SampleRate int              `json:"sample_rate"`
+	Events     int              `json:"events"`
+	Dropped    int64            `json:"dropped"`
+	Spans      map[string]int64 `json:"spans,omitempty"`
+	Instants   map[string]int64 `json:"instants,omitempty"`
+	Balanced   bool             `json:"balanced"`
 }
 
 // EpochReport is the end-of-run reclamation verdict, captured after
@@ -135,6 +160,25 @@ func (r *Report) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "  total: %d ops in %.2fs; heap live=%d uafLoads=%d uafStores=%d uafFrees=%d; epoch reclaimed=%d/%d\n",
 		r.TotalOps, r.TotalSeconds, r.Heap.Live, r.Heap.UAFLoads, r.Heap.UAFStores, r.Heap.UAFFrees,
 		r.Epoch.Reclaimed, r.Epoch.Deferred)
+	if t := r.Trace; t != nil {
+		verdict := "balanced"
+		if !t.Balanced {
+			verdict = "UNBALANCED"
+		}
+		fmt.Fprintf(w, "  trace: %d events (1/%d sampled, %d dropped), books %s;",
+			t.Events, t.SampleRate, t.Dropped, verdict)
+		for _, k := range []string{"dispatch", "async", "flush", "combine", "migrate", "epoch_advance", "epoch_reclaim"} {
+			if n := t.Spans[k]; n > 0 {
+				fmt.Fprintf(w, " %s=%d", k, n)
+			}
+		}
+		for _, k := range []string{"reroute", "defer"} {
+			if n := t.Instants[k]; n > 0 {
+				fmt.Fprintf(w, " %s=%d", k, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // fmtNS renders nanoseconds with a readable unit.

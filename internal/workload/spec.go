@@ -216,6 +216,25 @@ type RebalanceSpec struct {
 	Cooldown int `json:"cooldown,omitempty"`
 }
 
+// TraceSpec configures the event-tracing plane (internal/trace): when
+// enabled, the run records begin/end spans for dispatch, flush,
+// combine, epoch and migration lifecycles into per-locale lock-free
+// rings, and the report gains a trace section (span books, drops).
+// Counters and digests are never affected — tracing is observation
+// only.
+type TraceSpec struct {
+	// Enabled turns the recorder on.
+	Enabled bool `json:"enabled"`
+	// SampleRate records 1 in N high-frequency events (dispatch, flush,
+	// combine, deferral); control-plane events (epoch advances,
+	// migrations, reroutes) always record. 0 means 64; 1 records
+	// everything.
+	SampleRate int `json:"sample_rate,omitempty"`
+	// BufferSize is the per-locale ring capacity in events, rounded up
+	// to a power of two; 0 means 16384.
+	BufferSize int `json:"buffer_size,omitempty"`
+}
+
 // Spec is one complete declarative scenario.
 type Spec struct {
 	Name           string    `json:"name"`
@@ -247,7 +266,10 @@ type Spec struct {
 	// Rebalance enables dynamic hot-shard rebalancing on the hashmap;
 	// nil (or Enabled false) keeps ownership static.
 	Rebalance *RebalanceSpec `json:"rebalance,omitempty"`
-	Phases    []Phase        `json:"phases"`
+	// Trace enables the event-tracing plane; nil (or Enabled false)
+	// keeps every instrumented hot path at its nil-check cost.
+	Trace  *TraceSpec `json:"trace,omitempty"`
+	Phases []Phase    `json:"phases"`
 }
 
 // WithDefaults returns a copy of s with zero-valued knobs replaced by
@@ -317,6 +339,18 @@ func (s Spec) WithDefaults() Spec {
 			}
 		}
 		s.Rebalance = &cp
+	}
+	if s.Trace != nil {
+		cp := *s.Trace
+		if cp.Enabled {
+			if cp.SampleRate == 0 {
+				cp.SampleRate = 64
+			}
+			if cp.BufferSize == 0 {
+				cp.BufferSize = 16384
+			}
+		}
+		s.Trace = &cp
 	}
 	return s
 }
@@ -393,6 +427,17 @@ func (s Spec) Validate() error {
 		}
 		if rb.IntervalMS < 0 || rb.MaxMoves < 0 || rb.Cooldown < 0 {
 			return fmt.Errorf("workload: rebalance knobs must be >= 0")
+		}
+	}
+	if tr := s.Trace; tr != nil {
+		if tr.SampleRate < 0 {
+			return fmt.Errorf("workload: trace sample_rate must be >= 0, got %d", tr.SampleRate)
+		}
+		if tr.BufferSize < 0 {
+			return fmt.Errorf("workload: trace buffer_size must be >= 0, got %d", tr.BufferSize)
+		}
+		if tr.BufferSize > 1<<24 {
+			return fmt.Errorf("workload: trace buffer_size must be <= %d, got %d", 1<<24, tr.BufferSize)
 		}
 	}
 	if f := s.Faults; f.SlowFactor < 0 {

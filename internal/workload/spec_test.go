@@ -109,6 +109,7 @@ func goldenSpec() Spec {
 		Cache:          &CacheSpec{Enabled: true, Slots: 128},
 		Combine:        &CombineSpec{Enabled: false},
 		Rebalance:      &RebalanceSpec{Enabled: false, Ratio: 1.75, IntervalMS: 3, MaxMoves: 2, Cooldown: 2},
+		Trace:          &TraceSpec{Enabled: true, SampleRate: 32, BufferSize: 4096},
 		Phases: []Phase{
 			{Name: "load", Mix: Mix{Insert: 1}, OpsPerTask: 100},
 			{Name: "run", Mix: Mix{Insert: 1, Get: 18, Remove: 1, Bulk: 0.5},
@@ -173,6 +174,7 @@ func TestSpecGoldenRoundTrip(t *testing.T) {
 	s2.Cache = nil
 	s2.Combine = nil
 	s2.Rebalance = nil
+	s2.Trace = nil
 	var buf strings.Builder
 	if err := s2.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -186,6 +188,9 @@ func TestSpecGoldenRoundTrip(t *testing.T) {
 	if strings.Contains(buf.String(), "\"rebalance\"") {
 		t.Fatalf("nil rebalance serialized:\n%s", buf.String())
 	}
+	if strings.Contains(buf.String(), "\"trace\"") {
+		t.Fatalf("nil trace serialized:\n%s", buf.String())
+	}
 }
 
 // Strict parsing applies inside nested objects too: a typo'd cache or
@@ -195,6 +200,7 @@ func TestLoadSpecRejectsUnknownNestedFields(t *testing.T) {
 		"cache":     `{"structure": "hashmap", "cache": {"enabld": true}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`,
 		"combine":   `{"structure": "hashmap", "combine": {"enbaled": true}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`,
 		"rebalance": `{"structure": "hashmap", "rebalance": {"ratioo": 2}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`,
+		"trace":     `{"structure": "hashmap", "trace": {"sample_rte": 8}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`,
 	}
 	for name, spec := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -307,6 +313,40 @@ func TestValidateRebalance(t *testing.T) {
 	off.Rebalance = &RebalanceSpec{Enabled: false}
 	if err := off.WithDefaults().Validate(); err != nil {
 		t.Fatalf("disabled rebalance rejected: %v", err)
+	}
+}
+
+func TestValidateTrace(t *testing.T) {
+	s := validSpec()
+	s.Trace = &TraceSpec{Enabled: true}
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("traced spec rejected: %v", err)
+	}
+	if s.Trace.SampleRate != 64 || s.Trace.BufferSize != 16384 {
+		t.Fatalf("trace defaults = %+v, want sample 64 buffer 16384", s.Trace)
+	}
+	// A disabled trace spec stays untouched by WithDefaults: it must
+	// serialize back exactly as written.
+	off := validSpec()
+	off.Trace = &TraceSpec{Enabled: false}
+	if d := off.WithDefaults(); d.Trace.SampleRate != 0 || d.Trace.BufferSize != 0 {
+		t.Fatalf("disabled trace gained defaults: %+v", d.Trace)
+	}
+	bad := validSpec()
+	bad.Trace = &TraceSpec{Enabled: true, SampleRate: -1}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "sample_rate") {
+		t.Fatalf("negative sample rate accepted (err=%v)", err)
+	}
+	bad = validSpec()
+	bad.Trace = &TraceSpec{Enabled: true, BufferSize: -1}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "buffer_size") {
+		t.Fatalf("negative buffer accepted (err=%v)", err)
+	}
+	bad = validSpec()
+	bad.Trace = &TraceSpec{Enabled: true, BufferSize: 1 << 25}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "buffer_size") {
+		t.Fatalf("oversized buffer accepted (err=%v)", err)
 	}
 }
 

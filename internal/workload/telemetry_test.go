@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"gopgas/internal/telemetry"
+)
+
+// TestRunLiveServesTelemetry drives the full live plane: a scenario
+// runs under RunLive with the HTTP server attached, and the test acts
+// as the operator — polling status until the run is live, reading the
+// matrix and histogram mid-run, injecting a fault over POST, and
+// draining a trace window. The run must still finish with balanced
+// span books (the books count decisions, so windowed HTTP drains can't
+// unbalance them) and the server must report unattached after it.
+func TestRunLiveServesTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive (wall-clock phase)")
+	}
+	tel := NewTelemetry()
+	srv, err := telemetry.Start("127.0.0.1:0", tel.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	spec := Spec{
+		Name:           "live",
+		Structure:      StructureHashmap,
+		Locales:        4,
+		TasksPerLocale: 2,
+		Backend:        "none",
+		Seed:           23,
+		Keyspace:       256,
+		Dist:           KeyDist{Kind: DistHotSet, HotFraction: 0.1, HotProb: 0.9},
+		Trace:          &TraceSpec{Enabled: true, SampleRate: 16},
+		Phases: []Phase{
+			{Name: "load", Mix: Mix{Insert: 1}, OpsPerTask: 200},
+			{Name: "run", Mix: Mix{Insert: 2, Get: 7, Remove: 1}, Seconds: 2},
+		},
+	}
+	type result struct {
+		rep *Report
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := RunLive(spec, nil, tel)
+		done <- result{rep, err}
+	}()
+
+	// Poll until the run is attached. Attach precedes every phase, so
+	// breaking on Running (not on visible op progress, which lags a
+	// worker's first chunk flush) leaves the whole multi-second run as
+	// budget for the mid-run probes below — waiting for ops here is
+	// what once let a loaded host expire the run mid-probe.
+	var status struct {
+		Scenario string `json:"scenario"`
+		Running  bool   `json:"running"`
+		Ops      int64  `json:"ops"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("run never reported live over /api/status")
+		}
+		code, body := get("/api/status")
+		if code != http.StatusOK {
+			t.Fatalf("/api/status: %d %s", code, body)
+		}
+		if err := json.Unmarshal(body, &status); err != nil {
+			t.Fatalf("/api/status not JSON: %v", err)
+		}
+		if status.Running {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if status.Scenario != "live" {
+		t.Fatalf("status names scenario %q", status.Scenario)
+	}
+
+	code, body := get("/api/matrix")
+	if code != http.StatusOK {
+		t.Fatalf("/api/matrix: %d %s", code, body)
+	}
+	var matrix struct {
+		Matrix [][]int64 `json:"matrix"`
+	}
+	if err := json.Unmarshal(body, &matrix); err != nil || len(matrix.Matrix) != spec.Locales {
+		t.Fatalf("/api/matrix payload (err=%v): %s", err, body)
+	}
+
+	code, body = get("/api/hist")
+	if code != http.StatusOK {
+		t.Fatalf("/api/hist: %d %s", code, body)
+	}
+	var hist struct {
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(body, &hist); err != nil {
+		t.Fatalf("/api/hist not JSON: %v", err)
+	}
+
+	// Inject a fault mid-run; the run must absorb it and keep going.
+	resp, err := http.Post(fmt.Sprintf("http://%s/api/fault", srv.Addr()),
+		"application/json", bytes.NewBufferString(`{"slow_locale":1,"slow_factor":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/fault mid-run: %d", resp.StatusCode)
+	}
+
+	// Drain a live trace window: events stream out as trace-event JSON.
+	code, body = get("/api/trace?window=64")
+	if code != http.StatusOK {
+		t.Fatalf("/api/trace: %d %s", code, body)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/api/trace not trace-event JSON: %v", err)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.rep.Trace == nil || !res.rep.Trace.Balanced {
+		t.Fatalf("live-drained run lost book balance: %+v", res.rep.Trace)
+	}
+	if !res.rep.Heap.Safe() || !res.rep.Epoch.Balanced() {
+		t.Fatalf("live run failed safety verdicts: heap %+v epoch %+v", res.rep.Heap, res.rep.Epoch)
+	}
+
+	// Detached: status must flip to not-running with the server still
+	// up, and the live histogram must show the workers streamed samples
+	// (ops survives detach — only the System pointer is cleared).
+	code, body = get("/api/status")
+	if code != http.StatusOK {
+		t.Fatalf("/api/status after run: %d", code)
+	}
+	if err := json.Unmarshal(body, &status); err != nil || status.Running {
+		t.Fatalf("server still reports a running scenario after detach: %s", body)
+	}
+	if status.Ops == 0 {
+		t.Fatal("no live latency samples ever reached the telemetry bridge")
+	}
+}
