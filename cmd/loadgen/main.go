@@ -14,6 +14,7 @@
 //	        [-dist uniform|zipfian|hotset] [-theta F] [-ops N]
 //	        [-bulk N] [-rate F] [-latency-scale F]
 //	        [-slow-locale I -slow-factor F]
+//	        [-crash-locale I] [-crash-phase N] [-crash-after-ops N] [-failover]
 //	        [-cache] [-cache-slots N] [-combine] [-rebalance]
 //	        [-trace] [-trace-sample N] [-trace-out trace.json]
 //	        [-http :8077] [-out report.json] [-print-spec] [-quiet]
@@ -43,6 +44,17 @@
 // The phase summaries gain migration, moved-byte, and reroute counts —
 // compare the run phase's maxInbound with and without it under a
 // hot-set distribution to see the owner hotspot dissolve.
+//
+// -crash-locale kills one locale during the run (locale 0 cannot
+// crash — it hosts the global epoch word): at the start of phase
+// -crash-phase (default 1, the run phase), or mid-phase once the
+// system has issued -crash-after-ops operations. Ops toward the dead
+// locale are refused into the lost-ops ledger and the report gains an
+// availability section. Add -failover (hashmap only, excludes -cache)
+// to have the survivors adopt the dead locale's shards and force-
+// retire its stranded epoch tokens; without it the run demonstrates
+// the wedged-reclamation regime and reports NOT RECOVERED. With
+// -failover, a NOT RECOVERED verdict exits 1.
 //
 // -trace enables the event-tracing plane: begin/end spans for
 // dispatch, flush, combine, epoch and migration lifecycles recorded
@@ -92,6 +104,10 @@ func main() {
 		latScale  = flag.Float64("latency-scale", 0, "x the calibrated latency profile (0 = no injected latency)")
 		slowLoc   = flag.Int("slow-locale", 0, "locale slowed by -slow-factor")
 		slowFac   = flag.Float64("slow-factor", 0, "fault injection: slow one locale by this factor (0 = off)")
+		crashLoc  = flag.Int("crash-locale", 0, "fault injection: crash this locale during the run (0 = off; locale 0 cannot crash)")
+		crashPh   = flag.Int("crash-phase", 1, "phase index at whose start the crash lands (with -crash-locale)")
+		crashOps  = flag.Int64("crash-after-ops", 0, "apply the crash mid-phase after this many system-wide ops instead of at the phase boundary")
+		failover  = flag.Bool("failover", false, "recover from the crash: survivors adopt the dead locale's shards and its epoch tokens are force-retired (hashmap only, excludes -cache)")
 		useCache  = flag.Bool("cache", false, "enable the hot-key read replication cache (hashmap only)")
 		cacheSlot = flag.Int("cache-slots", 0, "per-locale cache slots (0 = 256)")
 		combine   = flag.Bool("combine", false, "enable write absorption: in-flight combining + owner-side flat combining (hashmap only, excludes -cache)")
@@ -128,6 +144,15 @@ func main() {
 		if *rebalance {
 			spec.Rebalance = &workload.RebalanceSpec{Enabled: true}
 			spec.Name += "-rebalanced"
+		}
+		if *crashLoc != 0 {
+			spec.Faults.Crashes = []workload.CrashSpec{{
+				Locale:   *crashLoc,
+				Phase:    *crashPh,
+				AfterOps: *crashOps,
+				Failover: *failover,
+			}}
+			spec.Name += "-crashed"
 		}
 	}
 	if *traceOn || *traceOut != "" {
@@ -207,6 +232,19 @@ func main() {
 	if !rep.Heap.Safe() {
 		fmt.Fprintf(os.Stderr, "loadgen: SAFETY VIOLATION: %d use-after-free loads, %d use-after-free stores, %d double frees\n",
 			rep.Heap.UAFLoads, rep.Heap.UAFStores, rep.Heap.UAFFrees)
+		os.Exit(1)
+	}
+	// A crash plan that asked for failover on every crash must report
+	// recovery; a deliberately-wedged (no-failover) crash is allowed to
+	// stay unrecovered.
+	wantRecover := len(spec.Faults.Crashes) > 0
+	for _, cr := range spec.Faults.Crashes {
+		if !cr.Failover {
+			wantRecover = false
+		}
+	}
+	if a := rep.Availability; a != nil && wantRecover && !a.Recovered {
+		fmt.Fprintln(os.Stderr, "loadgen: AVAILABILITY VIOLATION: crash failover did not recover")
 		os.Exit(1)
 	}
 }

@@ -9,7 +9,13 @@
 //	go run ./cmd/soak -seconds 30 -locales 8
 //
 // -structure limits the soak to one target; -slow-factor adds the
-// slow-locale fault plan on top. -http starts the live telemetry and
+// slow-locale fault plan on top. -crash kills the top locale midway
+// through the hashmap scenario's steady phase and fails over — the
+// survivors adopt its shards and force-retire its stranded epoch
+// tokens — turning the soak into an availability drill: the summary
+// gains a PASS/FAIL recovery verdict beside the safety ones (crash
+// failover is hashmap-only, so other structures soak unperturbed).
+// -http starts the live telemetry and
 // control server for the whole soak — the server outlives scenario
 // boundaries, re-attaching to each structure's run in turn, so an
 // operator can watch /api/status and /api/matrix, pull live
@@ -43,6 +49,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		structure = flag.String("structure", "", "soak only this structure (default: all)")
 		slowFac   = flag.Float64("slow-factor", 0, "also inject a slow locale 0 by this factor (0 = off)")
+		crash     = flag.Bool("crash", false, "crash the top locale mid-steady-phase of the hashmap scenario and fail over (availability drill)")
 		traceOn   = flag.Bool("trace", false, "record the event-tracing plane (1/64 sampling) during each scenario")
 		httpAddr  = flag.String("http", "", "serve live telemetry + control on this address (e.g. :8077) for the whole soak")
 	)
@@ -70,6 +77,11 @@ func main() {
 	var totalOps int64
 	for _, s := range targets {
 		spec := soakSpec(s, *locales, *tasks, *backend, *seed, perStructure, *slowFac)
+		if *crash && s == workload.StructureHashmap {
+			spec.Faults.Crashes = []workload.CrashSpec{{
+				Locale: *locales - 1, Phase: 0, AfterOps: 2048, Failover: true,
+			}}
+		}
 		if *traceOn {
 			spec.Trace = &workload.TraceSpec{Enabled: true}
 		}
@@ -91,6 +103,15 @@ func main() {
 		} else {
 			fmt.Printf("FAIL  %s: reclaimed %d of %d deferred\n", s, rep.Epoch.Reclaimed, rep.Epoch.Deferred)
 			failures++
+		}
+		if a := rep.Availability; a != nil {
+			if a.Recovered {
+				fmt.Printf("PASS  %s: recovered from %d crash(es): opsLost=%d shardsAdopted=%d tokensForceRetired=%d\n",
+					s, a.Crashes, a.OpsLost, a.ShardsAdopted, a.TokensForceRetired)
+			} else {
+				fmt.Printf("FAIL  %s: crash failover did not recover (%d crash(es), opsLost=%d)\n", s, a.Crashes, a.OpsLost)
+				failures++
+			}
 		}
 		if rep.Trace != nil {
 			if rep.Trace.Balanced {

@@ -975,6 +975,173 @@ func AblationRebalancing(cfg Config) Figure {
 	}
 }
 
+// a11 crash-storm geometry, shared by both arms and by
+// TestAblationA11's arithmetic: a11PreQuanta healthy quanta, then the
+// victim locale crashes, then a11PostQuanta quanta against the
+// crashed cluster. Every writer hammers one victim-homed key, turning
+// every a11RemoveEvery-th write into a removal so deferred deletions
+// flow the whole run; each quantum ends quiescent (coforall join +
+// flush) with one inline TryReclaim, so advance/advance-fail counts
+// are exact.
+const (
+	a11PreQuanta   = 4
+	a11PostQuanta  = 6
+	a11RemoveEvery = 4
+)
+
+// a11Victim is the crashed locale: not 0 (locale 0 hosts the global
+// epoch word and the orchestrating task, and cannot crash).
+const a11Victim = 1
+
+// crashVerdict carries the evidence of one crashStorm run: the
+// failover books (shards adopted, bytes moved, tokens force-retired),
+// the comm counters they must reconcile with — OpsLost being the
+// availability headline — and the safety verdicts.
+type crashVerdict struct {
+	Shards int64
+	Bytes  int64
+	Tokens int64
+	Comm   comm.Snapshot
+	Heap   gas.Stats
+	Epoch  epoch.Stats
+}
+
+// a11VictimKeys picks one hot key per writer locale (every locale but
+// the victim), all homed on the victim and each in a distinct bucket,
+// so the whole storm funnels into the locale that is about to die and
+// each failover adoption moves exactly one hot entry.
+func a11VictimKeys(m hashmap.Map[int], locales int) []uint64 {
+	used := make(map[int]bool)
+	var keys []uint64
+	for k := uint64(0); len(keys) < locales-1; k++ {
+		if e := m.BucketOf(k); m.HomeOf(k) == a11Victim && !used[e] {
+			used[e] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// crashStorm drives the crash-under-hot-load scenario: every locale
+// but the victim hammers its own victim-homed key through the
+// owner-table-routed view (combine off, so refused ops count
+// one-for-one), with every a11RemoveEvery-th write a removal that
+// defers a node. After a11PreQuanta quanta the victim strands one
+// pinned token (the pin a fail-stop kill leaves behind), the epoch
+// advances once more so the pin goes stale, and the victim is marked
+// dead. The failover arm then adopts the victim's buckets onto the
+// survivors and force-retires the stranded token before the storm
+// resumes; the wedged arm resumes immediately. Both arms run
+// a11PostQuanta more quanta: wedged, every write toward the dead owner
+// drains to the lost-ops ledger and every epoch election fails on the
+// stale pin; failed over, writes follow the republished owner table
+// and elections succeed. All control flow is inline from the
+// orchestrating task between quiescent quanta, so both arms replay
+// exactly.
+func crashStorm(cfg Config, locales int, failover bool) (Point, crashVerdict) {
+	sys := cfg.newSystemAgg(locales, comm.BackendNone, comm.AggConfig{})
+	defer sys.Shutdown()
+	reps := cfg.ops(1 << 9)
+	var pt Point
+	var v crashVerdict
+	sys.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		m := hashmap.New[int](c, 16*locales, em)
+		rv := m.Rebalanced(c)
+		keys := a11VictimKeys(m, locales)
+		em.Protect(c, func(tok *epoch.Token) {
+			for _, k := range keys {
+				m.Insert(c, tok, k, int(k))
+			}
+		})
+		quantum := func() {
+			c.CoforallLocales(func(lc *pgas.Ctx) {
+				if lc.Here() == a11Victim {
+					return
+				}
+				idx := lc.Here()
+				if idx > a11Victim {
+					idx--
+				}
+				k := keys[idx]
+				for i := 0; i < reps; i++ {
+					if (i+1)%a11RemoveEvery == 0 {
+						rv.RemoveAgg(lc, k)
+						lc.Flush()
+					} else {
+						rv.UpsertAgg(lc, k, i)
+					}
+				}
+				lc.Flush()
+			})
+			em.TryReclaim(c)
+		}
+		pt.Seconds, pt.Comm, pt.Matrix, pt.MaxInbound = timedMatrix(sys, func() {
+			for q := 0; q < a11PreQuanta; q++ {
+				quantum()
+			}
+			// The crash: strand the pin, stale it with one advance, kill.
+			c.On(a11Victim, func(vc *pgas.Ctx) { em.Pin(vc) })
+			em.TryReclaim(c)
+			if err := sys.Crash(a11Victim); err != nil {
+				panic(err)
+			}
+			if failover {
+				sc := c.Salvage()
+				v.Shards, v.Bytes = rv.Failover(sc, a11Victim)
+				v.Tokens = em.ForceRetire(sc, a11Victim)
+				sc.Flush()
+			}
+			for q := 0; q < a11PostQuanta; q++ {
+				quantum()
+			}
+		})
+		em.Clear(c)
+		v.Comm = sys.Counters().Snapshot()
+		v.Heap = sys.HeapStats()
+		v.Epoch = em.Stats(c)
+	})
+	pt.X = locales
+	return pt, v
+}
+
+// AblationCrashFailover measures what a fail-stop locale loss costs
+// with and without the recovery protocol. Without failover the cluster
+// keeps the dead locale's shards on its books: every write toward them
+// drains to the lost-ops ledger — growing linearly with survivors,
+// post-crash quanta and write rate — and the stranded pin blocks every
+// epoch election, so reclamation wedges for the rest of the run. With
+// failover the survivors adopt the dead locale's buckets through the
+// epoch-coherent handoff and the stranded pin is force-retired: writes
+// resume against the republished owner table with zero further loss
+// and every election succeeds. TestAblationA11 asserts the wedged
+// arm's exact loss arithmetic, the failover arm's zero post-recovery
+// loss, the adoption books, and that both arms still end heap-safe
+// with deferred == reclaimed.
+func AblationCrashFailover(cfg Config) Figure {
+	panel := Panel{Title: "Locale crash under hot load: ops lost (none)", XLabel: "Locales"}
+	wedged := Series{Label: "no failover (ledger grows, reclamation wedged)"}
+	recovered := Series{Label: "failover (shards adopted, pins force-retired)"}
+	for _, locales := range cfg.localeSweep(2) {
+		p, vd := crashStorm(cfg, locales, false)
+		wedged.Points = append(wedged.Points, p)
+		cfg.progressf("ablK wedged   locales=%-3d %8.4fs  lost=%-8d advFail=%d [%v]\n",
+			locales, p.Seconds, vd.Comm.OpsLost, vd.Epoch.AdvanceFail, p.Comm)
+
+		p, vd = crashStorm(cfg, locales, true)
+		recovered.Points = append(recovered.Points, p)
+		cfg.progressf("ablK failover locales=%-3d %8.4fs  lost=%-8d adopted=%d retired=%d [%v]\n",
+			locales, p.Seconds, vd.Comm.OpsLost, vd.Shards, vd.Tokens, p.Comm)
+	}
+	panel.Series = []Series{wedged, recovered}
+	return Figure{
+		ID:      "A11",
+		Title:   "Ablation: crash failover vs wedged reclamation",
+		Caption: "A fail-stop locale crash leaves two poisons: its shards keep absorbing (and losing) every write routed at them, and its stranded epoch pins block every advance election, wedging reclamation system-wide. The failover protocol adopts the dead locale's buckets onto the survivors through the same epoch-coherent handoff rebalancing uses and force-retires the stranded pins, after which writes follow the republished owner table with zero further loss and reclamation proceeds — while the poisoned heaps verify the recovery never freed memory a surviving reader could still observe.",
+		Panels:  []Panel{panel},
+	}
+}
+
 // Ablations runs every ablation study.
 func Ablations(cfg Config) []Figure {
 	return []Figure{
@@ -988,5 +1155,6 @@ func Ablations(cfg Config) []Figure {
 		AblationReplication(cfg),
 		AblationWriteAbsorption(cfg),
 		AblationRebalancing(cfg),
+		AblationCrashFailover(cfg),
 	}
 }

@@ -79,7 +79,7 @@ func TestFigure7Structure(t *testing.T) {
 
 func TestAblationsStructure(t *testing.T) {
 	figs := Ablations(tinyConfig())
-	if len(figs) != 10 {
+	if len(figs) != 11 {
 		t.Fatalf("got %d ablations", len(figs))
 	}
 	ids := map[string]bool{}
@@ -89,7 +89,7 @@ func TestAblationsStructure(t *testing.T) {
 			t.Fatalf("ablation %s empty", f.ID)
 		}
 	}
-	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10"} {
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11"} {
 		if !ids[id] {
 			t.Fatalf("missing ablation %s (have %v)", id, ids)
 		}
@@ -494,5 +494,79 @@ func TestAblationA10(t *testing.T) {
 	if lastPt.MaxInbound < 2*firstPt.MaxInbound {
 		t.Fatalf("static hot column did not grow with locales: %d -> %d",
 			firstPt.MaxInbound, lastPt.MaxInbound)
+	}
+}
+
+// The crash-failover ablation's claims, asserted on the deterministic
+// counters (the CI smoke gate for the crash/failover PR):
+//
+//  1. wedged (no failover): every post-crash write toward the dead
+//     owner drains to the lost-ops ledger — exactly postQuanta ×
+//     survivors × reps — and the stranded pin blocks every post-crash
+//     epoch election (advanceFail == postQuanta, no further advances);
+//  2. failover: the survivors adopt every bucket the victim owned
+//     (nbuckets/L, hot and empty alike), the moved bytes equal one
+//     16-byte entry per hot bucket, exactly one stranded token is
+//     force-retired, zero ops are lost, and every post-crash election
+//     succeeds;
+//  3. the adoption books reconcile with the comm plane exactly:
+//     shards == MigAdopted == MigRetired, bytes == MigBytes, and no
+//     write ever needed a reroute (the owner table republishes before
+//     traffic resumes);
+//  4. both arms end safe: zero detected use-after-free and every
+//     deferred node reclaimed — a crash may lose workload writes but
+//     never a deferred deletion.
+func TestAblationA11(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.05 // 25 writes per writer per quantum
+	reps := int64(cfg.ops(1 << 9))
+	for _, locales := range cfg.localeSweep(2) {
+		_, wv := crashStorm(cfg, locales, false)
+		wantLost := int64(a11PostQuanta) * int64(locales-1) * reps
+		if wv.Comm.OpsLost != wantLost {
+			t.Fatalf("L=%d: wedged arm lost %d ops, want %d", locales, wv.Comm.OpsLost, wantLost)
+		}
+		if wv.Epoch.Advances != a11PreQuanta+1 || wv.Epoch.AdvanceFail != a11PostQuanta {
+			t.Fatalf("L=%d: wedged arm advances=%d advanceFail=%d, want %d and %d",
+				locales, wv.Epoch.Advances, wv.Epoch.AdvanceFail, a11PreQuanta+1, a11PostQuanta)
+		}
+		if wv.Shards != 0 || wv.Tokens != 0 || wv.Comm.MigAdopted != 0 || wv.Comm.MigRetired != 0 {
+			t.Fatalf("L=%d: wedged arm recovered: %+v comm=%+v", locales, wv, wv.Comm)
+		}
+
+		_, fv := crashStorm(cfg, locales, true)
+		if fv.Comm.OpsLost != 0 {
+			t.Fatalf("L=%d: failover arm lost %d ops, want 0", locales, fv.Comm.OpsLost)
+		}
+		wantShards := int64(16) // the victim's share of 16*L buckets
+		if fv.Shards != wantShards || fv.Comm.MigAdopted != wantShards || fv.Comm.MigRetired != wantShards {
+			t.Fatalf("L=%d: adoption books: shards=%d adopted=%d retired=%d, want %d",
+				locales, fv.Shards, fv.Comm.MigAdopted, fv.Comm.MigRetired, wantShards)
+		}
+		wantBytes := int64(16 * (locales - 1)) // one 16-byte entry per hot bucket
+		if fv.Bytes != wantBytes || fv.Comm.MigBytes != wantBytes {
+			t.Fatalf("L=%d: moved bytes %d (comm %d), want %d",
+				locales, fv.Bytes, fv.Comm.MigBytes, wantBytes)
+		}
+		if fv.Comm.MigReroutes != 0 {
+			t.Fatalf("L=%d: %d reroutes after quiescent failover", locales, fv.Comm.MigReroutes)
+		}
+		if fv.Tokens != 1 {
+			t.Fatalf("L=%d: force-retired %d tokens, want 1", locales, fv.Tokens)
+		}
+		if fv.Epoch.Advances != a11PreQuanta+1+a11PostQuanta || fv.Epoch.AdvanceFail != 0 {
+			t.Fatalf("L=%d: failover arm advances=%d advanceFail=%d, want %d and 0",
+				locales, fv.Epoch.Advances, fv.Epoch.AdvanceFail, a11PreQuanta+1+a11PostQuanta)
+		}
+
+		for arm, vd := range map[string]crashVerdict{"wedged": wv, "failover": fv} {
+			if vd.Heap.UAFLoads != 0 || vd.Heap.UAFStores != 0 || vd.Heap.UAFFrees != 0 {
+				t.Fatalf("L=%d: %s arm heap verdict: %+v", locales, arm, vd.Heap)
+			}
+			if vd.Epoch.Deferred != vd.Epoch.Reclaimed {
+				t.Fatalf("L=%d: %s arm epoch verdict: deferred=%d reclaimed=%d",
+					locales, arm, vd.Epoch.Deferred, vd.Epoch.Reclaimed)
+			}
+		}
 	}
 }

@@ -59,10 +59,11 @@ const (
 	cMigRetired
 	cMigBytes
 	cMigReroutes
+	cOpsLost
 	numCounters
 )
 
-// counterShard is one padded cell: 24 counters span exactly three
+// counterShard is one padded cell: 25 counters span just over three
 // 64-byte cache lines, and the trailing pad keeps
 // neighbouring shards' lines from abutting whatever alignment the
 // enclosing array lands on.
@@ -137,6 +138,15 @@ type Snapshot struct {
 	MigRetired  int64
 	MigBytes    int64
 	MigReroutes int64
+
+	// OpsLost is the lost-ops ledger: operations refused by the
+	// dispatch layer because their destination was crashed or the
+	// source/destination pair partitioned, plus op budget a crashed
+	// locale's tasks never issued. A refused op increments OpsLost and
+	// nothing else (no on-stmt, no matrix entry, no delay), so the
+	// ledger is the exact availability cost of a fault plan. Never
+	// enters Remote() — a lost op crossed no locale boundary.
+	OpsLost int64
 }
 
 // IncPut records a small remote write issued by locale src.
@@ -234,6 +244,10 @@ func (c *Counters) IncMigBytes(src int, n int64) { c.shard(src).v[cMigBytes].Add
 // current owner.
 func (c *Counters) IncMigReroute(src int) { c.shard(src).v[cMigReroutes].Add(1) }
 
+// IncOpsLost records n operations lost to a liveness fault, attributed
+// to the locale that tried (or would have tried) to issue them.
+func (c *Counters) IncOpsLost(src int, n int64) { c.shard(src).v[cOpsLost].Add(n) }
+
 // IncCacheInval records one invalidation operation executed on locale
 // src. A write-through mutation broadcasts one such op per locale, so
 // this counter exposes the write-amplification cost of replication;
@@ -276,6 +290,8 @@ func (c *Counters) Snapshot() Snapshot {
 		MigRetired:  sums[cMigRetired],
 		MigBytes:    sums[cMigBytes],
 		MigReroutes: sums[cMigReroutes],
+
+		OpsLost: sums[cOpsLost],
 	}
 }
 
@@ -318,6 +334,8 @@ func (s Snapshot) Sub(old Snapshot) Snapshot {
 		MigRetired:  s.MigRetired - old.MigRetired,
 		MigBytes:    s.MigBytes - old.MigBytes,
 		MigReroutes: s.MigReroutes - old.MigReroutes,
+
+		OpsLost: s.OpsLost - old.OpsLost,
 	}
 }
 
@@ -347,6 +365,9 @@ func (s Snapshot) String() string {
 	}
 	if s.MigAdopted != 0 || s.MigRetired != 0 || s.MigReroutes != 0 {
 		out += fmt.Sprintf(" mig=%d/%d/%dB/%dre", s.MigAdopted, s.MigRetired, s.MigBytes, s.MigReroutes)
+	}
+	if s.OpsLost != 0 {
+		out += fmt.Sprintf(" lost=%d", s.OpsLost)
 	}
 	return out
 }

@@ -15,16 +15,89 @@ package comm
 // are unaffected, so counter-asserted evidence stays exact under any
 // fault plan.
 //
-// The zero value (no scales) is "no perturbation" and costs one branch
-// per delay.
+// Beyond latency, a Perturbation is also the fault plan's liveness
+// half: Down marks crashed (fail-stop) locales and Partitions lists
+// locale pairs that cannot reach each other. The dispatch layer
+// consults Reachable before every remote operation and refuses —
+// counting an OpsLost instead of stalling — when the destination is
+// dead or the pair is partitioned. Liveness, unlike latency scaling,
+// *does* change counter totals, but only through the single OpsLost
+// ledger: a refused op increments OpsLost and nothing else.
+//
+// The zero value (no scales, no faults) is "no perturbation" and costs
+// one branch per delay.
 type Perturbation struct {
 	// Scales[i] multiplies every delay touching locale i. Entries <= 0
 	// and locales beyond the slice are treated as the nominal 1.0.
 	Scales []float64 `json:"scales,omitempty"`
+
+	// Down[i] marks locale i crashed. A crash is fail-stop: the locale
+	// issues nothing new and every operation aimed at it is refused
+	// with a counted OpsLost. Locales beyond the slice are alive.
+	Down []bool `json:"down,omitempty"`
+
+	// Partitions are unordered locale pairs that cannot exchange
+	// traffic in either direction (both endpoints stay alive and keep
+	// talking to everyone else).
+	Partitions [][2]int `json:"partitions,omitempty"`
 }
 
-// Enabled reports whether any perturbation is configured.
-func (p Perturbation) Enabled() bool { return len(p.Scales) > 0 }
+// Enabled reports whether any perturbation — latency scaling or
+// liveness faults — is configured.
+func (p Perturbation) Enabled() bool {
+	return len(p.Scales) > 0 || p.Faulted()
+}
+
+// Faulted reports whether the plan carries liveness faults (crashes or
+// partitions) that the dispatch layer must gate operations on.
+func (p Perturbation) Faulted() bool {
+	return len(p.Down) > 0 || len(p.Partitions) > 0
+}
+
+// Alive reports whether locale l is up under this plan. Locales with
+// no Down entry are alive, so the zero plan declares everyone alive.
+func (p Perturbation) Alive(l int) bool {
+	return l < 0 || l >= len(p.Down) || !p.Down[l]
+}
+
+// Reachable reports whether src can currently exchange traffic with
+// dst: both endpoints alive and the pair not partitioned. Reachability
+// is symmetric, matching the unordered Partitions pairs.
+func (p Perturbation) Reachable(src, dst int) bool {
+	return p.Alive(src) && p.Deliverable(src, dst)
+}
+
+// Deliverable reports whether traffic from src can be delivered to
+// dst: dst alive and the pair not partitioned. The source's own
+// liveness is deliberately not consulted — work already executing on a
+// crashed locale drains at the dispatch boundary rather than being cut
+// mid-operation, matching fail-stop semantics where the crash point is
+// the last operation the locale completed.
+func (p Perturbation) Deliverable(src, dst int) bool {
+	if !p.Alive(dst) {
+		return false
+	}
+	for _, pr := range p.Partitions {
+		if (pr[0] == src && pr[1] == dst) || (pr[0] == dst && pr[1] == src) {
+			return false
+		}
+	}
+	return true
+}
+
+// WithDown returns a copy of the plan with locale l of n marked dead.
+// The existing scales and partitions carry over, so a runtime crash
+// composes with whatever latency plan was already installed.
+func (p Perturbation) WithDown(n, l int) Perturbation {
+	down := make([]bool, n)
+	copy(down, p.Down)
+	if l >= 0 && l < n {
+		down[l] = true
+	}
+	q := p
+	q.Down = down
+	return q
+}
 
 // ScaleFor returns the multiplier for one locale (1.0 when the locale
 // has no entry or a non-positive one).

@@ -305,6 +305,52 @@ func (em EpochManager) DeferDeleteOn(c *pgas.Ctx, tok *Token, locale int, obj ga
 	})
 }
 
+// ForceRetire is the crash-recovery half of the protocol: it clears
+// every pinned token on the given locale, so reclamation can never
+// wedge on a pin that will never be released. A fail-stop crash
+// strands whatever pins the dead locale's tasks held — the advance
+// scan would observe them forever and every election would fail — and
+// only an out-of-band retirement can break that deadlock, which is
+// exactly what makes it safe: the dead locale runs no tasks, so no
+// stranded pin still protects a read in progress.
+//
+// Deliberately, ForceRetire does NOT drain the dead locale's limbo
+// lists: survivors may still hold pins taken before the crash and be
+// traversing lists the failover just retired onto that limbo, so an
+// immediate drain would break the two-advance grace period. Clearing
+// the stranded pins is enough — the very next advances (now unblocked)
+// cycle the dead locale's generations with full grace, and the final
+// Clear drains whatever remains, which is how deferred==reclaimed
+// stays provable after a crash.
+//
+// It runs on the target locale via one on-statement, so when the
+// locale is already marked dead the caller must hold a salvage context
+// (pgas.Ctx.Salvage) or the hop itself is refused and nothing is
+// retired. Call it after shard failover has retired the dead locale's
+// lists, as the engine does.
+//
+// Each retired token records one always-on KindForceRetire span whose
+// arg is the epoch the token was stranded in, so a trace's force-retire
+// begin-count equals the returned token count exactly.
+func (em EpochManager) ForceRetire(c *pgas.Ctx, locale int) int64 {
+	var tokens int64
+	c.On(locale, func(lc *pgas.Ctx) {
+		li := em.priv.Get(lc)
+		tr := lc.Sys().Tracer()
+		li.forEachToken(func(t *Token) bool {
+			if e := t.epoch.Swap(0); e != 0 {
+				tokens++
+				if tr != nil {
+					sp := tr.Begin(lc.Here(), trace.KindForceRetire, lc.TaskID(), locale, locale, 0, int64(e))
+					sp.End()
+				}
+			}
+			return true
+		})
+	})
+	return tokens
+}
+
 // Clear reclaims every deferred object across all epochs and locales,
 // without requiring epoch advances. It must only be called when no
 // other task is interacting with the manager (typically at the end of

@@ -50,12 +50,33 @@ func newAggregator(c *Ctx) *Aggregator {
 			// were one on-statement carrying the whole scatter list.
 			// The destination context is scoped to the batch, so it
 			// comes from the same pool the sync dispatch path uses.
+			//
+			// A flush aimed at a dead or partitioned destination drains
+			// to the lost-ops ledger instead: each workload op in the
+			// batch counts one OpsLost and is discarded. Frees are the
+			// one exemption — they are the reclamation protocol's
+			// scatter lists, and under the shared-storage failover
+			// conceit a dead locale's heap partition remains
+			// reclaimable, so deferred==reclaimed stays provable after
+			// a crash. Salvage contexts (c.salvage) never drop.
+			lost := s.refuse(c, dst)
 			tc := s.borrowCtx(s.locales[dst])
+			tc.salvage = c.salvage
 			for _, op := range batch {
 				switch exec := op.Exec.(type) {
+				case freeOp:
+					exec(tc)
 				case func(*Ctx):
+					if lost {
+						s.counters.IncOpsLost(c.here.id, 1)
+						continue
+					}
 					exec(tc)
 				case CombinableCall:
+					if lost {
+						s.counters.IncOpsLost(c.here.id, 1)
+						continue
+					}
 					exec.Exec(tc)
 				default:
 					panic(fmt.Sprintf("pgas: unknown aggregated op payload %T", op.Exec))
@@ -215,6 +236,13 @@ func (b AggBuffer) CallSized(bytes int64, fn func(ctx *Ctx)) {
 	b.enqueue(bytes, fn)
 }
 
+// freeOp is the distinguished payload type of aggregated frees. The
+// named type is load-bearing: the deliver path type-switches on it to
+// exempt the reclamation plane's scatter lists from the dead-
+// destination drop, so a crash can lose workload writes but never a
+// deferred deletion.
+type freeOp func(*Ctx)
+
 // Free buffers the release of addr, which must be owned by the
 // destination locale. The free executes on the owner when the buffer
 // flushes; successful releases are visible through Freed. This is the
@@ -225,11 +253,16 @@ func (b AggBuffer) Free(addr gas.Addr) {
 		panic(fmt.Sprintf("pgas: aggregated Free(%v) into buffer for locale %d", addr, b.dst))
 	}
 	a := b.a
-	b.enqueue(aggFreeBytes, func(tc *Ctx) {
+	var fn freeOp = func(tc *Ctx) {
 		if tc.here.heap.Free(addr) {
 			a.freed.Add(1)
 		}
-	})
+	}
+	if b.dst == b.a.c.here.id {
+		fn(b.a.c)
+		return
+	}
+	b.a.agg.Enqueue(b.dst, comm.Op{Bytes: aggFreeBytes, Exec: fn})
 }
 
 // Put buffers an overwrite of the object stored at addr (owned by the

@@ -16,10 +16,26 @@ type Ctx struct {
 	rng     uint64
 	agg     *Aggregator // lazily created per-task aggregation buffers
 	isAsync bool        // task was launched by AsyncOn (counted in asyncPending)
+	salvage bool        // recovery-plane task, exempt from crash/partition refusal
 }
 
 // Sys returns the owning System.
 func (c *Ctx) Sys() *System { return c.sys }
+
+// Salvage returns a recovery-plane view of the task: a fresh Ctx on
+// the same locale whose communication is exempt from crash/partition
+// refusal. It models the shared-storage failover conceit — a surviving
+// locale adopting a dead peer's shards must read the dead partition
+// and drive the dead locale's retirement, exactly the accesses the
+// fault plan refuses to ordinary traffic. The exemption propagates to
+// tasks the salvage context spawns (On, AsyncOn, CoforallLocales).
+// Use it only for failover and force-retirement; workload traffic on a
+// salvage context would silently bypass the fault plan.
+func (c *Ctx) Salvage() *Ctx {
+	sc := c.sys.newCtx(c.here)
+	sc.salvage = true
+	return sc
+}
 
 // Here returns the id of the locale this task runs on.
 func (c *Ctx) Here() int { return c.here.id }
@@ -41,7 +57,12 @@ func (c *Ctx) On(target int, fn func(ctx *Ctx)) {
 
 // CoforallLocales spawns one task per locale (each running on its
 // locale), waits for all of them, and charges one on-statement per
-// remote locale — `coforall loc in Locales do on loc`.
+// remote locale — `coforall loc in Locales do on loc`. It is the
+// reclamation protocol's control plane (token scans, Clear, Stats) and
+// deliberately bypasses crash refusal: the protocol must still observe
+// a dead locale's tokens and limbo lists, or reclamation could never
+// be proven safe after a crash. Workload traffic goes through On /
+// AsyncOn / the aggregation buffers, which do refuse.
 func (c *Ctx) CoforallLocales(fn func(ctx *Ctx)) {
 	s := c.sys
 	var wg sync.WaitGroup
@@ -55,7 +76,9 @@ func (c *Ctx) CoforallLocales(fn func(ctx *Ctx)) {
 			if l.id != c.here.id {
 				s.delay(c.here.id, l.id, s.cfg.Latency.AMRoundTripNS+s.cfg.Latency.OnStmtNS)
 			}
-			fn(s.newCtx(l))
+			tc := s.newCtx(l)
+			tc.salvage = c.salvage
+			fn(tc)
 		}(loc)
 	}
 	wg.Wait()

@@ -32,6 +32,14 @@ func (s *System) dispatchOn(src *Ctx, target int, fn func(*Ctx)) {
 		fn(src)
 		return
 	}
+	// A dead or partitioned destination fails fast: the op is refused
+	// before any charge — one OpsLost, no on-stmt, no matrix entry, no
+	// delay, fn never runs. Failing here (not stalling) is what keeps
+	// Quiesce and coforall joins crash-tolerant.
+	if s.refuse(src, target) {
+		s.counters.IncOpsLost(src.here.id, 1)
+		return
+	}
 	// The Enabled check is hoisted to the call site: Begin is too big to
 	// inline, and this is the hottest loop in every sweep — an idle
 	// recorder must cost one inlined atomic load, not a call.
@@ -42,6 +50,7 @@ func (s *System) dispatchOn(src *Ctx, target int, fn func(*Ctx)) {
 	s.chargeOnStmt(src.here.id, target)
 	s.delay(src.here.id, target, s.cfg.Latency.AMRoundTripNS+s.cfg.Latency.OnStmtNS)
 	tc := s.borrowCtx(s.locales[target])
+	tc.salvage = src.salvage
 	fn(tc)
 	s.releaseCtx(tc)
 	sp.End()
@@ -66,6 +75,14 @@ func (s *System) dispatchOnAsync(src *Ctx, target int, fn func(*Ctx)) {
 	}
 	srcID := src.here.id
 	remote := target != srcID
+	// Refused the same way as the sync path: one OpsLost, nothing
+	// launched, nothing left for Quiesce to wait on — which is how
+	// quiescence comes to exclude dead locales.
+	if remote && s.refuse(src, target) {
+		s.asyncPending.Add(-1)
+		s.counters.IncOpsLost(srcID, 1)
+		return
+	}
 	if remote {
 		s.chargeOnStmt(srcID, target)
 	}
@@ -73,6 +90,7 @@ func (s *System) dispatchOnAsync(src *Ctx, target int, fn func(*Ctx)) {
 	if tr := s.tracer; tr != nil && tr.Enabled() {
 		sp = tr.Begin(srcID, trace.KindAsync, src.taskID, srcID, target, 0, 0)
 	}
+	salvage := src.salvage
 	go func() {
 		defer s.asyncPending.Add(-1)
 		if remote {
@@ -80,6 +98,7 @@ func (s *System) dispatchOnAsync(src *Ctx, target int, fn func(*Ctx)) {
 		}
 		tc := s.newCtx(s.locales[target])
 		tc.isAsync = true
+		tc.salvage = salvage
 		fn(tc)
 		sp.End()
 	}()
@@ -97,6 +116,13 @@ func (s *System) chargeOnStmt(src, dst int) {
 // atomics are not coherent with CPU atomics), processor atomic when
 // local under none, active message to the home locale otherwise.
 func (s *System) dispatchAMO64(c *Ctx, home int, op func() uint64) uint64 {
+	// Atomics are never refused, even toward a dead home: the fault plan
+	// kills a locale's execution plane (on-statements, async launches,
+	// aggregated deliveries), not the partitioned address space — the
+	// same shared-storage conceit that lets salvage contexts adopt a
+	// dead locale's shards. Refusing here would also be worse than
+	// useless: a CAS that "fails" because its home died sends every
+	// lock-free retry loop into a livelock instead of failing fast.
 	switch s.cfg.Backend {
 	case comm.BackendUGNI:
 		s.counters.IncNICAMO(c.here.id)
@@ -122,6 +148,7 @@ func (s *System) dispatchAMO64(c *Ctx, home int, op func() uint64) uint64 {
 // active message), while a local cell runs the emulated CMPXCHG16B
 // directly.
 func (s *System) dispatchDCAS(c *Ctx, home int, op func()) {
+	// Never refused — memory plane, like dispatchAMO64.
 	if home == c.here.id {
 		s.counters.IncDCASLocal(home)
 		s.delay(home, home, s.cfg.Latency.LocalAtomicNS)
@@ -188,6 +215,12 @@ func (c *Ctx) AsyncOn(target int, fn func(ctx *Ctx)) {
 // completed. New async work launched by other tasks while Quiesce
 // spins naturally extends the wait — quiescence is a system-wide
 // property, exactly as in SHMEM's quiet semantics.
+//
+// Dead locales are excluded by construction, not by filtering: an
+// async op toward a crashed locale is refused at launch (never enters
+// the in-flight set), and ops already running on a dying locale drain
+// normally — so Quiesce can never wedge on a locale that will never
+// answer.
 func (s *System) Quiesce() {
 	for s.asyncPending.Load() != 0 {
 		runtime.Gosched()

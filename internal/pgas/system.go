@@ -284,6 +284,60 @@ func (s *System) Perturbation() comm.Perturbation {
 	return comm.Perturbation{}
 }
 
+// Alive reports whether locale l is up under the live fault plan.
+func (s *System) Alive(l int) bool {
+	if p := s.perturb.Load(); p != nil {
+		return p.Alive(l)
+	}
+	return true
+}
+
+// Reachable reports whether src and dst can currently exchange traffic
+// under the live fault plan (both alive, pair not partitioned).
+func (s *System) Reachable(src, dst int) bool {
+	if p := s.perturb.Load(); p != nil {
+		return p.Reachable(src, dst)
+	}
+	return true
+}
+
+// refuse reports whether a remote operation issued by src toward
+// target must be refused under the live fault plan: the target is dead
+// or the pair is partitioned. Salvage contexts — the recovery plane —
+// are exempt, which is what lets failover reach a dead locale's shards
+// and limbo lists. Callers that refuse count exactly one OpsLost and
+// nothing else.
+func (s *System) refuse(src *Ctx, target int) bool {
+	p := s.perturb.Load()
+	if p == nil || !p.Faulted() || src.salvage {
+		return false
+	}
+	return !p.Deliverable(src.here.id, target)
+}
+
+// Crash marks locale l dead in the live fault plan — fail-stop: every
+// subsequent operation whose destination is l is refused with a
+// counted OpsLost, while work already executing on l drains cleanly.
+// The crash composes with whatever latency plan is installed and
+// records one always-on KindCrash trace instant. Crashing an
+// already-dead locale is a no-op, so crash instants equal crashes
+// applied. Locale 0 hosts the global epoch word and the orchestrating
+// main task, so it is the one locale that cannot crash.
+func (s *System) Crash(l int) error {
+	if l <= 0 || l >= len(s.locales) {
+		return fmt.Errorf("pgas: crash locale %d out of range [1, %d)", l, len(s.locales))
+	}
+	if !s.Alive(l) {
+		return nil
+	}
+	p := s.Perturbation().WithDown(len(s.locales), l)
+	s.perturb.Store(&p)
+	if tr := s.tracer; tr != nil {
+		tr.Instant(0, trace.KindCrash, 0, 0, l, 0, int64(l))
+	}
+	return nil
+}
+
 // Tracer returns the system's span recorder, or nil when tracing is
 // off. Instrumentation sites nil-check this themselves on hot paths.
 func (s *System) Tracer() *trace.Recorder { return s.tracer }

@@ -217,6 +217,50 @@ func (r Rebalanced[V]) InsertBulk(c *pgas.Ctx, pairs []KV[V]) int {
 	return int(inserted.Load())
 }
 
+// Failover adopts every bucket the dead locale owns onto the
+// survivors: bucket e goes to the e-th alive locale round-robin, so a
+// given crash always produces the same deterministic placement. Each
+// adoption is one ordinary epoch-coherent Migrate — the entry hop
+// targets the dead source, so the caller must pass a salvage context
+// (pgas.Ctx.Salvage) or every migration is refused. The retired lists
+// land on the dead locale's limbo; run EpochManager.ForceRetire
+// afterwards to drain them and clear any stranded pins.
+//
+// Every completed adoption records one always-on KindAdopt span
+// (src = dead locale, dst = adopter, bytes = payload, arg = bucket),
+// so a trace's adopt begin-count equals the returned shard count
+// exactly; the handoff's own duration is on its KindMigrate span.
+func (r Rebalanced[V]) Failover(c *pgas.Ctx, dead int) (shards, bytes int64) {
+	sys := c.Sys()
+	var alive []int
+	for l := 0; l < r.m.locales; l++ {
+		if l != dead && sys.Alive(l) {
+			alive = append(alive, l)
+		}
+	}
+	if len(alive) == 0 {
+		return 0, 0
+	}
+	tr := sys.Tracer()
+	for e := 0; e < r.m.nbuckets; e++ {
+		if owner, _ := r.tab.Owner(e); owner != dead {
+			continue
+		}
+		dst := alive[e%len(alive)]
+		b, ok := r.Migrate(c, e, dst)
+		if !ok {
+			continue
+		}
+		shards++
+		bytes += b
+		if tr != nil {
+			sp := tr.Begin(c.Here(), trace.KindAdopt, c.TaskID(), dead, dst, 0, int64(e))
+			sp.EndWith(b, int64(e))
+		}
+	}
+	return shards, bytes
+}
+
 // Migrate hands bucket e to locale dst: drain the source's combiner,
 // snapshot the bucket, ship the contents through the bulk framing,
 // swap the slot's list pointer, republish the owner table with a
@@ -233,6 +277,12 @@ func (r Rebalanced[V]) Migrate(c *pgas.Ctx, e, dst int) (bytes int64, ok bool) {
 	if dst < 0 || dst >= r.m.locales {
 		return 0, false
 	}
+	// Migrating into a dead locale would strand the bucket: the fill op
+	// would drain to the lost-ops ledger and the republished owner would
+	// never answer. Decline — even from a salvage context.
+	if !c.Sys().Alive(dst) {
+		return 0, false
+	}
 	src, gen := r.tab.Owner(e)
 	if src == dst {
 		return 0, false
@@ -244,12 +294,6 @@ func (r Rebalanced[V]) Migrate(c *pgas.Ctx, e, dst int) (bytes int64, ok bool) {
 			// republished e, and this one must not double-move it.
 			if _, cur := r.tab.Owner(e); cur != gen {
 				return
-			}
-			// The span opens only after the re-check: migration spans
-			// count completed handoffs exactly (begins == MigAdopted).
-			var sp trace.Span
-			if tr := lc.Sys().Tracer(); tr != nil {
-				sp = tr.Begin(lc.Here(), trace.KindMigrate, lc.TaskID(), lc.Here(), dst, 0, int64(e))
 			}
 			slot := t.buckets[e]
 			old := slot.list.Load()
@@ -264,7 +308,9 @@ func (r Rebalanced[V]) Migrate(c *pgas.Ctx, e, dst int) (bytes int64, ok bool) {
 			fresh := list.New[V](lc, dst, r.m.em)
 			bytes = int64(len(keys)) * mapWriteBytes
 			agg := lc.Aggregator(dst)
+			landed := false
 			agg.CallSized(bytes, func(ac *pgas.Ctx) {
+				landed = true
 				ac.Sys().Counters().IncMigAdopt(ac.Here())
 				r.m.em.Protect(ac, func(tok *epoch.Token) {
 					for i, k := range keys {
@@ -276,6 +322,26 @@ func (r Rebalanced[V]) Migrate(c *pgas.Ctx, e, dst int) (bytes int64, ok bool) {
 			// the combiner (no system quiesce, no foreign combiner taken —
 			// the fill op touches only the still-private fresh list).
 			agg.Flush()
+			if !landed {
+				// dst died between the entry liveness check and the drain:
+				// the fill op was refused into the lost-ops ledger. Abandon
+				// the handoff — the old list stays published, ownership
+				// does not move, and the books stay balanced (no adopt was
+				// counted, so no retire may be either). The private fresh
+				// list is retired so nothing leaks.
+				r.m.em.Protect(lc, func(tok *epoch.Token) {
+					fresh.Retire(lc, tok)
+				})
+				bytes = 0
+				return
+			}
+			// The span opens only once the fill has landed: nothing can
+			// fail past this point, so migration spans count completed
+			// handoffs exactly (begins == MigAdopted).
+			var sp trace.Span
+			if tr := lc.Sys().Tracer(); tr != nil {
+				sp = tr.Begin(lc.Here(), trace.KindMigrate, lc.TaskID(), lc.Here(), dst, 0, int64(e))
+			}
 			slot.list.Store(fresh)
 			r.tab.Republish(e, dst)
 			r.m.em.Protect(lc, func(tok *epoch.Token) {

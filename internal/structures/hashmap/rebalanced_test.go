@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"gopgas/internal/comm"
@@ -284,6 +285,233 @@ func runMigrationStorm(t *testing.T, migrate bool) (map[uint64]int64, comm.Snaps
 	}
 	m.Destroy(c0)
 	return got, snap, migrations, migBytes
+}
+
+// A locale dies in the middle of the migration storm and the survivors
+// adopt its shards while their own traffic — and the migration driver —
+// keeps running. The test is the crash half of the storm family: the
+// victim's tasks abandon fail-stop (no flush, no unregister, budget to
+// the ledger), a stranded pin models the epoch wedge a dead task leaves
+// behind, and recovery runs Failover plus ForceRetire from a salvage
+// context against live concurrent mutators. Under -race this storms the
+// failover handoff exactly where it is most fragile. Afterward:
+//
+//   - no bucket is owned by the dead locale, and a deterministic final
+//     pass lands every key on the adopters with zero further ops lost;
+//   - adopt/retire books balance globally (driver migrations, the
+//     aborted-handoff path, and failover adoptions all included);
+//   - ForceRetire cleared exactly the stranded pin, and the final Clear
+//     drains every deferred node (deferred == reclaimed, zero UAF).
+func TestRebalancedCrashFailoverStorm(t *testing.T) {
+	const locales, tasks, hotKeys, writes, maxMigrations = 4, 2, 4, 512, 1024
+	const victim = 2
+	s := pgas.NewSystem(pgas.Config{
+		Locales: locales,
+		Backend: comm.BackendNone,
+		Seed:    7,
+		Agg:     comm.AggConfig{Combine: true},
+	})
+	defer s.Shutdown()
+	c0 := s.Ctx(0)
+	em := epoch.NewEpochManager(c0)
+	m := New[int64](c0, 32, em)
+	rv := m.Rebalanced(c0)
+
+	// The stranded pin: a task the crash will kill mid-read. Left alone
+	// it wedges every epoch advance after the first; ForceRetire must
+	// clear it (and only it — the workers' tokens are quiescent).
+	c0.On(victim, func(vc *pgas.Ctx) { em.Pin(vc) })
+
+	stop := make(chan struct{})
+	var migWG sync.WaitGroup
+	migWG.Add(1)
+	go func() {
+		defer migWG.Done()
+		mc := s.Ctx(0)
+		for r := 0; r < maxMigrations; r++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := r % rv.NumEntries()
+			dst := (rv.EntryOwner(e) + 1 + r%(locales-1)) % locales
+			rv.Migrate(mc, e, dst)
+			runtime.Gosched()
+		}
+	}()
+
+	// The victim's tasks park at their halfway mark until the crash has
+	// landed, then observe it on their next liveness check and abandon —
+	// a deterministic crash point (each victim task loses exactly half
+	// its budget) that still lets the survivors and the migration driver
+	// race the recovery freely.
+	crashed := make(chan struct{})
+	var victimProgress atomic.Int64
+	var lostBudget atomic.Int64
+	var victimWG, wg sync.WaitGroup
+	for loc := 0; loc < locales; loc++ {
+		for task := 0; task < tasks; task++ {
+			wg.Add(1)
+			if loc == victim {
+				victimWG.Add(1)
+			}
+			go func(loc, task int) {
+				defer wg.Done()
+				if loc == victim {
+					defer victimWG.Done()
+				}
+				c := s.Ctx(loc)
+				id := uint64(loc*tasks + task)
+				tok := em.Register(c)
+				for i := 0; i < writes; i++ {
+					if loc == victim && i == writes/2 {
+						<-crashed
+					}
+					// Fail-stop: a task dies with its locale — it abandons
+					// its remaining budget to the ledger and exits without
+					// flushing its buffers or unregistering its token.
+					if !s.Alive(loc) {
+						lostBudget.Add(int64(writes - i))
+						s.Counters().IncOpsLost(loc, int64(writes-i))
+						return
+					}
+					k := id*1000 + uint64(i)%hotKeys
+					switch {
+					case i%97 == 13:
+						rv.RemoveAgg(c, k)
+					case i%31 == 7:
+						rv.Get(c, tok, k)
+					default:
+						rv.UpsertAgg(c, k, int64(id)<<32|int64(i))
+					}
+					if loc == victim {
+						victimProgress.Add(1)
+					}
+				}
+				c.Flush()
+				tok.Unregister(c)
+			}(loc, task)
+		}
+	}
+
+	// Orchestrator: crash mid-storm, wait for the victim's tasks to
+	// drain (force-retiring a pin a live task still holds would break
+	// the grace period it guarantees), then recover while the surviving
+	// six workers and the migration driver keep storming.
+	var shards, bytes, tokens int64
+	var victimOwned int
+	var orchWG sync.WaitGroup
+	orchWG.Add(1)
+	go func() {
+		defer orchWG.Done()
+		for victimProgress.Load() < tasks*(writes/2) {
+			runtime.Gosched()
+		}
+		if err := s.Crash(victim); err != nil {
+			t.Errorf("Crash(%d): %v", victim, err)
+			return
+		}
+		close(crashed)
+		victimWG.Wait()
+		for e := 0; e < rv.NumEntries(); e++ {
+			if rv.EntryOwner(e) == victim {
+				victimOwned++
+			}
+		}
+		oc := s.Ctx(0)
+		sc := oc.Salvage()
+		shards, bytes = rv.Failover(sc, victim)
+		tokens = em.ForceRetire(sc, victim)
+		sc.Flush()
+	}()
+
+	wg.Wait()
+	orchWG.Wait()
+	close(stop)
+	migWG.Wait()
+	c0.Flush() // drain any still-pending async re-route chains
+
+	if want := int64(tasks * (writes - writes/2)); lostBudget.Load() != want {
+		t.Fatalf("victim tasks abandoned %d ops, want exactly %d (half of each task's budget)",
+			lostBudget.Load(), want)
+	}
+	if shards != int64(victimOwned) {
+		t.Fatalf("failover adopted %d shards, victim owned %d at recovery", shards, victimOwned)
+	}
+	if shards == 0 {
+		t.Fatal("victim owned no shards at recovery; the failover is vacuous")
+	}
+	if tokens != 1 {
+		t.Fatalf("force-retired %d tokens, want exactly the stranded pin", tokens)
+	}
+	for e := 0; e < rv.NumEntries(); e++ {
+		if own := rv.EntryOwner(e); own == victim {
+			t.Fatalf("entry %d still owned by dead locale %d", e, victim)
+		}
+	}
+
+	// Deterministic final pass: every key re-written from locale 0 must
+	// land on the adopters — zero further refusals — fixing the exact
+	// final contents regardless of what the crash swallowed.
+	preLost := s.Counters().Snapshot().OpsLost
+	for id := uint64(0); id < locales*tasks; id++ {
+		for j := uint64(0); j < hotKeys; j++ {
+			k := id*1000 + j
+			if (id+j)%3 == 0 {
+				rv.RemoveAgg(c0, k)
+			} else {
+				rv.UpsertAgg(c0, k, int64(id*100+j))
+			}
+		}
+	}
+	c0.Flush()
+
+	want := make(map[uint64]int64)
+	for id := uint64(0); id < locales*tasks; id++ {
+		for j := uint64(0); j < hotKeys; j++ {
+			if (id+j)%3 != 0 {
+				want[id*1000+j] = int64(id*100 + j)
+			}
+		}
+	}
+	got := make(map[uint64]int64)
+	tok := em.Register(c0)
+	m.ForEach(c0, tok, func(k uint64, v int64) bool {
+		got[k] = v
+		return true
+	})
+	tok.Unregister(c0)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-recovery state diverged:\ngot:  %v\nwant: %v", got, want)
+	}
+
+	snap := s.Counters().Snapshot()
+	if snap.OpsLost != preLost {
+		t.Fatalf("post-recovery writes were refused: opsLost %d -> %d", preLost, snap.OpsLost)
+	}
+	if snap.OpsLost < lostBudget.Load() {
+		t.Fatalf("ledger %d below the victims' abandoned budget %d", snap.OpsLost, lostBudget.Load())
+	}
+	if snap.MigAdopted != snap.MigRetired {
+		t.Fatalf("books unbalanced after crash storm: adopted %d retired %d", snap.MigAdopted, snap.MigRetired)
+	}
+	if snap.MigAdopted < shards {
+		t.Fatalf("adopted %d below failover's %d shards", snap.MigAdopted, shards)
+	}
+	if bytes < 0 || snap.MigBytes < bytes {
+		t.Fatalf("failover bytes %d exceed total migrated bytes %d", bytes, snap.MigBytes)
+	}
+
+	heap := s.HeapStats()
+	if heap.UAFLoads != 0 || heap.UAFStores != 0 || heap.UAFFrees != 0 {
+		t.Fatalf("use-after-free under crash storm: %+v", heap)
+	}
+	em.Clear(c0)
+	if st := em.Stats(c0); st.Deferred != st.Reclaimed {
+		t.Fatalf("epoch books after crash storm: deferred %d reclaimed %d", st.Deferred, st.Reclaimed)
+	}
+	m.Destroy(c0)
 }
 
 // The migration storm is invisible to the data: a run whose buckets

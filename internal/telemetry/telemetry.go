@@ -19,17 +19,20 @@ import (
 	"gopgas/internal/trace"
 )
 
-// FaultRequest is the POST body of /api/fault: a latency perturbation
-// to install system-wide, in the vocabulary of comm.Perturbation but
-// declared here so the server stays simulator-free. Exactly one of the
-// three forms applies, checked in order: Clear removes all faults,
-// Scales installs an explicit per-locale factor vector, and
-// SlowLocale/SlowFactor slows one locale.
+// FaultRequest is the POST body of /api/fault: a fault to apply
+// system-wide, in the vocabulary of comm.Perturbation but declared
+// here so the server stays simulator-free. Exactly one form applies,
+// checked in order: Crash kills CrashLocale fail-stop (irreversible —
+// a later Clear does not resurrect it), Clear removes the latency
+// perturbation, Scales installs an explicit per-locale factor vector,
+// and SlowLocale/SlowFactor slows one locale.
 type FaultRequest struct {
-	Clear      bool      `json:"clear,omitempty"`
-	Scales     []float64 `json:"scales,omitempty"`
-	SlowLocale int       `json:"slow_locale,omitempty"`
-	SlowFactor float64   `json:"slow_factor,omitempty"`
+	Crash       bool      `json:"crash,omitempty"`
+	CrashLocale int       `json:"crash_locale,omitempty"`
+	Clear       bool      `json:"clear,omitempty"`
+	Scales      []float64 `json:"scales,omitempty"`
+	SlowLocale  int       `json:"slow_locale,omitempty"`
+	SlowFactor  float64   `json:"slow_factor,omitempty"`
 }
 
 // Options wires the server's endpoints to whatever is running. Any nil

@@ -67,6 +67,20 @@ const (
 	// KindPinned is an instant gauge emitted per locale by the advance
 	// scan: arg is the number of pinned tokens the scan observed.
 	KindPinned
+	// KindCrash is an instant: dst was declared dead (fail-stop). Always
+	// recorded — a run records exactly as many crash instants as crashes
+	// applied.
+	KindCrash
+	// KindAdopt spans one shard adoption during failover: src is the
+	// dead locale, dst the surviving adopter, bytes the shipped payload,
+	// arg the bucket index. Recorded only for completed adoptions, so
+	// begin-counts equal the shards-adopted ledger.
+	KindAdopt
+	// KindForceRetire spans one epoch token force-retired on a dead
+	// locale: one span per token, so begin-counts equal the
+	// tokens-force-retired ledger; arg is the epoch the token was
+	// stranded pinned in.
+	KindForceRetire
 
 	numKinds
 )
@@ -82,6 +96,9 @@ var kindNames = [numKinds]string{
 	KindReroute:      "reroute",
 	KindDefer:        "defer",
 	KindPinned:       "pinned",
+	KindCrash:        "crash",
+	KindAdopt:        "adopt",
+	KindForceRetire:  "force_retire",
 }
 
 func (k Kind) String() string {

@@ -43,6 +43,16 @@ type Ticker interface {
 	Tick(c *pgas.Ctx)
 }
 
+// FailoverHandler is an optional Driver extension: adopt every shard
+// the dead locale owns onto the survivors. The engine calls it from a
+// salvage context right after marking the locale down (and before
+// force-retiring its epoch tokens); it returns the shards adopted and
+// the payload bytes moved. A driver that cannot fail over returns
+// (0, 0), which the availability verdict records as not recovered.
+type FailoverHandler interface {
+	Failover(c *pgas.Ctx, dead int) (shards, bytes int64)
+}
+
 // NewDriver returns the driver for a structure.
 func NewDriver(s Structure) (Driver, error) {
 	switch s {
@@ -68,10 +78,13 @@ func NewDriver(s Structure) (Driver, error) {
 // through the fire-and-forget UpsertAgg/RemoveAgg path instead —
 // absorbed in flight per the spec's combine policy and drained through
 // the owner's flat combiner — while gets stay on the direct path.
-// When the spec enables rebalancing, every op goes through the
-// owner-table-routed hashmap.Rebalanced view instead, and the driver
-// exposes a Ticker control loop stepping a rebalance.Controller that
-// migrates hot buckets off overloaded locales mid-phase.
+// When the spec enables rebalancing — or schedules a crash with
+// failover, which needs the same gen-checked reroute to survive
+// ownership changing under live traffic — every op goes through the
+// owner-table-routed hashmap.Rebalanced view instead; with rebalancing
+// the driver additionally exposes a Ticker control loop stepping a
+// rebalance.Controller that migrates hot buckets off overloaded
+// locales mid-phase.
 type hashmapDriver struct {
 	m          hashmap.Map[int64]
 	cv         hashmap.CachedView[int64]
@@ -80,6 +93,7 @@ type hashmapDriver struct {
 	cached     bool
 	combined   bool
 	rebalanced bool
+	routed     bool // route through rv: rebalanced or failover scheduled
 	interval   time.Duration
 }
 
@@ -98,12 +112,15 @@ func (d *hashmapDriver) Setup(c *pgas.Ctx, em epoch.EpochManager, spec Spec) {
 	d.cached = spec.Cache != nil && spec.Cache.Enabled
 	d.combined = spec.Combine != nil && spec.Combine.Enabled
 	d.rebalanced = spec.Rebalance != nil && spec.Rebalance.Enabled
+	d.routed = d.rebalanced || spec.hasFailover()
 	if d.cached {
 		d.cv = d.m.Cached(c, spec.Cache.Slots)
 	}
+	if d.routed {
+		d.rv = d.m.Rebalanced(c)
+	}
 	if d.rebalanced {
 		rb := spec.Rebalance
-		d.rv = d.m.Rebalanced(c)
 		d.ctrl = rebalance.NewController(c, d.rv, rebalance.Config{
 			Ratio:    rb.Ratio,
 			MaxMoves: rb.MaxMoves,
@@ -125,6 +142,17 @@ func (d *hashmapDriver) TickInterval() time.Duration {
 // Tick judges one rebalancing window.
 func (d *hashmapDriver) Tick(c *pgas.Ctx) { d.ctrl.Step(c) }
 
+// Failover adopts every bucket the dead locale owns onto the alive
+// locales through the epoch-coherent migration path. Requires the
+// owner-table view, which Setup builds whenever the spec schedules a
+// failover crash (or enables rebalancing).
+func (d *hashmapDriver) Failover(c *pgas.Ctx, dead int) (shards, bytes int64) {
+	if !d.routed {
+		return 0, 0
+	}
+	return d.rv.Failover(c, dead)
+}
+
 func (d *hashmapDriver) Apply(c *pgas.Ctx, tok *epoch.Token, kind OpKind, key uint64) {
 	if d.cached {
 		switch kind {
@@ -137,7 +165,7 @@ func (d *hashmapDriver) Apply(c *pgas.Ctx, tok *epoch.Token, kind OpKind, key ui
 		}
 		return
 	}
-	if d.rebalanced {
+	if d.routed {
 		switch kind {
 		case OpInsert:
 			d.rv.UpsertAgg(c, key, int64(key))
@@ -178,7 +206,7 @@ func (d *hashmapDriver) ApplyBulk(c *pgas.Ctx, _ int, keys []uint64) {
 		d.cv.InsertBulk(c, pairs)
 		return
 	}
-	if d.rebalanced {
+	if d.routed {
 		d.rv.InsertBulk(c, pairs)
 		return
 	}

@@ -79,9 +79,29 @@ func RunLive(spec Spec, progress io.Writer, tel *Telemetry) (*Report, error) {
 		zipf = newZipfGen(spec.Keyspace, spec.Dist.Theta)
 	}
 
+	var avail *AvailabilityReport
+	if len(spec.Faults.Crashes) > 0 {
+		avail = &AvailabilityReport{Recovered: true}
+	}
+
 	rep := &Report{Spec: spec}
 	for pi, ph := range spec.Phases {
-		pr := runPhase(sys, c0, em, drv, spec, pi, ph, zipf, tel)
+		// Boundary crashes land before the phase spawns its workers, so
+		// a seeded run with the same crash schedule replays exactly.
+		// Mid-phase crashes (AfterOps > 0) are handed to runPhase, which
+		// applies them from a monitor while the workers run.
+		var mid []CrashSpec
+		for _, cr := range spec.Faults.Crashes {
+			if cr.Phase != pi {
+				continue
+			}
+			if cr.AfterOps > 0 {
+				mid = append(mid, cr)
+			} else {
+				applyCrash(sys, c0, em, drv, spec, cr, avail, nil)
+			}
+		}
+		pr := runPhase(sys, c0, em, drv, spec, pi, ph, zipf, tel, mid, avail)
 		rep.Phases = append(rep.Phases, pr)
 		rep.TotalOps += pr.Ops
 		rep.TotalSeconds += pr.Seconds
@@ -100,11 +120,89 @@ func RunLive(spec Spec, progress io.Writer, tel *Telemetry) (*Report, error) {
 		UAFLoads: h.UAFLoads, UAFStores: h.UAFStores, UAFFrees: h.UAFFrees,
 	}
 	est := em.Stats(c0)
-	rep.Epoch = EpochReport{Deferred: est.Deferred, Reclaimed: est.Reclaimed, Advances: est.Advances}
+	rep.Epoch = EpochReport{Deferred: est.Deferred, Reclaimed: est.Reclaimed, Advances: est.Advances, AdvanceFail: est.AdvanceFail}
+	if avail != nil {
+		avail.OpsLost = sys.Counters().Snapshot().OpsLost
+		rep.Availability = avail
+	}
 	if tracer != nil {
 		rep.Trace, rep.TraceEvents = drainTrace(sys, tracer)
 	}
 	return rep, nil
+}
+
+// applyCrash kills one locale and, when asked, recovers from it. The
+// sequence models a fail-stop node loss:
+//
+//  1. Strand the pins the dead locale's tasks would have held: the
+//     simulator cannot kill goroutines mid-operation, so one pinned
+//     token per task is registered on the locale just before it goes
+//     down. These are the pins that wedge every later epoch advance
+//     unless force-retired.
+//  2. Mark the locale dead (System.Crash): from here every op whose
+//     destination is the dead locale is refused into the OpsLost
+//     ledger, and the engine stops spawning its workers.
+//  3. When the crash asks for failover: adopt its shards onto the
+//     survivors through the driver's FailoverHandler, then force-
+//     retire the stranded tokens and drain the dead locale's limbo —
+//     both from a salvage context, the recovery plane's exemption from
+//     refusal (the shared-storage conceit). The wall time of this step
+//     is the crash's time-to-recover.
+//
+// Idempotent per locale: a second crash of an already-dead locale is a
+// no-op that records nothing.
+//
+// live, when non-nil, holds the phase's per-locale running-task counts:
+// a mid-phase crash waits for the dead locale's tasks to observe the
+// crash and abandon (they poll Alive every 16 ops) before force-
+// retiring, because clearing a pin a still-draining task holds live
+// would break the grace period that pin guarantees. Boundary crashes
+// pass nil — no tasks are running between phases.
+func applyCrash(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver, spec Spec, cr CrashSpec, avail *AvailabilityReport, live []atomic.Int64) {
+	if !sys.Alive(cr.Locale) {
+		return
+	}
+	c0.On(cr.Locale, func(lc *pgas.Ctx) {
+		for t := 0; t < spec.TasksPerLocale; t++ {
+			em.Pin(lc)
+		}
+	})
+	if err := sys.Crash(cr.Locale); err != nil {
+		// Validate bounds crash locales; reaching here means the spec
+		// bypassed validation, which the run should surface, not hide.
+		panic(err)
+	}
+	avail.Crashes++
+	if !cr.Failover {
+		avail.Recovered = false
+		return
+	}
+	fh, ok := drv.(FailoverHandler)
+	if !ok {
+		avail.Recovered = false
+		return
+	}
+	if live != nil {
+		for live[cr.Locale].Load() > 0 {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	t0 := time.Now()
+	sc := c0.Salvage()
+	shards, bytes := fh.Failover(sc, cr.Locale)
+	tokens := em.ForceRetire(sc, cr.Locale)
+	sc.Flush()
+	avail.ShardsAdopted += shards
+	avail.BytesAdopted += bytes
+	avail.TokensForceRetired += tokens
+	avail.RecoverNS += time.Since(t0).Nanoseconds()
+	if shards == 0 && bytes == 0 && tokens == 0 {
+		// Nothing was adopted or retired: the driver had no owner-table
+		// view (or the locale owned nothing and ran no tasks, which the
+		// engine's own pins make impossible). Either way the crash was
+		// not recovered from.
+		avail.Recovered = false
+	}
 }
 
 // drainTrace quiesces the system, drains whatever the live window left
@@ -137,18 +235,61 @@ func drainTrace(sys *pgas.System, tracer *trace.Recorder) (*TraceReport, []trace
 }
 
 // runPhase executes one phase (all rounds) and assembles its report.
-func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver, spec Spec, phaseIdx int, ph Phase, zipf *zipfGen, tel *Telemetry) PhaseReport {
+// mid holds the phase's mid-phase crashes (AfterOps > 0): a monitor
+// applies each once the phase's tasks have issued that many ops.
+func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver, spec Spec, phaseIdx int, ph Phase, zipf *zipfGen, tel *Telemetry, mid []CrashSpec, avail *AvailabilityReport) PhaseReport {
 	workers := spec.Locales * spec.TasksPerLocale
 	hists := make([]*bench.Histogram, workers)
 	for i := range hists {
 		hists[i] = &bench.Histogram{}
 	}
 	counts := make([]atomic.Int64, numOps)
+	liveTasks := make([]atomic.Int64, spec.Locales)
 	var digest atomic.Uint64
 
 	before := sys.Counters().Snapshot()
 	beforeM := sys.Matrix().Snapshot()
 	start := time.Now()
+
+	// Mid-phase crash monitor: polls the phase's issued-op total and
+	// applies each pending crash the first time the total reaches its
+	// AfterOps mark. It owns its Ctx (contexts are single-goroutine) and
+	// runs across rounds — Validate already rejects mid-phase crashes in
+	// churn phases, so it can never race Destroy/Setup.
+	var crashStop chan struct{}
+	var crashWG sync.WaitGroup
+	if len(mid) > 0 {
+		crashStop = make(chan struct{})
+		pending := append([]CrashSpec(nil), mid...)
+		crashWG.Add(1)
+		go func() {
+			defer crashWG.Done()
+			mc := sys.Ctx(0)
+			ticker := time.NewTicker(200 * time.Microsecond)
+			defer ticker.Stop()
+			for len(pending) > 0 {
+				select {
+				case <-crashStop:
+					return
+				case <-ticker.C:
+					var issued int64
+					for k := range counts {
+						issued += counts[k].Load()
+					}
+					rest := pending[:0]
+					for _, cr := range pending {
+						if issued >= cr.AfterOps {
+							applyCrash(sys, mc, em, drv, spec, cr, avail, liveTasks)
+						} else {
+							rest = append(rest, cr)
+						}
+					}
+					pending = rest
+				}
+			}
+		}()
+	}
+
 	for round := 0; round < ph.rounds(); round++ {
 		// Drivers with a periodic control loop (rebalancing) get one
 		// ticker task per round, on its own context, stopped before any
@@ -176,9 +317,20 @@ func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver,
 		var wg sync.WaitGroup
 		for loc := 0; loc < spec.Locales; loc++ {
 			for t := 0; t < spec.TasksPerLocale; t++ {
+				if !sys.Alive(loc) {
+					// A dead locale spawns nothing; its closed-loop budget
+					// for this round is lost by definition and goes into
+					// the ledger so availability accounting stays exact.
+					if ph.OpsPerTask > 0 {
+						sys.Counters().IncOpsLost(loc, int64(ph.OpsPerTask))
+					}
+					continue
+				}
+				liveTasks[loc].Add(1)
 				wg.Add(1)
 				go func(loc, t int) {
 					defer wg.Done()
+					defer liveTasks[loc].Add(-1)
 					runTask(sys, em, drv, spec, phaseIdx, round, loc, t, ph, zipf,
 						hists[loc*spec.TasksPerLocale+t], counts, &digest, tel)
 				}(loc, t)
@@ -200,6 +352,10 @@ func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver,
 			drv.Destroy(c0)
 			drv.Setup(c0, em, spec)
 		}
+	}
+	if crashStop != nil {
+		close(crashStop)
+		crashWG.Wait()
 	}
 	seconds := time.Since(start).Seconds()
 
@@ -255,7 +411,6 @@ func runTask(sys *pgas.System, em epoch.EpochManager, drv Driver, spec Spec,
 
 	c := sys.Ctx(loc)
 	tok := em.Register(c)
-	defer tok.Unregister(c)
 	st := NewStream(spec.Seed, phaseIdx, round, loc, task, spec.Keyspace, spec.Dist, ph.Mix, zipf)
 
 	var deadline time.Time
@@ -276,6 +431,18 @@ func runTask(sys *pgas.System, em epoch.EpochManager, drv Driver, spec Spec,
 			}
 		} else if !time.Now().Before(deadline) {
 			break
+		}
+		// Fail-stop: a task dies with its locale — it abandons its
+		// remaining budget to the ledger and exits without flushing its
+		// buffers (lost with the node) or unregistering its token (no
+		// one survives to do it; the engine's stranded pins, not this
+		// quiescent token, are what force-retire clears). Checked every
+		// 16 ops: a mid-phase crash already lands at a racing op count.
+		if i&15 == 0 && !sys.Alive(loc) {
+			if ph.OpsPerTask > 0 {
+				sys.Counters().IncOpsLost(loc, int64(ph.OpsPerTask-i))
+			}
+			return
 		}
 		if ph.TargetRate > 0 {
 			// Open-loop pacing: hold the issue schedule. Missed slots
@@ -323,4 +490,5 @@ func runTask(sys *pgas.System, em epoch.EpochManager, drv Driver, spec Spec,
 	// (bulk routing) before the round joins.
 	c.Flush()
 	digest.Add(sum)
+	tok.Unregister(c)
 }

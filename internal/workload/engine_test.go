@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"gopgas/internal/comm"
 	"gopgas/internal/trace"
 )
 
@@ -157,6 +158,85 @@ func TestSeededRunBitIdentical(t *testing.T) {
 		if ph.RemoteOps != 0 {
 			t.Fatalf("local-only phase %s performed %d remote ops", ph.Name, ph.RemoteOps)
 		}
+	}
+}
+
+// TestSeededCrashFailoverReplay extends the determinism criterion to
+// the failure plane: two runs of one seeded scenario with the same
+// phase-boundary crash schedule replay bit-identically — op counts,
+// digests, comm counters and matrices (the OpsLost ledger rides in the
+// comm snapshot), live-heap accounting, and the availability verdict.
+// The workload is aggregated-write-only so every op ships exactly one
+// routed write to its owner: reads (whose traversal lengths, and
+// first-insert CAS races, whose allocation counts, vary with
+// scheduling) are kept out of the asserted parts.
+func TestSeededCrashFailoverReplay(t *testing.T) {
+	spec := Spec{
+		Name:           "crash-replay",
+		Structure:      StructureHashmap,
+		Locales:        4,
+		TasksPerLocale: 1,
+		Backend:        "none",
+		Seed:           0xFA11,
+		Keyspace:       1 << 12,
+		Dist:           KeyDist{Kind: DistZipfian, Theta: 0.8},
+		Phases: []Phase{
+			{Name: "load", Mix: Mix{Insert: 1}, OpsPerTask: 400},
+			{Name: "degraded", Mix: Mix{Insert: 1}, OpsPerTask: 600},
+		},
+		Faults: Faults{Crashes: []CrashSpec{{Locale: 2, Phase: 1, Failover: true}}},
+	}
+	type crashParts struct {
+		deterministicParts
+		OpsLost            int64
+		Crashes            int
+		ShardsAdopted      int64
+		BytesAdopted       int64
+		TokensForceRetired int64
+		Recovered          bool
+	}
+	run := func() crashParts {
+		rep, err := Run(spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Availability == nil {
+			t.Fatal("crashed run reports no availability verdict")
+		}
+		p := crashParts{deterministicParts: partsOf(rep)}
+		// Allocation and CAS-attempt counts are schedule-dependent under
+		// first-insert races; Live (the surviving key set) and everything
+		// that crosses the wire are not.
+		p.HeapAlloc = 0
+		for i, c := range p.Comm {
+			snap := c.(comm.Snapshot)
+			snap.LocalAMOs, snap.CASAttempts, snap.CASRetries = 0, 0, 0
+			p.Comm[i] = snap
+		}
+		av := rep.Availability
+		p.OpsLost = av.OpsLost
+		p.Crashes = av.Crashes
+		p.ShardsAdopted = av.ShardsAdopted
+		p.BytesAdopted = av.BytesAdopted
+		p.TokensForceRetired = av.TokensForceRetired
+		p.Recovered = av.Recovered
+		return p
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("seeded crash runs diverged:\n run A: %+v\n run B: %+v", a, b)
+	}
+	if !a.Recovered {
+		t.Fatal("failover crash did not recover")
+	}
+	if a.Crashes != 1 || a.ShardsAdopted == 0 || a.TokensForceRetired != int64(spec.TasksPerLocale) {
+		t.Fatalf("availability evidence off: %+v", a)
+	}
+	// With failover complete before the degraded phase spawns, the only
+	// lost ops are the dead locale's own unissued budget: its one task's
+	// closed-loop 600 ops. Nothing the survivors issue may be refused.
+	if want := int64(spec.Phases[1].OpsPerTask); a.OpsLost != want {
+		t.Fatalf("opsLost = %d, want exactly the dead locale's budget %d", a.OpsLost, want)
 	}
 }
 

@@ -24,6 +24,11 @@ type Report struct {
 	Heap  HeapReport  `json:"heap"`
 	Epoch EpochReport `json:"epoch"`
 
+	// Availability is present when the spec scheduled crashes: the
+	// lost-ops ledger, the failover work performed, and the recovery
+	// cost.
+	Availability *AvailabilityReport `json:"availability,omitempty"`
+
 	// Trace is present when the spec enabled tracing: the recorder's
 	// end-of-run accounting plus per-kind span counts.
 	Trace *TraceReport `json:"trace,omitempty"`
@@ -49,13 +54,43 @@ type TraceReport struct {
 	Balanced   bool             `json:"balanced"`
 }
 
+// AvailabilityReport is the crash plan's verdict. Recovery succeeded
+// when Recovered holds and the run's Heap.Safe() and Epoch.Balanced()
+// verdicts still pass — a crash may lose workload ops (the ledger
+// counts them) but never a deferred deletion or heap safety.
+type AvailabilityReport struct {
+	// Crashes is how many scheduled crashes were applied.
+	Crashes int `json:"crashes"`
+	// OpsLost is the end-of-run lost-ops ledger: operations refused
+	// toward dead or partitioned destinations, plus the closed-loop
+	// budget the dead locales' tasks never issued.
+	OpsLost int64 `json:"ops_lost"`
+	// ShardsAdopted / BytesAdopted / TokensForceRetired total the
+	// failover work across all crashes.
+	ShardsAdopted      int64 `json:"shards_adopted"`
+	BytesAdopted       int64 `json:"bytes_adopted"`
+	TokensForceRetired int64 `json:"tokens_force_retired"`
+	// RecoverNS is the wall time spent adopting shards and
+	// force-retiring tokens, summed across crashes (the time-to-recover
+	// metric; 0 when no crash asked for failover).
+	RecoverNS int64 `json:"recover_ns"`
+	// Recovered reports that every applied crash asked for and
+	// completed failover. A no-failover crash leaves it false — the
+	// deliberately wedged arm.
+	Recovered bool `json:"recovered"`
+}
+
 // EpochReport is the end-of-run reclamation verdict, captured after
 // the final clear: every deferred deletion must have been physically
-// reclaimed, or the epoch machinery leaked.
+// reclaimed, or the epoch machinery leaked. AdvanceFail counts won
+// elections blocked by a pinned token — the wedge signature: a crash
+// without force-retirement strands pins, and every election after the
+// first advance fails on them.
 type EpochReport struct {
-	Deferred  int64 `json:"deferred"`
-	Reclaimed int64 `json:"reclaimed"`
-	Advances  int64 `json:"advances"`
+	Deferred    int64 `json:"deferred"`
+	Reclaimed   int64 `json:"reclaimed"`
+	Advances    int64 `json:"advances"`
+	AdvanceFail int64 `json:"advance_fail"`
 }
 
 // Balanced reports whether every deferred object was reclaimed.
@@ -160,6 +195,15 @@ func (r *Report) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "  total: %d ops in %.2fs; heap live=%d uafLoads=%d uafStores=%d uafFrees=%d; epoch reclaimed=%d/%d\n",
 		r.TotalOps, r.TotalSeconds, r.Heap.Live, r.Heap.UAFLoads, r.Heap.UAFStores, r.Heap.UAFFrees,
 		r.Epoch.Reclaimed, r.Epoch.Deferred)
+	if a := r.Availability; a != nil {
+		verdict := "recovered"
+		if !a.Recovered {
+			verdict = "NOT RECOVERED"
+		}
+		fmt.Fprintf(w, "  availability: %d crash(es), opsLost=%d, shardsAdopted=%d (%dB), tokensForceRetired=%d, timeToRecover=%s, %s (advances=%d blocked=%d)\n",
+			a.Crashes, a.OpsLost, a.ShardsAdopted, a.BytesAdopted, a.TokensForceRetired,
+			fmtNS(a.RecoverNS), verdict, r.Epoch.Advances, r.Epoch.AdvanceFail)
+	}
 	if t := r.Trace; t != nil {
 		verdict := "balanced"
 		if !t.Balanced {
@@ -167,12 +211,12 @@ func (r *Report) WriteSummary(w io.Writer) {
 		}
 		fmt.Fprintf(w, "  trace: %d events (1/%d sampled, %d dropped), books %s;",
 			t.Events, t.SampleRate, t.Dropped, verdict)
-		for _, k := range []string{"dispatch", "async", "flush", "combine", "migrate", "epoch_advance", "epoch_reclaim"} {
+		for _, k := range []string{"dispatch", "async", "flush", "combine", "migrate", "adopt", "force_retire", "epoch_advance", "epoch_reclaim"} {
 			if n := t.Spans[k]; n > 0 {
 				fmt.Fprintf(w, " %s=%d", k, n)
 			}
 		}
-		for _, k := range []string{"reroute", "defer"} {
+		for _, k := range []string{"reroute", "defer", "crash"} {
 			if n := t.Instants[k]; n > 0 {
 				fmt.Fprintf(w, " %s=%d", k, n)
 			}

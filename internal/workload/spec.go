@@ -137,8 +137,11 @@ func (p Phase) bulkSize() int {
 	return p.BulkSize
 }
 
-// Faults is the scenario's fault-injection plan, applied as a
-// comm.Perturbation on the System: latency scales, counters exact.
+// Faults is the scenario's fault-injection plan. The latency half
+// (scales, slow locale) lowers to a comm.Perturbation installed at
+// boot: latency scales, counters exact. The liveness half — partitions
+// installed at boot, crashes applied by the engine at their scheduled
+// point — changes exactly one counter, the OpsLost ledger.
 type Faults struct {
 	// SlowFactor, when positive, makes locale SlowLocale run that many
 	// times slower (the "slow locale" mode: every delay touching it is
@@ -149,17 +152,69 @@ type Faults struct {
 	// Scales is an explicit per-locale multiplier plan; entries <= 0
 	// mean nominal. Overrides SlowFactor/SlowLocale when non-empty.
 	Scales []float64 `json:"scales,omitempty"`
+
+	// Crashes schedules fail-stop locale crashes (per-locale, at a
+	// phase boundary or mid-phase op count), optionally with shard
+	// failover and token force-retirement. The run's report gains an
+	// availability verdict when any crash is scheduled.
+	Crashes []CrashSpec `json:"crashes,omitempty"`
+
+	// Partitions are unordered locale pairs unable to exchange traffic
+	// for the whole run (both endpoints stay alive); every op between
+	// them is refused into the OpsLost ledger.
+	Partitions [][2]int `json:"partitions,omitempty"`
 }
 
-// perturbation lowers the fault plan to the comm layer.
+// CrashSpec schedules one fail-stop locale crash. After the crash,
+// every operation whose destination is the dead locale is refused into
+// the OpsLost ledger, the dead locale's tasks issue nothing further
+// (their unissued closed-loop budget is also counted lost), and
+// quiescence excludes it.
+type CrashSpec struct {
+	// Locale is the locale to kill. Locale 0 hosts the global epoch
+	// word and the orchestrating main task, so valid crash locales are
+	// [1, locales).
+	Locale int `json:"locale"`
+	// Phase is the phase index at whose start the crash applies.
+	Phase int `json:"phase"`
+	// AfterOps, when positive, applies the crash mid-phase instead:
+	// once the phase's tasks have issued this many ops system-wide, a
+	// monitor task kills the locale. Mid-phase crashes land at a racing
+	// op count, so — like ReclaimEvery — they trade bit-identical
+	// replay for mid-storm realism; phase-boundary crashes (AfterOps 0)
+	// replay bit-identically.
+	AfterOps int64 `json:"after_ops,omitempty"`
+	// Failover recovers from the crash: the survivors adopt the dead
+	// locale's shards through the epoch-coherent migration path and its
+	// stranded epoch tokens are force-retired (hashmap only). Without
+	// it the crash is left unrecovered — the wedged-reclamation regime
+	// where every epoch advance fails on a pin that will never release.
+	Failover bool `json:"failover,omitempty"`
+}
+
+// hasFailover reports whether any scheduled crash requests failover
+// (which makes the hashmap driver route through the owner-table view).
+func (s Spec) hasFailover() bool {
+	for _, cr := range s.Faults.Crashes {
+		if cr.Failover {
+			return true
+		}
+	}
+	return false
+}
+
+// perturbation lowers the fault plan's boot-time half to the comm
+// layer: latency scales plus static partitions. Crashes are applied by
+// the engine at their scheduled point, not here.
 func (f Faults) perturbation(locales int) comm.Perturbation {
+	var p comm.Perturbation
 	if len(f.Scales) > 0 {
-		return comm.Perturbation{Scales: f.Scales}
+		p.Scales = f.Scales
+	} else if f.SlowFactor > 0 {
+		p = comm.SlowLocale(locales, f.SlowLocale, f.SlowFactor)
 	}
-	if f.SlowFactor > 0 {
-		return comm.SlowLocale(locales, f.SlowLocale, f.SlowFactor)
-	}
-	return comm.Perturbation{}
+	p.Partitions = f.Partitions
+	return p
 }
 
 // CacheSpec configures the hot-key read replication cache
@@ -466,6 +521,36 @@ func (s Spec) Validate() error {
 		}
 		if p.Mix.total() <= 0 {
 			return fmt.Errorf("workload: %s has an empty op mix", where)
+		}
+	}
+	for i, cr := range s.Faults.Crashes {
+		if cr.Locale < 1 || cr.Locale >= s.Locales {
+			return fmt.Errorf("workload: crash %d locale %d out of range [1, %d) (locale 0 hosts the global epoch word and cannot crash)", i, cr.Locale, s.Locales)
+		}
+		if cr.Phase < 0 || cr.Phase >= len(s.Phases) {
+			return fmt.Errorf("workload: crash %d phase %d out of range [0, %d)", i, cr.Phase, len(s.Phases))
+		}
+		if cr.AfterOps < 0 {
+			return fmt.Errorf("workload: crash %d after_ops must be >= 0, got %d", i, cr.AfterOps)
+		}
+		if cr.AfterOps > 0 && s.Phases[cr.Phase].Churn {
+			return fmt.Errorf("workload: crash %d is mid-phase (after_ops > 0) in churn phase %d; a crash cannot race Destroy/Setup", i, cr.Phase)
+		}
+		if cr.Failover {
+			if s.Structure != StructureHashmap {
+				return fmt.Errorf("workload: crash failover is only supported by the hashmap structure, not %q", s.Structure)
+			}
+			if s.Cache != nil && s.Cache.Enabled {
+				return fmt.Errorf("workload: crash failover and cache are mutually exclusive (owner-routed writes bypass cache invalidation)")
+			}
+		}
+	}
+	for i, pr := range s.Faults.Partitions {
+		if pr[0] < 0 || pr[0] >= s.Locales || pr[1] < 0 || pr[1] >= s.Locales {
+			return fmt.Errorf("workload: partition %d pair [%d %d] out of range [0, %d)", i, pr[0], pr[1], s.Locales)
+		}
+		if pr[0] == pr[1] {
+			return fmt.Errorf("workload: partition %d pairs locale %d with itself", i, pr[0])
 		}
 	}
 	return nil

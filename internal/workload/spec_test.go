@@ -105,11 +105,16 @@ func goldenSpec() Spec {
 		Home:           1,
 		Dist:           KeyDist{Kind: DistHotSet, HotFraction: 0.05, HotProb: 0.95},
 		LatencyScale:   0.5,
-		Faults:         Faults{SlowFactor: 4, SlowLocale: 3},
-		Cache:          &CacheSpec{Enabled: true, Slots: 128},
-		Combine:        &CombineSpec{Enabled: false},
-		Rebalance:      &RebalanceSpec{Enabled: false, Ratio: 1.75, IntervalMS: 3, MaxMoves: 2, Cooldown: 2},
-		Trace:          &TraceSpec{Enabled: true, SampleRate: 32, BufferSize: 4096},
+		Faults: Faults{
+			SlowFactor: 4,
+			SlowLocale: 3,
+			Crashes:    []CrashSpec{{Locale: 3, Phase: 1, AfterOps: 250}},
+			Partitions: [][2]int{{1, 2}},
+		},
+		Cache:     &CacheSpec{Enabled: true, Slots: 128},
+		Combine:   &CombineSpec{Enabled: false},
+		Rebalance: &RebalanceSpec{Enabled: false, Ratio: 1.75, IntervalMS: 3, MaxMoves: 2, Cooldown: 2},
+		Trace:     &TraceSpec{Enabled: true, SampleRate: 32, BufferSize: 4096},
 		Phases: []Phase{
 			{Name: "load", Mix: Mix{Insert: 1}, OpsPerTask: 100},
 			{Name: "run", Mix: Mix{Insert: 1, Get: 18, Remove: 1, Bulk: 0.5},
@@ -360,6 +365,127 @@ func TestLoadSpecRejectsUnknownFields(t *testing.T) {
 	}
 }
 
+// The fault plan's validation surface: every malformed crash or
+// partition is rejected with a message naming the offending knob, and
+// the legal shapes (boundary failover, mid-phase crash outside churn,
+// partitions between live locales) pass.
+func TestValidateFaultPlan(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"crash locale zero", func(s *Spec) {
+			s.Faults.Crashes = []CrashSpec{{Locale: 0, Phase: 0}}
+		}, "cannot crash"},
+		{"crash locale out of range", func(s *Spec) {
+			s.Faults.Crashes = []CrashSpec{{Locale: 99, Phase: 0}}
+		}, "out of range"},
+		{"crash phase out of range", func(s *Spec) {
+			s.Faults.Crashes = []CrashSpec{{Locale: 1, Phase: 7}}
+		}, "phase 7 out of range"},
+		{"negative after_ops", func(s *Spec) {
+			s.Faults.Crashes = []CrashSpec{{Locale: 1, Phase: 0, AfterOps: -5}}
+		}, "after_ops"},
+		{"mid-phase crash in churn", func(s *Spec) {
+			s.Phases[1].Churn = true
+			s.Phases[1].Rounds = 2
+			s.Faults.Crashes = []CrashSpec{{Locale: 1, Phase: 1, AfterOps: 10}}
+		}, "churn"},
+		{"failover on queue", func(s *Spec) {
+			s.Structure = StructureQueue
+			s.Phases = []Phase{{Name: "run", Mix: Mix{Enqueue: 1}, OpsPerTask: 10}}
+			s.Faults.Crashes = []CrashSpec{{Locale: 1, Phase: 0, Failover: true}}
+		}, "hashmap"},
+		{"failover with cache", func(s *Spec) {
+			s.Cache = &CacheSpec{Enabled: true, Slots: 16}
+			s.Faults.Crashes = []CrashSpec{{Locale: 1, Phase: 0, Failover: true}}
+		}, "mutually exclusive"},
+		{"partition out of range", func(s *Spec) {
+			s.Faults.Partitions = [][2]int{{0, 64}}
+		}, "out of range"},
+		{"partition self-pair", func(s *Spec) {
+			s.Faults.Partitions = [][2]int{{2, 2}}
+		}, "itself"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := validSpec()
+			c.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("mutation %q accepted", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+
+	// The legal shapes pass: a boundary failover crash, a mid-phase
+	// crash in a non-churn phase, and a partition between live locales.
+	ok := validSpec()
+	ok.Faults = Faults{
+		Crashes:    []CrashSpec{{Locale: 1, Phase: 1, Failover: true}, {Locale: 2, Phase: 0, AfterOps: 5}},
+		Partitions: [][2]int{{1, 3}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("legal fault plan rejected: %v", err)
+	}
+	if !ok.hasFailover() {
+		t.Fatal("hasFailover missed the failover crash")
+	}
+	if validSpec().hasFailover() {
+		t.Fatal("hasFailover on a crash-free spec")
+	}
+}
+
+// The fault plan survives the JSON round trip exactly, and a spec with
+// no faults serializes without the keys at all.
+func TestFaultPlanJSONRoundTrip(t *testing.T) {
+	s := validSpec()
+	s.Faults = Faults{
+		Crashes:    []CrashSpec{{Locale: 2, Phase: 1, AfterOps: 100, Failover: true}},
+		Partitions: [][2]int{{1, 3}},
+	}
+	path := filepath.Join(t.TempDir(), "faults.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Faults, s.Faults) {
+		t.Fatalf("fault plan drifted:\n got %+v\nwant %+v", back.Faults, s.Faults)
+	}
+
+	var buf strings.Builder
+	if err := validSpec().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"\"crashes\"", "\"partitions\""} {
+		if strings.Contains(buf.String(), key) {
+			t.Fatalf("fault-free spec serialized %s:\n%s", key, buf.String())
+		}
+	}
+
+	// A typo'd crash knob fails loudly (strict nested parsing).
+	bad := filepath.Join(t.TempDir(), "typo.json")
+	raw := `{"structure": "hashmap", "faults": {"crashes": [{"lcoale": 1}]}, "phases": [{"name": "run", "mix": {"get": 1}, "ops_per_task": 1}]}`
+	if err := os.WriteFile(bad, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(bad); err == nil {
+		t.Fatal("unknown crash field accepted")
+	}
+}
+
 func TestFaultsPerturbation(t *testing.T) {
 	p := Faults{SlowFactor: 6, SlowLocale: 2}.perturbation(4)
 	if got := p.ScaleFor(2); got != 6 {
@@ -375,5 +501,17 @@ func TestFaultsPerturbation(t *testing.T) {
 	}
 	if (Faults{}).perturbation(4).Enabled() {
 		t.Fatal("empty fault plan must be disabled")
+	}
+	// Partitions lower to the comm plane at boot: the pair refuses
+	// traffic in both directions, everything else still delivers.
+	p = Faults{Partitions: [][2]int{{1, 3}}}.perturbation(4)
+	if !p.Enabled() || !p.Faulted() {
+		t.Fatal("partitioned plan must be enabled and faulted")
+	}
+	if p.Reachable(1, 3) || p.Reachable(3, 1) {
+		t.Fatal("partitioned pair still reachable")
+	}
+	if !p.Reachable(1, 2) || !p.Deliverable(0, 3) {
+		t.Fatal("unpartitioned traffic refused")
 	}
 }

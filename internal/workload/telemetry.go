@@ -154,19 +154,31 @@ func (t *Telemetry) Options() telemetry.Options {
 			if sys == nil {
 				return fmt.Errorf("workload: no scenario is running")
 			}
+			// Latency forms replace only the Scales half: a crashed
+			// locale stays crashed (clearing latency faults must not
+			// resurrect a node whose shards were already adopted).
+			p := sys.Perturbation()
 			switch {
+			case req.Crash:
+				// Comm-plane only: the locale stops answering and its
+				// budget drains to the lost-ops ledger, but no failover
+				// runs — recovery is the spec-scheduled crash's job.
+				return sys.Crash(req.CrashLocale)
 			case req.Clear:
-				sys.SetPerturbation(comm.Perturbation{})
+				p.Scales = nil
+				sys.SetPerturbation(p)
 			case len(req.Scales) > 0:
-				sys.SetPerturbation(comm.Perturbation{Scales: req.Scales})
+				p.Scales = req.Scales
+				sys.SetPerturbation(p)
 			case req.SlowFactor > 0:
 				if req.SlowLocale < 0 || req.SlowLocale >= sys.NumLocales() {
 					return fmt.Errorf("workload: slow_locale %d out of range [0, %d)",
 						req.SlowLocale, sys.NumLocales())
 				}
-				sys.SetPerturbation(comm.SlowLocale(sys.NumLocales(), req.SlowLocale, req.SlowFactor))
+				p.Scales = comm.SlowLocale(sys.NumLocales(), req.SlowLocale, req.SlowFactor).Scales
+				sys.SetPerturbation(p)
 			default:
-				return fmt.Errorf("workload: fault request needs clear, scales, or slow_factor")
+				return fmt.Errorf("workload: fault request needs crash, clear, scales, or slow_factor")
 			}
 			return nil
 		},

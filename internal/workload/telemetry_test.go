@@ -6,11 +6,56 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
+	"gopgas/internal/comm"
+	"gopgas/internal/pgas"
 	"gopgas/internal/telemetry"
 )
+
+// The fault provider's crash action is comm-plane only and
+// irreversible: the locale stops answering immediately, and clearing
+// or replacing latency faults afterward must not resurrect it — its
+// shards may already have been adopted elsewhere.
+func TestTelemetryFaultCrash(t *testing.T) {
+	sys := pgas.NewSystem(pgas.Config{Locales: 4, Backend: comm.BackendNone})
+	defer sys.Shutdown()
+	tel := NewTelemetry()
+	tel.attach("crash-test", sys, nil)
+	defer tel.detach()
+	fault := tel.Options().Fault
+
+	if err := fault(telemetry.FaultRequest{Crash: true, CrashLocale: 0}); err == nil {
+		t.Fatal("crash of locale 0 accepted")
+	}
+	if err := fault(telemetry.FaultRequest{Crash: true, CrashLocale: 2}); err != nil {
+		t.Fatalf("crash of locale 2 rejected: %v", err)
+	}
+	if sys.Alive(2) {
+		t.Fatal("locale 2 still alive after crash")
+	}
+
+	// Latency faults layer on and clear off without touching liveness.
+	if err := fault(telemetry.FaultRequest{SlowFactor: 8, SlowLocale: 1}); err != nil {
+		t.Fatalf("slow-locale fault rejected: %v", err)
+	}
+	if err := fault(telemetry.FaultRequest{Clear: true}); err != nil {
+		t.Fatalf("clear rejected: %v", err)
+	}
+	if sys.Alive(2) {
+		t.Fatal("clearing latency faults resurrected the crashed locale")
+	}
+	if !sys.Alive(1) || !sys.Alive(3) {
+		t.Fatal("crash leaked onto other locales")
+	}
+
+	// An empty request is rejected with a message naming the actions.
+	if err := fault(telemetry.FaultRequest{}); err == nil || !strings.Contains(err.Error(), "crash") {
+		t.Fatalf("empty fault request: %v", err)
+	}
+}
 
 // TestRunLiveServesTelemetry drives the full live plane: a scenario
 // runs under RunLive with the HTTP server attached, and the test acts
@@ -126,6 +171,30 @@ func TestRunLiveServesTelemetry(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/api/fault mid-run: %d", resp.StatusCode)
+	}
+
+	// Crash a locale over HTTP mid-run: its tasks abandon fail-stop and
+	// the run must still finish cleanly — refusals drain to the ledger
+	// instead of stalling quiescence. Locale 0 is rejected (it hosts the
+	// global epoch word).
+	resp, err = http.Post(fmt.Sprintf("http://%s/api/fault", srv.Addr()),
+		"application/json", bytes.NewBufferString(`{"crash":true,"crash_locale":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/fault crash: %d %s", resp.StatusCode, crashBody)
+	}
+	resp, err = http.Post(fmt.Sprintf("http://%s/api/fault", srv.Addr()),
+		"application/json", bytes.NewBufferString(`{"crash":true,"crash_locale":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("crash of locale 0 returned %d, want 422", resp.StatusCode)
 	}
 
 	// Drain a live trace window: events stream out as trace-event JSON.
