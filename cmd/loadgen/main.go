@@ -15,6 +15,7 @@
 //	        [-bulk N] [-rate F] [-latency-scale F]
 //	        [-slow-locale I -slow-factor F]
 //	        [-crash-locale I] [-crash-phase N] [-crash-after-ops N] [-failover]
+//	        [-partition A,B] [-partition-phase N] [-heal-after MS]
 //	        [-cache] [-cache-slots N] [-combine] [-rebalance]
 //	        [-trace] [-trace-sample N] [-trace-out trace.json]
 //	        [-http :8077] [-out report.json] [-print-spec] [-quiet]
@@ -50,11 +51,22 @@
 // -crash-phase (default 1, the run phase), or mid-phase once the
 // system has issued -crash-after-ops operations. Ops toward the dead
 // locale are refused into the lost-ops ledger and the report gains an
-// availability section. Add -failover (hashmap only, excludes -cache)
-// to have the survivors adopt the dead locale's shards and force-
-// retire its stranded epoch tokens; without it the run demonstrates
-// the wedged-reclamation regime and reports NOT RECOVERED. With
+// availability section. Add -failover (hashmap, queue and stack;
+// excludes -cache) to have the survivors adopt the dead locale's
+// shards and force-retire its stranded epoch tokens; without it the
+// run demonstrates the wedged-reclamation regime and reports NOT
+// RECOVERED. With
 // -failover, a NOT RECOVERED verdict exits 1.
+//
+// -partition severs the locale pair A,B at the start of phase
+// -partition-phase (default 1). With -heal-after the pair heals that
+// many milliseconds after the sever; without it, at the next phase
+// boundary (or never, when the sever lands in the last phase). Ops
+// refused across the severed link park in the per-locale retry ledgers
+// and redeliver at the heal — the report's availability section gains
+// sever/heal counts, time-to-heal, and the parked/redelivered/expired
+// settlement. A crash-free partitioned run that ends with unsettled
+// retry books or a nonzero lost-ops ledger exits 1.
 //
 // -trace enables the event-tracing plane: begin/end spans for
 // dispatch, flush, combine, epoch and migration lifecycles recorded
@@ -107,7 +119,10 @@ func main() {
 		crashLoc  = flag.Int("crash-locale", 0, "fault injection: crash this locale during the run (0 = off; locale 0 cannot crash)")
 		crashPh   = flag.Int("crash-phase", 1, "phase index at whose start the crash lands (with -crash-locale)")
 		crashOps  = flag.Int64("crash-after-ops", 0, "apply the crash mid-phase after this many system-wide ops instead of at the phase boundary")
-		failover  = flag.Bool("failover", false, "recover from the crash: survivors adopt the dead locale's shards and its epoch tokens are force-retired (hashmap only, excludes -cache)")
+		failover  = flag.Bool("failover", false, "recover from the crash: survivors adopt the dead locale's shards and its epoch tokens are force-retired (hashmap, queue and stack; excludes -cache)")
+		partition = flag.String("partition", "", "fault injection: sever this locale pair \"A,B\" during the run")
+		partPh    = flag.Int("partition-phase", 1, "phase index at whose start the sever lands (with -partition)")
+		healAfter = flag.Float64("heal-after", 0, "heal the severed pair this many milliseconds after the sever (0 = at the next phase boundary)")
 		useCache  = flag.Bool("cache", false, "enable the hot-key read replication cache (hashmap only)")
 		cacheSlot = flag.Int("cache-slots", 0, "per-locale cache slots (0 = 256)")
 		combine   = flag.Bool("combine", false, "enable write absorption: in-flight combining + owner-side flat combining (hashmap only, excludes -cache)")
@@ -153,6 +168,21 @@ func main() {
 				Failover: *failover,
 			}}
 			spec.Name += "-crashed"
+		}
+		if *partition != "" {
+			var a, b int
+			if _, err := fmt.Sscanf(*partition, "%d,%d", &a, &b); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: -partition wants \"A,B\", got %q\n", *partition)
+				os.Exit(2)
+			}
+			ps := workload.PartitionSpec{A: a, B: b, Phase: *partPh, HealAfterMS: *healAfter}
+			// No wall-clock heal: heal at the next phase boundary, or never
+			// when the sever lands in the last phase.
+			if *healAfter == 0 && *partPh+1 < len(spec.Phases) {
+				ps.HealPhase = *partPh + 1
+			}
+			spec.Faults.Partitions = []workload.PartitionSpec{ps}
+			spec.Name += "-partitioned"
 		}
 	}
 	if *traceOn || *traceOut != "" {
@@ -246,6 +276,20 @@ func main() {
 	if a := rep.Availability; a != nil && wantRecover && !a.Recovered {
 		fmt.Fprintln(os.Stderr, "loadgen: AVAILABILITY VIOLATION: crash failover did not recover")
 		os.Exit(1)
+	}
+	// A partitioned run without crashes must settle the retry ledgers
+	// and keep the fail-stop ledger empty — a partition is transient,
+	// not a loss.
+	if a := rep.Availability; a != nil && len(spec.Faults.Partitions) > 0 && len(spec.Faults.Crashes) == 0 {
+		if !a.RetryBalanced() {
+			fmt.Fprintf(os.Stderr, "loadgen: RETRY VIOLATION: parked=%d != redelivered=%d + expired=%d\n",
+				a.OpsParked, a.OpsRedelivered, a.OpsExpired)
+			os.Exit(1)
+		}
+		if a.OpsLost != 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: RETRY VIOLATION: partition leaked %d ops into the fail-stop ledger\n", a.OpsLost)
+			os.Exit(1)
+		}
 	}
 }
 

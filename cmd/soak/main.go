@@ -14,7 +14,13 @@
 // survivors adopt its shards and force-retire its stranded epoch
 // tokens — turning the soak into an availability drill: the summary
 // gains a PASS/FAIL recovery verdict beside the safety ones (crash
-// failover is hashmap-only, so other structures soak unperturbed).
+// failover now covers the hashmap, sharded queue and sharded stack;
+// the skiplist soaks unperturbed). -partition severs the pair (1,2)
+// mid-steady-phase of every scenario and heals it 50ms later — the
+// transient-fault drill: the summary gains a PASS/FAIL verdict that
+// every sever healed, the retry ledgers settled (parked ==
+// redelivered + expired), and (crash-free) nothing leaked into the
+// fail-stop ledger.
 // -http starts the live telemetry and
 // control server for the whole soak — the server outlives scenario
 // boundaries, re-attaching to each structure's run in turn, so an
@@ -35,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"gopgas/internal/telemetry"
 	"gopgas/internal/workload"
@@ -50,6 +57,7 @@ func main() {
 		structure = flag.String("structure", "", "soak only this structure (default: all)")
 		slowFac   = flag.Float64("slow-factor", 0, "also inject a slow locale 0 by this factor (0 = off)")
 		crash     = flag.Bool("crash", false, "crash the top locale mid-steady-phase of the hashmap scenario and fail over (availability drill)")
+		partition = flag.Bool("partition", false, "sever the pair (1,2) mid-steady-phase of every scenario and heal it 50ms later (transient-fault drill)")
 		traceOn   = flag.Bool("trace", false, "record the event-tracing plane (1/64 sampling) during each scenario")
 		httpAddr  = flag.String("http", "", "serve live telemetry + control on this address (e.g. :8077) for the whole soak")
 	)
@@ -82,6 +90,11 @@ func main() {
 				Locale: *locales - 1, Phase: 0, AfterOps: 2048, Failover: true,
 			}}
 		}
+		if *partition {
+			spec.Faults.Partitions = []workload.PartitionSpec{{
+				A: 1, B: 2, Phase: 0, AtOps: 1024, HealAfterMS: 50,
+			}}
+		}
 		if *traceOn {
 			spec.Trace = &workload.TraceSpec{Enabled: true}
 		}
@@ -105,12 +118,28 @@ func main() {
 			failures++
 		}
 		if a := rep.Availability; a != nil {
-			if a.Recovered {
-				fmt.Printf("PASS  %s: recovered from %d crash(es): opsLost=%d shardsAdopted=%d tokensForceRetired=%d\n",
-					s, a.Crashes, a.OpsLost, a.ShardsAdopted, a.TokensForceRetired)
-			} else {
-				fmt.Printf("FAIL  %s: crash failover did not recover (%d crash(es), opsLost=%d)\n", s, a.Crashes, a.OpsLost)
-				failures++
+			if a.Crashes > 0 {
+				if a.Recovered {
+					fmt.Printf("PASS  %s: recovered from %d crash(es): opsLost=%d shardsAdopted=%d tokensForceRetired=%d\n",
+						s, a.Crashes, a.OpsLost, a.ShardsAdopted, a.TokensForceRetired)
+				} else {
+					fmt.Printf("FAIL  %s: crash failover did not recover (%d crash(es), opsLost=%d)\n", s, a.Crashes, a.OpsLost)
+					failures++
+				}
+			}
+			if a.Partitions > 0 {
+				// Partitions are transient: every sever must have healed and
+				// the retry ledgers must settle. Only a crash-free drill can
+				// demand an empty fail-stop ledger.
+				ok := a.Heals == a.Partitions && a.RetryBalanced() && (a.Crashes > 0 || a.OpsLost == 0)
+				if ok {
+					fmt.Printf("PASS  %s: %d partition(s) healed in %v: parked=%d redelivered=%d expired=%d\n",
+						s, a.Partitions, time.Duration(a.TimeToHealNS), a.OpsParked, a.OpsRedelivered, a.OpsExpired)
+				} else {
+					fmt.Printf("FAIL  %s: partition drill: %d sever(s) %d heal(s), parked=%d redelivered=%d expired=%d opsLost=%d\n",
+						s, a.Partitions, a.Heals, a.OpsParked, a.OpsRedelivered, a.OpsExpired, a.OpsLost)
+					failures++
+				}
 			}
 		}
 		if rep.Trace != nil {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"sort"
+	"time"
 
 	"gopgas/internal/comm"
 	"gopgas/internal/core/atomics"
@@ -1142,6 +1143,165 @@ func AblationCrashFailover(cfg Config) Figure {
 	}
 }
 
+// a12 flash-partition geometry, shared by both arms and by
+// TestAblationA12's arithmetic: a12PreQuanta healthy quanta, then the
+// pair (a12PairA, a12PairB) severs, a12SevQuanta quanta run against
+// the partition, the pair heals (pumping the retry ledgers
+// synchronously), and a12PostQuanta quanta close the run. Each quantum
+// ends quiescent (coforall join + flush), so the refused-op count is
+// exact: the two pair locales each aim their whole per-quantum budget
+// across the severed link while every other locale writes around it.
+const (
+	a12PreQuanta  = 2
+	a12SevQuanta  = 4
+	a12PostQuanta = 2
+)
+
+// The severed pair. Neither end is locale 0: the orchestrating task
+// lives there and its traffic should stay healthy in both arms.
+const (
+	a12PairA = 1
+	a12PairB = 2
+)
+
+// partitionVerdict carries the evidence of one flashPartition run: the
+// comm counters (the retry ledger books and the lost-ops ledger are
+// the headline) plus the safety verdicts.
+type partitionVerdict struct {
+	Comm  comm.Snapshot
+	Heap  gas.Stats
+	Epoch epoch.Stats
+}
+
+// a12KeyHomedOn returns the smallest key the map homes on `home`.
+func a12KeyHomedOn(m hashmap.Map[int], home int) uint64 {
+	for k := uint64(0); ; k++ {
+		if m.HomeOf(k) == home {
+			return k
+		}
+	}
+}
+
+// flashPartition drives the transient-fault scenario: every locale
+// writes its per-quantum budget at a fixed peer through the aggregated
+// path (combine off, so refused ops count one-for-one) — locale
+// a12PairA at a key homed on a12PairB, a12PairB back at a12PairA, and
+// everyone else around the ring, clear of the pair. After the healthy
+// quanta the pair severs; during the severed quanta both pair locales'
+// entire budgets hit the refusal site. With the retry plane enabled
+// (deadline far past the run) every refused op parks and the heal
+// redelivers all of them; with the plane disabled every refused op
+// drains straight to the lost-ops ledger, O(rate × duration). All
+// control flow is inline from the orchestrating task between quiescent
+// quanta, so both arms replay exactly.
+func flashPartition(cfg Config, locales int, retry bool) (Point, partitionVerdict) {
+	park := comm.ParkConfig{DeadlineNS: int64(time.Hour), Capacity: 1 << 16}
+	if !retry {
+		park = comm.ParkConfig{Disable: true}
+	}
+	sys := pgas.NewSystem(pgas.Config{
+		Locales: locales,
+		Backend: comm.BackendNone,
+		Latency: cfg.Latency,
+		Seed:    cfg.Seed,
+		Park:    park,
+	})
+	defer sys.Shutdown()
+	reps := cfg.ops(1 << 9)
+	var pt Point
+	var v partitionVerdict
+	sys.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		m := hashmap.New[int](c, 16*locales, em)
+		// One target key per locale: the pair aim at each other, the
+		// rest at their ring successor (skipping nothing — the ring
+		// only crosses the severed link at the pair itself).
+		targets := make([]uint64, locales)
+		for lc := 0; lc < locales; lc++ {
+			peer := (lc + 1) % locales
+			switch lc {
+			case a12PairA:
+				peer = a12PairB
+			case a12PairB:
+				peer = a12PairA
+			}
+			targets[lc] = a12KeyHomedOn(m, peer)
+		}
+		em.Protect(c, func(tok *epoch.Token) {
+			for _, k := range targets {
+				m.Insert(c, tok, k, int(k))
+			}
+		})
+		quantum := func() {
+			c.CoforallLocales(func(lc *pgas.Ctx) {
+				k := targets[lc.Here()]
+				for i := 0; i < reps; i++ {
+					m.UpsertAgg(lc, k, i)
+				}
+				lc.Flush()
+			})
+		}
+		pt.Seconds, pt.Comm, pt.Matrix, pt.MaxInbound = timedMatrix(sys, func() {
+			for q := 0; q < a12PreQuanta; q++ {
+				quantum()
+			}
+			if err := sys.Sever(a12PairA, a12PairB); err != nil {
+				panic(err)
+			}
+			for q := 0; q < a12SevQuanta; q++ {
+				quantum()
+			}
+			// Heal pumps the retry ledgers synchronously: every parked
+			// op redelivers before the next quantum issues.
+			if err := sys.Heal(a12PairA, a12PairB); err != nil {
+				panic(err)
+			}
+			for q := 0; q < a12PostQuanta; q++ {
+				quantum()
+			}
+		})
+		em.Clear(c)
+		v.Comm = sys.Counters().Snapshot()
+		v.Heap = sys.HeapStats()
+		v.Epoch = em.Stats(c)
+	})
+	pt.X = locales
+	return pt, v
+}
+
+// AblationPartitionRetry measures what a transient network partition
+// costs with and without the retry/backoff plane. Disabled, every op
+// refused across the severed pair drains to the lost-ops ledger for as
+// long as the partition lasts — O(rate × duration), indistinguishable
+// on the books from a crash. Enabled, refused ops park in the
+// per-locale retry ledgers and the heal redelivers all of them: the
+// settlement identity OpsParked == OpsRedelivered + OpsExpired closes
+// with zero expiries and zero losses. TestAblationA12 asserts both
+// arms' exact arithmetic.
+func AblationPartitionRetry(cfg Config) Figure {
+	panel := Panel{Title: "Flash partition: ops lost (none)", XLabel: "Locales"}
+	dropped := Series{Label: "retry disabled (every refused op lost: O(rate × duration))"}
+	parked := Series{Label: "retry/backoff (parked, redelivered at heal)"}
+	for _, locales := range cfg.localeSweep(4) {
+		p, vd := flashPartition(cfg, locales, false)
+		dropped.Points = append(dropped.Points, p)
+		cfg.progressf("ablL dropped locales=%-3d %8.4fs  lost=%-8d [%v]\n",
+			locales, p.Seconds, vd.Comm.OpsLost, p.Comm)
+
+		p, vd = flashPartition(cfg, locales, true)
+		parked.Points = append(parked.Points, p)
+		cfg.progressf("ablL retried locales=%-3d %8.4fs  lost=%-8d parked=%d redelivered=%d [%v]\n",
+			locales, p.Seconds, vd.Comm.OpsLost, vd.Comm.OpsParked, vd.Comm.OpsRedelivered, p.Comm)
+	}
+	panel.Series = []Series{dropped, parked}
+	return Figure{
+		ID:      "A12",
+		Title:   "Ablation: partition retry plane vs fail-stop refusal",
+		Caption: "A transient partition is not a crash, but without a retry plane the books cannot tell the difference: every op refused across the severed pair drains to the lost-ops ledger for the whole outage, O(rate × duration). The retry plane parks refused ops in bounded per-locale ledgers with exponential backoff and redelivers them through the normal aggregation path when the pair heals — the settlement identity OpsParked == OpsRedelivered + OpsExpired closes with zero losses, reserving the fail-stop ledger for actual crashes.",
+		Panels:  []Panel{panel},
+	}
+}
+
 // Ablations runs every ablation study.
 func Ablations(cfg Config) []Figure {
 	return []Figure{
@@ -1156,5 +1316,6 @@ func Ablations(cfg Config) []Figure {
 		AblationWriteAbsorption(cfg),
 		AblationRebalancing(cfg),
 		AblationCrashFailover(cfg),
+		AblationPartitionRetry(cfg),
 	}
 }

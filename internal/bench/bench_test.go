@@ -6,6 +6,10 @@ import (
 	"testing"
 
 	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+	"gopgas/internal/structures/queue"
+	"gopgas/internal/structures/stack"
 )
 
 // tinyConfig runs every figure at trivial size with zero injected
@@ -79,7 +83,7 @@ func TestFigure7Structure(t *testing.T) {
 
 func TestAblationsStructure(t *testing.T) {
 	figs := Ablations(tinyConfig())
-	if len(figs) != 11 {
+	if len(figs) != 12 {
 		t.Fatalf("got %d ablations", len(figs))
 	}
 	ids := map[string]bool{}
@@ -89,7 +93,7 @@ func TestAblationsStructure(t *testing.T) {
 			t.Fatalf("ablation %s empty", f.ID)
 		}
 	}
-	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11"} {
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12"} {
 		if !ids[id] {
 			t.Fatalf("missing ablation %s (have %v)", id, ids)
 		}
@@ -569,4 +573,128 @@ func TestAblationA11(t *testing.T) {
 			}
 		}
 	}
+}
+
+// The partition-retry ablation's claims, asserted on the deterministic
+// counters (the CI smoke gate for the partition/retry PR), plus the
+// queue/stack crash-failover drill the same PR closes:
+//
+//  1. retry disabled: every op aimed across the severed pair during
+//     the outage drains to the lost-ops ledger — exactly sevQuanta ×
+//     2 × reps (both pair locales' whole budgets) — and the retry
+//     ledgers never book anything;
+//  2. retry enabled: the same refused ops park instead, the heal
+//     redelivers every one of them (OpsParked == OpsRedelivered, zero
+//     expiries under an hour-long deadline), and nothing reaches the
+//     fail-stop ledger;
+//  3. both arms end safe: zero detected use-after-free and every
+//     deferred node reclaimed;
+//  4. a crashed queue/stack segment fails over with balanced books:
+//     one chunk per survivor, the victim's whole payload in bytes,
+//     shards == MigAdopted == MigRetired, and the stranded pin
+//     force-retired.
+func TestAblationA12(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.05 // 25 writes per writer per quantum
+	reps := int64(cfg.ops(1 << 9))
+	for _, locales := range cfg.localeSweep(4) {
+		wantRefused := int64(a12SevQuanta) * 2 * reps
+
+		_, dv := flashPartition(cfg, locales, false)
+		if dv.Comm.OpsLost != wantRefused {
+			t.Fatalf("L=%d: disabled arm lost %d ops, want %d", locales, dv.Comm.OpsLost, wantRefused)
+		}
+		if dv.Comm.OpsParked != 0 || dv.Comm.OpsRedelivered != 0 || dv.Comm.OpsExpired != 0 {
+			t.Fatalf("L=%d: disabled arm booked retries: %+v", locales, dv.Comm)
+		}
+
+		_, rv := flashPartition(cfg, locales, true)
+		if rv.Comm.OpsParked != wantRefused || rv.Comm.OpsRedelivered != wantRefused {
+			t.Fatalf("L=%d: retry arm parked=%d redelivered=%d, want %d and %d",
+				locales, rv.Comm.OpsParked, rv.Comm.OpsRedelivered, wantRefused, wantRefused)
+		}
+		if rv.Comm.OpsExpired != 0 {
+			t.Fatalf("L=%d: retry arm expired %d ops under an hour-long deadline", locales, rv.Comm.OpsExpired)
+		}
+		if rv.Comm.OpsLost != 0 {
+			t.Fatalf("L=%d: retry arm lost %d ops, want 0", locales, rv.Comm.OpsLost)
+		}
+
+		for arm, vd := range map[string]partitionVerdict{"disabled": dv, "retry": rv} {
+			if vd.Heap.UAFLoads != 0 || vd.Heap.UAFStores != 0 || vd.Heap.UAFFrees != 0 {
+				t.Fatalf("L=%d: %s arm heap verdict: %+v", locales, arm, vd.Heap)
+			}
+			if vd.Epoch.Deferred != vd.Epoch.Reclaimed {
+				t.Fatalf("L=%d: %s arm epoch verdict: deferred=%d reclaimed=%d",
+					locales, arm, vd.Epoch.Deferred, vd.Epoch.Reclaimed)
+			}
+		}
+	}
+
+	// The failover half of the gate: a crashed queue/stack segment
+	// drains onto the survivors with exact, balanced books.
+	const locales, victim, vq = 4, 2, 12
+	drill := func(t *testing.T, fill func(c *pgas.Ctx, em epoch.EpochManager), fail func(c *pgas.Ctx) (int64, int64)) {
+		sys := pgas.NewSystem(pgas.Config{Locales: locales, Backend: comm.BackendNone})
+		defer sys.Shutdown()
+		sys.Run(func(c *pgas.Ctx) {
+			em := epoch.NewEpochManager(c)
+			fill(c, em)
+			c.On(victim, func(vc *pgas.Ctx) { em.Pin(vc) })
+			if err := sys.Crash(victim); err != nil {
+				t.Errorf("Crash: %v", err)
+				return
+			}
+			before := sys.Counters().Snapshot()
+			sc := c.Salvage()
+			shards, bytes := fail(sc)
+			tokens := em.ForceRetire(sc, victim)
+			sc.Flush()
+			if shards != locales-1 {
+				t.Errorf("failover adopted %d chunks, want %d", shards, locales-1)
+			}
+			if want := int64(vq) * 16; bytes != want {
+				t.Errorf("failover moved %d bytes, want %d", bytes, want)
+			}
+			if tokens != 1 {
+				t.Errorf("force-retired %d tokens, want 1", tokens)
+			}
+			delta := sys.Counters().Snapshot().Sub(before)
+			if delta.MigAdopted != shards || delta.MigRetired != shards {
+				t.Errorf("books unbalanced: adopted=%d retired=%d shards=%d",
+					delta.MigAdopted, delta.MigRetired, shards)
+			}
+			em.Clear(c)
+		})
+	}
+	t.Run("queue", func(t *testing.T) {
+		var q queue.Sharded[int]
+		drill(t,
+			func(c *pgas.Ctx, em epoch.EpochManager) {
+				q = queue.NewSharded[int](c, em)
+				c.On(victim, func(vc *pgas.Ctx) {
+					em.Protect(vc, func(tok *epoch.Token) {
+						for i := 0; i < vq; i++ {
+							q.Enqueue(vc, tok, i)
+						}
+					})
+				})
+			},
+			func(sc *pgas.Ctx) (int64, int64) { return q.Failover(sc, victim) })
+	})
+	t.Run("stack", func(t *testing.T) {
+		var s stack.Sharded[int]
+		drill(t,
+			func(c *pgas.Ctx, em epoch.EpochManager) {
+				s = stack.NewSharded[int](c, em)
+				c.On(victim, func(vc *pgas.Ctx) {
+					em.Protect(vc, func(tok *epoch.Token) {
+						for i := 0; i < vq; i++ {
+							s.Push(vc, tok, i)
+						}
+					})
+				})
+			},
+			func(sc *pgas.Ctx) (int64, int64) { return s.Failover(sc, victim) })
+	})
 }

@@ -60,10 +60,13 @@ const (
 	cMigBytes
 	cMigReroutes
 	cOpsLost
+	cOpsParked
+	cOpsRedelivered
+	cOpsExpired
 	numCounters
 )
 
-// counterShard is one padded cell: 25 counters span just over three
+// counterShard is one padded cell: 28 counters span three and a half
 // 64-byte cache lines, and the trailing pad keeps
 // neighbouring shards' lines from abutting whatever alignment the
 // enclosing array lands on.
@@ -140,13 +143,31 @@ type Snapshot struct {
 	MigReroutes int64
 
 	// OpsLost is the lost-ops ledger: operations refused by the
-	// dispatch layer because their destination was crashed or the
-	// source/destination pair partitioned, plus op budget a crashed
-	// locale's tasks never issued. A refused op increments OpsLost and
-	// nothing else (no on-stmt, no matrix entry, no delay), so the
-	// ledger is the exact availability cost of a fault plan. Never
-	// enters Remote() — a lost op crossed no locale boundary.
+	// dispatch layer because their destination was crashed (fail-stop —
+	// a dead locale never comes back, so neither can its traffic), plus
+	// op budget a crashed locale's tasks never issued. A lost op
+	// increments OpsLost and nothing else (no on-stmt, no matrix entry,
+	// no delay), so the ledger is the exact availability cost of a
+	// crash. Never enters Remote() — a lost op crossed no locale
+	// boundary. Partition refusals do NOT land here: partitions are
+	// transient, so their ops park in the retry plane below.
 	OpsLost int64
+
+	// Retry-plane books. Operations refused because the
+	// source/destination pair is partitioned (both locales alive) park
+	// in the per-locale retry ledger instead of draining to OpsLost:
+	// OpsParked counts every op that entered the ledger, OpsRedelivered
+	// the subset that made it to its destination after a heal or a
+	// backoff retry, OpsExpired the subset dropped at the retry
+	// deadline or on ledger overflow. Once the ledger drains
+	// (System.DrainParking or Shutdown),
+	// OpsParked == OpsRedelivered + OpsExpired exactly — the retry
+	// plane's settlement invariant. None enters Remote(): a parked op's
+	// redelivery flight is charged to the bulk counters by the
+	// transport when it actually flies.
+	OpsParked      int64
+	OpsRedelivered int64
+	OpsExpired     int64
 }
 
 // IncPut records a small remote write issued by locale src.
@@ -248,6 +269,18 @@ func (c *Counters) IncMigReroute(src int) { c.shard(src).v[cMigReroutes].Add(1) 
 // to the locale that tried (or would have tried) to issue them.
 func (c *Counters) IncOpsLost(src int, n int64) { c.shard(src).v[cOpsLost].Add(n) }
 
+// IncOpsParked records n partition-refused operations entering locale
+// src's retry ledger.
+func (c *Counters) IncOpsParked(src int, n int64) { c.shard(src).v[cOpsParked].Add(n) }
+
+// IncOpsRedelivered records n parked operations redelivered to their
+// destination by locale src after a heal or backoff retry.
+func (c *Counters) IncOpsRedelivered(src int, n int64) { c.shard(src).v[cOpsRedelivered].Add(n) }
+
+// IncOpsExpired records n parked operations dropped by locale src at
+// the retry deadline or on ledger overflow.
+func (c *Counters) IncOpsExpired(src int, n int64) { c.shard(src).v[cOpsExpired].Add(n) }
+
 // IncCacheInval records one invalidation operation executed on locale
 // src. A write-through mutation broadcasts one such op per locale, so
 // this counter exposes the write-amplification cost of replication;
@@ -292,6 +325,10 @@ func (c *Counters) Snapshot() Snapshot {
 		MigReroutes: sums[cMigReroutes],
 
 		OpsLost: sums[cOpsLost],
+
+		OpsParked:      sums[cOpsParked],
+		OpsRedelivered: sums[cOpsRedelivered],
+		OpsExpired:     sums[cOpsExpired],
 	}
 }
 
@@ -336,6 +373,10 @@ func (s Snapshot) Sub(old Snapshot) Snapshot {
 		MigReroutes: s.MigReroutes - old.MigReroutes,
 
 		OpsLost: s.OpsLost - old.OpsLost,
+
+		OpsParked:      s.OpsParked - old.OpsParked,
+		OpsRedelivered: s.OpsRedelivered - old.OpsRedelivered,
+		OpsExpired:     s.OpsExpired - old.OpsExpired,
 	}
 }
 
@@ -368,6 +409,9 @@ func (s Snapshot) String() string {
 	}
 	if s.OpsLost != 0 {
 		out += fmt.Sprintf(" lost=%d", s.OpsLost)
+	}
+	if s.OpsParked != 0 || s.OpsRedelivered != 0 || s.OpsExpired != 0 {
+		out += fmt.Sprintf(" parked=%d/%dre/%dexp", s.OpsParked, s.OpsRedelivered, s.OpsExpired)
 	}
 	return out
 }

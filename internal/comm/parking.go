@@ -1,0 +1,227 @@
+package comm
+
+import "sync"
+
+// ParkConfig configures the partition retry plane. The zero value is
+// the enabled default policy; Disable reverts partition refusals to
+// fail-stop accounting (they drain to OpsLost exactly like crash
+// refusals — the ablation baseline).
+type ParkConfig struct {
+	// Disable turns the retry plane off.
+	Disable bool
+
+	// Capacity bounds each per-destination parked-op buffer. An op
+	// parked into a full buffer still books OpsParked but is expired on
+	// the spot (OpsExpired), so the settlement invariant survives
+	// overflow. <= 0 selects DefaultParkCapacity.
+	Capacity int
+
+	// InitialBackoffNS is the first retry delay for a destination after
+	// an op parks; each failed retry doubles it up to MaxBackoffNS.
+	// <= 0 selects the defaults (200µs initial, 10ms max).
+	InitialBackoffNS int64
+	MaxBackoffNS     int64
+
+	// DeadlineNS bounds how long an op may stay parked: a retry pass
+	// that finds the destination still unreachable expires every op
+	// older than this. <= 0 selects DefaultParkDeadlineNS.
+	DeadlineNS int64
+}
+
+// Default retry-plane policy values.
+const (
+	DefaultParkCapacity   = 4096
+	DefaultParkBackoffNS  = 200_000       // 200µs
+	DefaultParkMaxBackNS  = 10_000_000    // 10ms
+	DefaultParkDeadlineNS = 2_000_000_000 // 2s
+)
+
+// WithDefaults returns the config with every unset field replaced by
+// its default.
+func (c ParkConfig) WithDefaults() ParkConfig {
+	if c.Capacity <= 0 {
+		c.Capacity = DefaultParkCapacity
+	}
+	if c.InitialBackoffNS <= 0 {
+		c.InitialBackoffNS = DefaultParkBackoffNS
+	}
+	if c.MaxBackoffNS <= 0 {
+		c.MaxBackoffNS = DefaultParkMaxBackNS
+	}
+	if c.MaxBackoffNS < c.InitialBackoffNS {
+		c.MaxBackoffNS = c.InitialBackoffNS
+	}
+	if c.DeadlineNS <= 0 {
+		c.DeadlineNS = DefaultParkDeadlineNS
+	}
+	return c
+}
+
+// parkedOp is one refused operation waiting out a partition.
+type parkedOp struct {
+	op         Op
+	deadlineNS int64
+}
+
+// parkDest is the retry state for one destination: the parked buffer
+// plus the destination's exponential-backoff clock. Backoff is per
+// destination, not per op — one probe per retry window answers for the
+// whole buffer, the way a real transport probes a severed peer once,
+// not once per queued message.
+type parkDest struct {
+	ops         []parkedOp
+	bytes       int64
+	backoffNS   int64
+	nextRetryNS int64
+}
+
+// Parking is one locale's partition retry ledger: per-destination
+// bounded buffers of ops refused because the source/destination pair
+// was partitioned, reusing the aggregation layer's Op framing so a
+// redelivered batch flows through the same bulk-transfer path a flush
+// does. Ops enter via Park, wait out an exponential per-destination
+// backoff, and leave exactly once — redelivered through the callback
+// when the pair heals (or a retry probe finds it reachable), or
+// expired at the deadline / on overflow / at final drain. The books
+// are exact: after DrainExpire, every op that ever booked OpsParked
+// has booked exactly one of OpsRedelivered or OpsExpired.
+//
+// All methods are safe for concurrent use; the redeliver callback runs
+// outside the ledger lock.
+type Parking struct {
+	src       int
+	cfg       ParkConfig
+	counters  *Counters
+	redeliver func(dst int, batch []Op, bytes int64)
+
+	mu    sync.Mutex
+	dests []parkDest
+}
+
+// NewParking builds the retry ledger for source locale src of n, with
+// counters booked against src and redeliver invoked (outside the lock,
+// after OpsRedelivered is booked) for every batch that goes back out.
+func NewParking(src, n int, cfg ParkConfig, ctrs *Counters, redeliver func(dst int, batch []Op, bytes int64)) *Parking {
+	return &Parking{
+		src:       src,
+		cfg:       cfg.WithDefaults(),
+		counters:  ctrs,
+		redeliver: redeliver,
+		dests:     make([]parkDest, n),
+	}
+}
+
+// Park files one partition-refused op bound for dst, stamped against
+// the caller-supplied monotonic clock. Every call books OpsParked; an
+// op that overflows the destination's buffer is expired immediately
+// (still parked-then-expired, never silently dropped). Returns false
+// only when the retry plane is disabled — the caller falls back to the
+// lost-ops ledger.
+func (p *Parking) Park(dst int, op Op, nowNS int64) bool {
+	if p.cfg.Disable {
+		return false
+	}
+	p.mu.Lock()
+	p.counters.IncOpsParked(p.src, 1)
+	d := &p.dests[dst]
+	if len(d.ops) >= p.cfg.Capacity {
+		p.counters.IncOpsExpired(p.src, 1)
+		p.mu.Unlock()
+		return true
+	}
+	if len(d.ops) == 0 {
+		d.backoffNS = p.cfg.InitialBackoffNS
+		d.nextRetryNS = nowNS + d.backoffNS
+	}
+	d.ops = append(d.ops, parkedOp{op: op, deadlineNS: nowNS + p.cfg.DeadlineNS})
+	d.bytes += op.Bytes
+	p.mu.Unlock()
+	return true
+}
+
+// Pump runs one retry pass: every destination whose backoff window has
+// elapsed (or every non-empty destination, when force is set — the
+// heal path) is probed through reachable. A reachable destination gets
+// its whole buffer redelivered as one batch; an unreachable one
+// expires its past-deadline ops and doubles its backoff.
+func (p *Parking) Pump(nowNS int64, force bool, reachable func(dst int) bool) {
+	p.pump(nowNS, force, false, reachable)
+}
+
+// DrainExpire is the final settlement pass, run at system drain or
+// shutdown: reachable destinations redeliver as usual, and everything
+// still unreachable expires wholesale, deadline or not. After it
+// returns the ledger is empty and the books balance:
+// OpsParked == OpsRedelivered + OpsExpired.
+func (p *Parking) DrainExpire(nowNS int64, reachable func(dst int) bool) {
+	p.pump(nowNS, true, true, reachable)
+}
+
+func (p *Parking) pump(nowNS int64, force, final bool, reachable func(dst int) bool) {
+	type batch struct {
+		dst   int
+		ops   []Op
+		bytes int64
+	}
+	var out []batch
+	p.mu.Lock()
+	for dst := range p.dests {
+		d := &p.dests[dst]
+		if len(d.ops) == 0 {
+			continue
+		}
+		if !force && nowNS < d.nextRetryNS {
+			continue
+		}
+		if reachable(dst) {
+			ops := make([]Op, len(d.ops))
+			for i := range d.ops {
+				ops[i] = d.ops[i].op
+			}
+			out = append(out, batch{dst: dst, ops: ops, bytes: d.bytes})
+			d.ops, d.bytes, d.backoffNS, d.nextRetryNS = nil, 0, 0, 0
+			continue
+		}
+		// Still severed: shed what has aged out (everything, on the
+		// final pass) and widen the retry window.
+		kept := d.ops[:0]
+		var expired int64
+		for _, po := range d.ops {
+			if final || nowNS >= po.deadlineNS {
+				expired++
+				d.bytes -= po.op.Bytes
+			} else {
+				kept = append(kept, po)
+			}
+		}
+		d.ops = kept
+		if len(d.ops) == 0 {
+			d.ops = nil
+		}
+		if expired > 0 {
+			p.counters.IncOpsExpired(p.src, expired)
+		}
+		d.backoffNS *= 2
+		if d.backoffNS > p.cfg.MaxBackoffNS {
+			d.backoffNS = p.cfg.MaxBackoffNS
+		}
+		d.nextRetryNS = nowNS + d.backoffNS
+	}
+	p.mu.Unlock()
+	for _, b := range out {
+		p.counters.IncOpsRedelivered(p.src, int64(len(b.ops)))
+		p.redeliver(b.dst, b.ops, b.bytes)
+	}
+}
+
+// Parked returns the number of ops currently waiting in the ledger
+// (diagnostic; racy by nature against concurrent parks and pumps).
+func (p *Parking) Parked() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for i := range p.dests {
+		n += len(p.dests[i].ops)
+	}
+	return n
+}

@@ -1,0 +1,186 @@
+package comm
+
+import "testing"
+
+// collectRedeliver records redelivered batches so tests can check what
+// went back out and in what shape.
+type collectRedeliver struct {
+	batches map[int][][]Op
+	bytes   int64
+}
+
+func (cr *collectRedeliver) fn(dst int, batch []Op, bytes int64) {
+	if cr.batches == nil {
+		cr.batches = make(map[int][][]Op)
+	}
+	cr.batches[dst] = append(cr.batches[dst], batch)
+	cr.bytes += bytes
+}
+
+func parkBooks(t *testing.T, c *Counters) (parked, redelivered, expired int64) {
+	t.Helper()
+	snap := c.Snapshot()
+	return snap.OpsParked, snap.OpsRedelivered, snap.OpsExpired
+}
+
+func TestParkingRedeliverOnReachable(t *testing.T) {
+	var ctrs Counters
+	var cr collectRedeliver
+	p := NewParking(0, 4, ParkConfig{}, &ctrs, cr.fn)
+
+	severed := true
+	reach := func(dst int) bool { return !severed }
+	for i := 0; i < 5; i++ {
+		if !p.Park(2, Op{Bytes: 16, Exec: i}, 100) {
+			t.Fatal("enabled ledger refused a park")
+		}
+	}
+	if p.Parked() != 5 {
+		t.Fatalf("parked %d ops, want 5", p.Parked())
+	}
+
+	// Severed pump past the backoff window: nothing redelivers, nothing
+	// has reached its deadline yet.
+	p.Pump(100+DefaultParkBackoffNS+1, false, reach)
+	if len(cr.batches) != 0 {
+		t.Fatalf("redelivered through a severed link: %v", cr.batches)
+	}
+	if pk, re, ex := parkBooks(t, &ctrs); pk != 5 || re != 0 || ex != 0 {
+		t.Fatalf("books after severed pump: parked=%d redelivered=%d expired=%d", pk, re, ex)
+	}
+
+	// Heal: a forced pump ships the whole buffer as one batch.
+	severed = false
+	p.Pump(200+DefaultParkBackoffNS, true, reach)
+	if got := len(cr.batches[2]); got != 1 {
+		t.Fatalf("healed pump shipped %d batches to dst 2, want 1", got)
+	}
+	if got := len(cr.batches[2][0]); got != 5 {
+		t.Fatalf("redelivered batch holds %d ops, want 5", got)
+	}
+	if cr.bytes != 5*16 {
+		t.Fatalf("redelivered %d bytes, want %d", cr.bytes, 5*16)
+	}
+	if pk, re, ex := parkBooks(t, &ctrs); pk != 5 || re != 5 || ex != 0 {
+		t.Fatalf("books after heal: parked=%d redelivered=%d expired=%d", pk, re, ex)
+	}
+	if p.Parked() != 0 {
+		t.Fatalf("%d ops still parked after redelivery", p.Parked())
+	}
+}
+
+func TestParkingBackoffGatesRetries(t *testing.T) {
+	var ctrs Counters
+	probes := 0
+	var cr collectRedeliver
+	p := NewParking(0, 2, ParkConfig{}, &ctrs, cr.fn)
+	reach := func(dst int) bool { probes++; return false }
+
+	p.Park(1, Op{Bytes: 16}, 0)
+	// Before the backoff window opens the destination is not probed at
+	// all; after it opens, one probe per pump, and each failed probe
+	// doubles the window.
+	p.Pump(DefaultParkBackoffNS-1, false, reach)
+	if probes != 0 {
+		t.Fatalf("probed %d times inside the backoff window", probes)
+	}
+	p.Pump(DefaultParkBackoffNS, false, reach)
+	if probes != 1 {
+		t.Fatalf("probes after first window = %d, want 1", probes)
+	}
+	// The window doubled: a pump at +1 backoff is early, +3 is due.
+	p.Pump(2*DefaultParkBackoffNS, false, reach)
+	if probes != 1 {
+		t.Fatalf("probed again inside the doubled window (probes=%d)", probes)
+	}
+	p.Pump(3*DefaultParkBackoffNS, false, reach)
+	if probes != 2 {
+		t.Fatalf("probes after doubled window = %d, want 2", probes)
+	}
+}
+
+func TestParkingDeadlineExpires(t *testing.T) {
+	var ctrs Counters
+	var cr collectRedeliver
+	cfg := ParkConfig{DeadlineNS: 1000}
+	p := NewParking(0, 2, cfg, &ctrs, cr.fn)
+	reach := func(dst int) bool { return false }
+
+	p.Park(1, Op{Bytes: 16}, 0)
+	p.Park(1, Op{Bytes: 16}, 500)
+	// At t=1100 only the first op is past its deadline.
+	p.Pump(1100, true, reach)
+	if pk, re, ex := parkBooks(t, &ctrs); pk != 2 || re != 0 || ex != 1 {
+		t.Fatalf("books after partial expiry: parked=%d redelivered=%d expired=%d", pk, re, ex)
+	}
+	if p.Parked() != 1 {
+		t.Fatalf("%d ops parked after partial expiry, want 1", p.Parked())
+	}
+	// Final drain expires the survivor wholesale, deadline or not.
+	p.DrainExpire(1200, reach)
+	if pk, re, ex := parkBooks(t, &ctrs); pk != re+ex || ex != 2 {
+		t.Fatalf("settlement broken: parked=%d redelivered=%d expired=%d", pk, re, ex)
+	}
+	if p.Parked() != 0 {
+		t.Fatalf("ledger not empty after DrainExpire: %d", p.Parked())
+	}
+}
+
+func TestParkingOverflowParksThenExpires(t *testing.T) {
+	var ctrs Counters
+	var cr collectRedeliver
+	p := NewParking(0, 2, ParkConfig{Capacity: 2}, &ctrs, cr.fn)
+	for i := 0; i < 5; i++ {
+		if !p.Park(1, Op{Bytes: 16}, 0) {
+			t.Fatal("enabled ledger refused a park")
+		}
+	}
+	// 2 buffered + 3 overflowed: every op booked parked, the overflow
+	// settled immediately as expired.
+	if pk, re, ex := parkBooks(t, &ctrs); pk != 5 || re != 0 || ex != 3 {
+		t.Fatalf("overflow books: parked=%d redelivered=%d expired=%d", pk, re, ex)
+	}
+	if p.Parked() != 2 {
+		t.Fatalf("buffer holds %d ops, want capacity 2", p.Parked())
+	}
+	// The buffered two still redeliver on heal: settlement is exact.
+	p.Pump(1, true, func(int) bool { return true })
+	if pk, re, ex := parkBooks(t, &ctrs); pk != 5 || re != 2 || ex != 3 || pk != re+ex {
+		t.Fatalf("settlement after heal: parked=%d redelivered=%d expired=%d", pk, re, ex)
+	}
+}
+
+func TestParkingDisabled(t *testing.T) {
+	var ctrs Counters
+	p := NewParking(0, 2, ParkConfig{Disable: true}, &ctrs, func(int, []Op, int64) {
+		t.Fatal("disabled ledger redelivered")
+	})
+	if p.Park(1, Op{Bytes: 16}, 0) {
+		t.Fatal("disabled ledger accepted a park")
+	}
+	if pk, re, ex := parkBooks(t, &ctrs); pk != 0 || re != 0 || ex != 0 {
+		t.Fatalf("disabled ledger touched the books: parked=%d redelivered=%d expired=%d", pk, re, ex)
+	}
+}
+
+func TestPerturbationPartitionSet(t *testing.T) {
+	var p Perturbation
+	p = p.WithPartition(1, 2)
+	p = p.WithPartition(2, 1) // idempotent across orientation
+	if len(p.Partitions) != 1 {
+		t.Fatalf("partitions = %v, want one pair", p.Partitions)
+	}
+	if !p.Partitioned(1, 2) || !p.Partitioned(2, 1) {
+		t.Fatal("severed pair not reported partitioned in both orders")
+	}
+	if p.Partitioned(0, 1) {
+		t.Fatal("unsevered pair reported partitioned")
+	}
+	q, was := p.WithoutPartition(2, 1)
+	if !was || q.Partitioned(1, 2) {
+		t.Fatalf("heal failed: was=%v partitions=%v", was, q.Partitions)
+	}
+	if _, was := q.WithoutPartition(1, 2); was {
+		t.Fatal("healing an unsevered pair reported success")
+	}
+}

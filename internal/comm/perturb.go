@@ -18,11 +18,15 @@ package comm
 // Beyond latency, a Perturbation is also the fault plan's liveness
 // half: Down marks crashed (fail-stop) locales and Partitions lists
 // locale pairs that cannot reach each other. The dispatch layer
-// consults Reachable before every remote operation and refuses —
-// counting an OpsLost instead of stalling — when the destination is
-// dead or the pair is partitioned. Liveness, unlike latency scaling,
-// *does* change counter totals, but only through the single OpsLost
-// ledger: a refused op increments OpsLost and nothing else.
+// consults Reachable before every remote operation and refuses when
+// the destination is dead or the pair is partitioned. The two refusal
+// causes settle differently: a crash is permanent, so its ops drain to
+// the OpsLost ledger, while a partition is transient — both endpoints
+// are alive and the pair may heal — so its ops park in the retry plane
+// (Parking) and book OpsParked/OpsRedelivered/OpsExpired instead.
+// Liveness, unlike latency scaling, *does* change counter totals, but
+// only through those ledgers: a refused op increments exactly one of
+// them and nothing else.
 //
 // The zero value (no scales, no faults) is "no perturbation" and costs
 // one branch per delay.
@@ -38,7 +42,9 @@ type Perturbation struct {
 
 	// Partitions are unordered locale pairs that cannot exchange
 	// traffic in either direction (both endpoints stay alive and keep
-	// talking to everyone else).
+	// talking to everyone else). Unlike Down, a partition is
+	// repairable: WithoutPartition (pgas.System.Heal) removes a pair
+	// and the severed traffic flows again.
 	Partitions [][2]int `json:"partitions,omitempty"`
 }
 
@@ -85,6 +91,19 @@ func (p Perturbation) Deliverable(src, dst int) bool {
 	return true
 }
 
+// Partitioned reports whether the unordered pair (src, dst) is
+// currently severed — the partition-specific half of Deliverable,
+// letting the dispatch layer distinguish a transient partition refusal
+// (park and retry) from a permanent crash refusal (lost).
+func (p Perturbation) Partitioned(src, dst int) bool {
+	for _, pr := range p.Partitions {
+		if (pr[0] == src && pr[1] == dst) || (pr[0] == dst && pr[1] == src) {
+			return true
+		}
+	}
+	return false
+}
+
 // WithDown returns a copy of the plan with locale l of n marked dead.
 // The existing scales and partitions carry over, so a runtime crash
 // composes with whatever latency plan was already installed.
@@ -97,6 +116,41 @@ func (p Perturbation) WithDown(n, l int) Perturbation {
 	q := p
 	q.Down = down
 	return q
+}
+
+// WithPartition returns a copy of the plan with the unordered pair
+// (a, b) severed; severing an already-severed pair returns the plan
+// unchanged, so sever is idempotent.
+func (p Perturbation) WithPartition(a, b int) Perturbation {
+	if p.Partitioned(a, b) {
+		return p
+	}
+	q := p
+	q.Partitions = append(append([][2]int(nil), p.Partitions...), [2]int{a, b})
+	return q
+}
+
+// WithoutPartition returns a copy of the plan with the unordered pair
+// (a, b) healed, and reports whether the pair was severed — false
+// means the plan is returned unchanged and the caller asked to heal a
+// link that was never cut.
+func (p Perturbation) WithoutPartition(a, b int) (Perturbation, bool) {
+	if !p.Partitioned(a, b) {
+		return p, false
+	}
+	parts := make([][2]int, 0, len(p.Partitions)-1)
+	for _, pr := range p.Partitions {
+		if (pr[0] == a && pr[1] == b) || (pr[0] == b && pr[1] == a) {
+			continue
+		}
+		parts = append(parts, pr)
+	}
+	if len(parts) == 0 {
+		parts = nil
+	}
+	q := p
+	q.Partitions = parts
+	return q, true
 }
 
 // ScaleFor returns the multiplier for one locale (1.0 when the locale

@@ -51,32 +51,34 @@ func newAggregator(c *Ctx) *Aggregator {
 			// The destination context is scoped to the batch, so it
 			// comes from the same pool the sync dispatch path uses.
 			//
-			// A flush aimed at a dead or partitioned destination drains
-			// to the lost-ops ledger instead: each workload op in the
-			// batch counts one OpsLost and is discarded. Frees are the
-			// one exemption — they are the reclamation protocol's
-			// scatter lists, and under the shared-storage failover
-			// conceit a dead locale's heap partition remains
+			// A flush aimed at a dead destination drains to the
+			// lost-ops ledger: each workload op in the batch counts one
+			// OpsLost and is discarded. A flush aimed at a partitioned
+			// destination parks instead — the pair may heal, so each
+			// workload op files into the source locale's retry ledger
+			// and redelivers through this same framing later. Frees are
+			// the one exemption from both: they are the reclamation
+			// protocol's scatter lists, and under the shared-storage
+			// failover conceit a dead locale's heap partition remains
 			// reclaimable, so deferred==reclaimed stays provable after
 			// a crash. Salvage contexts (c.salvage) never drop.
-			lost := s.refuse(c, dst)
+			r := s.refusalOf(c, dst)
 			tc := s.borrowCtx(s.locales[dst])
 			tc.salvage = c.salvage
 			for _, op := range batch {
+				if _, isFree := op.Exec.(freeOp); !isFree && r != refuseNone {
+					if r == refusePartition && s.parkOp(c.here.id, dst, op) {
+						continue
+					}
+					s.counters.IncOpsLost(c.here.id, 1)
+					continue
+				}
 				switch exec := op.Exec.(type) {
 				case freeOp:
 					exec(tc)
 				case func(*Ctx):
-					if lost {
-						s.counters.IncOpsLost(c.here.id, 1)
-						continue
-					}
 					exec(tc)
 				case CombinableCall:
-					if lost {
-						s.counters.IncOpsLost(c.here.id, 1)
-						continue
-					}
 					exec.Exec(tc)
 				default:
 					panic(fmt.Sprintf("pgas: unknown aggregated op payload %T", op.Exec))

@@ -32,13 +32,19 @@ func (s *System) dispatchOn(src *Ctx, target int, fn func(*Ctx)) {
 		fn(src)
 		return
 	}
-	// A dead or partitioned destination fails fast: the op is refused
-	// before any charge — one OpsLost, no on-stmt, no matrix entry, no
-	// delay, fn never runs. Failing here (not stalling) is what keeps
-	// Quiesce and coforall joins crash-tolerant.
-	if s.refuse(src, target) {
-		s.counters.IncOpsLost(src.here.id, 1)
-		return
+	// A dead destination fails fast: the op is refused before any
+	// charge — one OpsLost, no on-stmt, no matrix entry, no delay, fn
+	// never runs. Failing here (not stalling) is what keeps Quiesce and
+	// coforall joins crash-tolerant. A partitioned destination is
+	// transient instead: the call parks in place — the calling task
+	// retries with exponential backoff until the pair heals (then
+	// proceeds with normal delivery below) or the retry deadline
+	// expires (booked expired, fn never runs).
+	if r := s.refusalOf(src, target); r != refuseNone {
+		if r == refuseCrash || !s.parkSyncOn(src, target) {
+			s.counters.IncOpsLost(src.here.id, 1)
+			return
+		}
 	}
 	// The Enabled check is hoisted to the call site: Begin is too big to
 	// inline, and this is the hottest loop in every sweep — an idle
@@ -75,13 +81,22 @@ func (s *System) dispatchOnAsync(src *Ctx, target int, fn func(*Ctx)) {
 	}
 	srcID := src.here.id
 	remote := target != srcID
-	// Refused the same way as the sync path: one OpsLost, nothing
-	// launched, nothing left for Quiesce to wait on — which is how
-	// quiescence comes to exclude dead locales.
-	if remote && s.refuse(src, target) {
-		s.asyncPending.Add(-1)
-		s.counters.IncOpsLost(srcID, 1)
-		return
+	// A crash refuses the same way as the sync path: one OpsLost,
+	// nothing launched, nothing left for Quiesce to wait on — which is
+	// how quiescence comes to exclude dead locales. A partition parks
+	// the launch in the retry ledger instead — nothing is in flight (so
+	// quiescence is not wedged while severed) and the task launches
+	// from the ledger when the pair heals.
+	if remote {
+		if r := s.refusalOf(src, target); r != refuseNone {
+			s.asyncPending.Add(-1)
+			if r == refusePartition &&
+				s.parkOp(srcID, target, comm.Op{Bytes: aggCallBytes, Exec: fn}) {
+				return
+			}
+			s.counters.IncOpsLost(srcID, 1)
+			return
+		}
 	}
 	if remote {
 		s.chargeOnStmt(srcID, target)

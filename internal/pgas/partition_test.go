@@ -1,0 +1,277 @@
+package pgas
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/trace"
+)
+
+func TestSeverHealErrors(t *testing.T) {
+	s := newTestSystem(t, 3, comm.BackendNone)
+	if err := s.Sever(0, 3); err == nil {
+		t.Fatal("sever out of range succeeded")
+	}
+	if err := s.Sever(-1, 1); err == nil {
+		t.Fatal("sever negative locale succeeded")
+	}
+	if err := s.Sever(1, 1); err == nil {
+		t.Fatal("sever self-pair succeeded")
+	}
+	if err := s.Heal(0, 1); err == nil {
+		t.Fatal("healing an unsevered pair succeeded")
+	}
+	if err := s.Sever(0, 1); err != nil {
+		t.Fatalf("sever: %v", err)
+	}
+	if err := s.Sever(1, 0); err != nil {
+		t.Fatalf("re-sever (idempotent) errored: %v", err)
+	}
+	if s.Reachable(0, 1) || s.Reachable(1, 0) {
+		t.Fatal("severed pair still reachable")
+	}
+	if !s.Reachable(0, 2) || !s.Reachable(1, 2) {
+		t.Fatal("sever leaked beyond its pair")
+	}
+	if !s.Alive(0) || !s.Alive(1) {
+		t.Fatal("sever killed a locale")
+	}
+	if err := s.Heal(1, 0); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+	if !s.Reachable(0, 1) {
+		t.Fatal("pair still severed after heal")
+	}
+	if err := s.Heal(0, 1); err == nil {
+		t.Fatal("double heal succeeded")
+	}
+}
+
+// Aggregated ops refused by a partition park and redeliver on heal:
+// nothing lands while severed, everything lands after, and the books
+// settle with zero lost ops.
+func TestPartitionParkAndRedeliver(t *testing.T) {
+	s := newTestSystem(t, 2, comm.BackendNone)
+	const ops = 8
+	var landed atomic.Int64
+	s.Run(func(c *Ctx) {
+		if err := s.Sever(0, 1); err != nil {
+			t.Fatalf("sever: %v", err)
+		}
+		for i := 0; i < ops; i++ {
+			c.Aggregator(1).Call(func(tc *Ctx) { landed.Add(1) })
+		}
+		c.Flush()
+		if got := landed.Load(); got != 0 {
+			t.Fatalf("%d ops landed through a severed link", got)
+		}
+		snap := s.Counters().Snapshot()
+		if snap.OpsParked != ops || snap.OpsRedelivered != 0 {
+			t.Fatalf("books while severed: parked=%d redelivered=%d", snap.OpsParked, snap.OpsRedelivered)
+		}
+		if s.ParkedOps() != ops {
+			t.Fatalf("ledger holds %d ops, want %d", s.ParkedOps(), ops)
+		}
+
+		// Heal pumps synchronously: the parked batch has executed by the
+		// time Heal returns.
+		if err := s.Heal(0, 1); err != nil {
+			t.Fatalf("heal: %v", err)
+		}
+		if got := landed.Load(); got != ops {
+			t.Fatalf("%d ops landed after heal, want %d", got, ops)
+		}
+	})
+	snap := s.Counters().Snapshot()
+	if snap.OpsParked != ops || snap.OpsRedelivered != ops || snap.OpsExpired != 0 {
+		t.Fatalf("settlement: parked=%d redelivered=%d expired=%d",
+			snap.OpsParked, snap.OpsRedelivered, snap.OpsExpired)
+	}
+	if snap.OpsLost != 0 {
+		t.Fatalf("partition charged the crash ledger: opsLost=%d", snap.OpsLost)
+	}
+}
+
+// AsyncOn against a severed pair parks without wedging quiescence; the
+// task runs when the pair heals.
+func TestPartitionAsyncOnParks(t *testing.T) {
+	s := newTestSystem(t, 2, comm.BackendNone)
+	var ran atomic.Int64
+	s.Run(func(c *Ctx) {
+		if err := s.Sever(0, 1); err != nil {
+			t.Fatalf("sever: %v", err)
+		}
+		c.AsyncOn(1, func(tc *Ctx) { ran.Add(1) })
+		// Flush quiesces: the parked async must not be counted as
+		// in-flight or this would deadlock.
+		c.Flush()
+		if ran.Load() != 0 {
+			t.Fatal("async ran through a severed link")
+		}
+		if err := s.Heal(0, 1); err != nil {
+			t.Fatalf("heal: %v", err)
+		}
+		c.Flush()
+		if ran.Load() != 1 {
+			t.Fatalf("async ran %d times after heal, want 1", ran.Load())
+		}
+	})
+	snap := s.Counters().Snapshot()
+	if snap.OpsParked != 1 || snap.OpsRedelivered != 1 || snap.OpsLost != 0 {
+		t.Fatalf("async books: parked=%d redelivered=%d lost=%d",
+			snap.OpsParked, snap.OpsRedelivered, snap.OpsLost)
+	}
+}
+
+// A synchronous on-statement cannot park in the ledger — the caller is
+// waiting — so it retries in place and completes once another goroutine
+// heals the pair.
+func TestPartitionSyncOnRetriesUntilHeal(t *testing.T) {
+	s := newTestSystem(t, 2, comm.BackendNone)
+	s.Run(func(c *Ctx) {
+		if err := s.Sever(0, 1); err != nil {
+			t.Fatalf("sever: %v", err)
+		}
+		go func() {
+			time.Sleep(2 * time.Millisecond)
+			if err := s.Heal(0, 1); err != nil {
+				t.Errorf("heal: %v", err)
+			}
+		}()
+		var visited int
+		c.On(1, func(rc *Ctx) { visited = rc.Here() })
+		if visited != 1 {
+			t.Fatalf("on-statement ran on locale %d, want 1", visited)
+		}
+	})
+	snap := s.Counters().Snapshot()
+	if snap.OpsParked != 1 || snap.OpsRedelivered != 1 || snap.OpsExpired != 0 || snap.OpsLost != 0 {
+		t.Fatalf("sync retry books: parked=%d redelivered=%d expired=%d lost=%d",
+			snap.OpsParked, snap.OpsRedelivered, snap.OpsExpired, snap.OpsLost)
+	}
+}
+
+// A synchronous on-statement against a pair that never heals expires at
+// the parking deadline and drops, booked expired — not lost.
+func TestPartitionSyncOnExpires(t *testing.T) {
+	s := NewSystem(Config{
+		Locales: 2,
+		Backend: comm.BackendNone,
+		Park:    comm.ParkConfig{DeadlineNS: int64(time.Millisecond)},
+	})
+	defer s.Shutdown()
+	s.Run(func(c *Ctx) {
+		if err := s.Sever(0, 1); err != nil {
+			t.Fatalf("sever: %v", err)
+		}
+		ran := false
+		c.On(1, func(rc *Ctx) { ran = true })
+		if ran {
+			t.Fatal("expired on-statement executed")
+		}
+		if err := s.Heal(0, 1); err != nil {
+			t.Fatalf("heal: %v", err)
+		}
+	})
+	snap := s.Counters().Snapshot()
+	if snap.OpsParked != 1 || snap.OpsExpired != 1 || snap.OpsRedelivered != 0 {
+		t.Fatalf("expiry books: parked=%d redelivered=%d expired=%d",
+			snap.OpsParked, snap.OpsRedelivered, snap.OpsExpired)
+	}
+}
+
+// Park.Disable reverts partitions to fail-stop accounting: refused ops
+// drain to OpsLost like crash refusals, and the retry ledgers stay
+// untouched — the ablation baseline.
+func TestPartitionDisabledFailStop(t *testing.T) {
+	s := NewSystem(Config{
+		Locales: 2,
+		Backend: comm.BackendNone,
+		Park:    comm.ParkConfig{Disable: true},
+	})
+	defer s.Shutdown()
+	const ops = 4
+	var landed atomic.Int64
+	s.Run(func(c *Ctx) {
+		if err := s.Sever(0, 1); err != nil {
+			t.Fatalf("sever: %v", err)
+		}
+		for i := 0; i < ops; i++ {
+			c.Aggregator(1).Call(func(tc *Ctx) { landed.Add(1) })
+		}
+		c.Flush()
+		if err := s.Heal(0, 1); err != nil {
+			t.Fatalf("heal: %v", err)
+		}
+		c.Flush()
+	})
+	if landed.Load() != 0 {
+		t.Fatalf("%d fail-stopped ops landed after heal", landed.Load())
+	}
+	snap := s.Counters().Snapshot()
+	if snap.OpsLost != ops || snap.OpsParked != 0 || snap.OpsRedelivered != 0 {
+		t.Fatalf("disabled books: lost=%d parked=%d redelivered=%d",
+			snap.OpsLost, snap.OpsParked, snap.OpsRedelivered)
+	}
+}
+
+// DrainParking (and hence Shutdown) settles a still-severed ledger by
+// expiring it: every parked op books exactly one settlement.
+func TestDrainParkingExpiresSevered(t *testing.T) {
+	s := newTestSystem(t, 2, comm.BackendNone)
+	const ops = 3
+	var landed atomic.Int64
+	s.Run(func(c *Ctx) {
+		if err := s.Sever(0, 1); err != nil {
+			t.Fatalf("sever: %v", err)
+		}
+		for i := 0; i < ops; i++ {
+			c.Aggregator(1).Call(func(tc *Ctx) { landed.Add(1) })
+		}
+		c.Flush()
+	})
+	s.DrainParking()
+	if landed.Load() != 0 {
+		t.Fatalf("%d ops landed through a never-healed link", landed.Load())
+	}
+	snap := s.Counters().Snapshot()
+	if snap.OpsParked != ops || snap.OpsExpired != ops || snap.OpsRedelivered != 0 {
+		t.Fatalf("drain books: parked=%d redelivered=%d expired=%d",
+			snap.OpsParked, snap.OpsRedelivered, snap.OpsExpired)
+	}
+	if snap.OpsLost != 0 {
+		t.Fatalf("drain charged the crash ledger: opsLost=%d", snap.OpsLost)
+	}
+	if s.ParkedOps() != 0 {
+		t.Fatalf("ledger not empty after drain: %d", s.ParkedOps())
+	}
+}
+
+// Partition and heal emit always-on trace instants: control-plane
+// kinds, recorded even at a sample rate that suppresses everything
+// sampled.
+func TestPartitionTraceInstants(t *testing.T) {
+	rec := trace.NewRecorder(2, trace.Config{SampleRate: 1 << 20})
+	s := NewSystem(Config{Locales: 2, Backend: comm.BackendNone, Tracer: rec})
+	defer s.Shutdown()
+	if err := s.Sever(0, 1); err != nil {
+		t.Fatalf("sever: %v", err)
+	}
+	if err := s.Heal(0, 1); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+	var partitions, heals int
+	for _, ev := range rec.Drain(0) {
+		switch ev.Kind {
+		case trace.KindPartition:
+			partitions++
+		case trace.KindHeal:
+			heals++
+		}
+	}
+	if partitions != 1 || heals != 1 {
+		t.Fatalf("trace instants: partition=%d heal=%d, want 1 each", partitions, heals)
+	}
+}

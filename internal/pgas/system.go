@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gopgas/internal/comm"
 	"gopgas/internal/gas"
@@ -46,6 +47,14 @@ type Config struct {
 	// Counters are never affected.
 	Perturb comm.Perturbation
 
+	// Park configures the partition retry plane: operations refused
+	// because the source/destination pair is partitioned (both locales
+	// alive) park in a per-locale comm.Parking ledger with exponential
+	// backoff and redeliver when the pair heals, instead of draining to
+	// OpsLost. The zero value enables the plane with the comm defaults;
+	// Park.Disable reverts partitions to fail-stop accounting.
+	Park comm.ParkConfig
+
 	// Tracer, when non-nil, records begin/end spans for the dispatch,
 	// flush, combine, epoch and migration lifecycles. A nil Tracer (the
 	// default) costs every instrumented hot path exactly one nil check;
@@ -79,12 +88,25 @@ type System struct {
 	// the initial plan; SetPerturbation swaps it at runtime (the
 	// telemetry /api/fault path). delay() reads it on every injected
 	// delay, so a swap takes effect on the next simulated communication.
+	// faultMu serializes the read-modify-write mutators (Crash, Sever,
+	// Heal) so concurrent fault events never lose each other's updates.
 	perturb atomic.Pointer[comm.Perturbation]
+	faultMu sync.Mutex
+
+	// Partition retry plane: one ledger per source locale, a lazily
+	// started background pump that retries parked ops on their backoff
+	// clocks, and the monotonic clock the ledgers are stamped against.
+	parking   []*comm.Parking
+	parkPump  sync.Once
+	parkStop  chan struct{}
+	parkWG    sync.WaitGroup
+	startTime time.Time
 
 	privMu   sync.Mutex
 	privNext int
 	privFree []int // destroyed privatization ids, recycled by NewPrivatized
 
+	closing  atomic.Bool // Shutdown entered (guards the drain sequence)
 	shutdown atomic.Bool
 	workerWG sync.WaitGroup
 }
@@ -127,10 +149,20 @@ func NewSystem(cfg Config) *System {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	s := &System{cfg: cfg, matrix: comm.NewMatrix(cfg.Locales), tracer: cfg.Tracer}
+	cfg.Park = cfg.Park.WithDefaults()
+	s := &System{cfg: cfg, matrix: comm.NewMatrix(cfg.Locales), tracer: cfg.Tracer, startTime: time.Now()}
 	if cfg.Perturb.Enabled() {
 		p := cfg.Perturb
 		s.perturb.Store(&p)
+	}
+	s.parkStop = make(chan struct{})
+	s.parking = make([]*comm.Parking, cfg.Locales)
+	for i := range s.parking {
+		src := i
+		s.parking[i] = comm.NewParking(src, cfg.Locales, cfg.Park, &s.counters,
+			func(dst int, batch []comm.Op, bytes int64) {
+				s.redeliverParked(src, dst, batch, bytes)
+			})
 	}
 	s.locales = make([]*Locale, cfg.Locales)
 	for i := range s.locales {
@@ -164,15 +196,23 @@ func (l *Locale) progressWorker() {
 	}
 }
 
-// Shutdown waits for asynchronous operations to quiesce, then stops
-// all progress workers. Any communication attempted after Shutdown
-// panics; a System is not restartable. The flag is set before the
-// quiesce so a racing AsyncOn either lands inside the quiesce window
-// or is refused — it can never outlive the progress workers.
+// Shutdown settles the partition retry plane, waits for asynchronous
+// operations to quiesce, then stops all progress workers. Any
+// communication attempted after Shutdown panics; a System is not
+// restartable. The retry ledger drains *before* the shutdown flag goes
+// up: redelivered ops may legitimately launch async reroutes and AM
+// atomics, which must land inside the quiesce window, not panic
+// against a half-dead system. The flag is then set before the quiesce
+// so a racing AsyncOn either lands inside the window or is refused —
+// it can never outlive the progress workers.
 func (s *System) Shutdown() {
-	if s.shutdown.Swap(true) {
+	if s.closing.Swap(true) {
 		return
 	}
+	close(s.parkStop)
+	s.parkWG.Wait()
+	s.DrainParking()
+	s.shutdown.Store(true)
 	s.Quiesce()
 	for _, l := range s.locales {
 		close(l.amq)
@@ -305,14 +345,39 @@ func (s *System) Reachable(src, dst int) bool {
 // target must be refused under the live fault plan: the target is dead
 // or the pair is partitioned. Salvage contexts — the recovery plane —
 // are exempt, which is what lets failover reach a dead locale's shards
-// and limbo lists. Callers that refuse count exactly one OpsLost and
-// nothing else.
+// and limbo lists.
 func (s *System) refuse(src *Ctx, target int) bool {
+	return s.refusalOf(src, target) != refuseNone
+}
+
+// refusal classifies why (or whether) an operation is refused; the two
+// causes settle into different ledgers — crashes are permanent
+// (OpsLost), partitions transient (the retry plane).
+type refusal uint8
+
+const (
+	refuseNone refusal = iota
+	refuseCrash
+	refusePartition
+)
+
+// refusalOf classifies a remote operation from src toward target under
+// the live fault plan: refuseCrash when the target is dead,
+// refusePartition when both endpoints are alive but the pair is
+// severed, refuseNone otherwise (including for salvage contexts, which
+// the fault plan exempts).
+func (s *System) refusalOf(src *Ctx, target int) refusal {
 	p := s.perturb.Load()
 	if p == nil || !p.Faulted() || src.salvage {
-		return false
+		return refuseNone
 	}
-	return !p.Deliverable(src.here.id, target)
+	if !p.Alive(target) {
+		return refuseCrash
+	}
+	if p.Partitioned(src.here.id, target) {
+		return refusePartition
+	}
+	return refuseNone
 }
 
 // Crash marks locale l dead in the live fault plan — fail-stop: every
@@ -327,11 +392,14 @@ func (s *System) Crash(l int) error {
 	if l <= 0 || l >= len(s.locales) {
 		return fmt.Errorf("pgas: crash locale %d out of range [1, %d)", l, len(s.locales))
 	}
+	s.faultMu.Lock()
 	if !s.Alive(l) {
+		s.faultMu.Unlock()
 		return nil
 	}
 	p := s.Perturbation().WithDown(len(s.locales), l)
 	s.perturb.Store(&p)
+	s.faultMu.Unlock()
 	if tr := s.tracer; tr != nil {
 		tr.Instant(0, trace.KindCrash, 0, 0, l, 0, int64(l))
 	}

@@ -1,0 +1,134 @@
+package queue
+
+import (
+	"sort"
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+// A crashed locale's segment fails over: its stranded values re-home
+// onto the survivors in contiguous chunks with balanced adopt/retire
+// books, ForceRetire clears the stranded pin, and nothing is lost or
+// duplicated.
+func TestShardedFailover(t *testing.T) {
+	const locales, victim, vq = 4, 2, 10
+	s := newTestSystem(t, locales, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		q := NewSharded[int](c, em)
+		// One value per survivor segment (must come through untouched)
+		// and vq values on the victim's.
+		want := make(map[int]bool)
+		c.CoforallLocales(func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				if lc.Here() == victim {
+					for i := 0; i < vq; i++ {
+						q.Enqueue(lc, tok, victim*1000+i)
+					}
+				} else {
+					q.Enqueue(lc, tok, lc.Here()*1000)
+				}
+			})
+		})
+		for l := 0; l < locales; l++ {
+			if l == victim {
+				for i := 0; i < vq; i++ {
+					want[victim*1000+i] = true
+				}
+			} else {
+				want[l*1000] = true
+			}
+		}
+		// The stranded pin a dead task leaves behind.
+		c.On(victim, func(vc *pgas.Ctx) { em.Pin(vc) })
+
+		if err := s.Crash(victim); err != nil {
+			t.Fatalf("Crash: %v", err)
+		}
+
+		// A steal from an empty survivor segment must skip the dead
+		// victim outright: no refusal burned, and the steal finds a live
+		// segment's value instead of wedging on the corpse.
+		preLost := s.Counters().Snapshot().OpsLost
+		stok := em.Register(c)
+		if _, from, ok := q.TryDequeueAny(c, stok); !ok || from == victim {
+			t.Fatalf("steal after crash = (from=%d, %v)", from, ok)
+		} else {
+			delete(want, from*1000)
+		}
+		stok.Unregister(c)
+		if lost := s.Counters().Snapshot().OpsLost; lost != preLost {
+			t.Fatalf("steal burned %d refusals on the dead victim", lost-preLost)
+		}
+
+		before := s.Counters().Snapshot()
+		sc := c.Salvage()
+		shards, bytes := q.Failover(sc, victim)
+		tokens := em.ForceRetire(sc, victim)
+		sc.Flush()
+
+		// vq values over locales-1 survivors: ceil-chunks, one per
+		// adopter.
+		if shards != locales-1 {
+			t.Fatalf("failover adopted %d chunks, want %d", shards, locales-1)
+		}
+		if wantBytes := int64(vq) * 16; bytes != wantBytes {
+			t.Fatalf("failover moved %d bytes, want %d", bytes, wantBytes)
+		}
+		if tokens != 1 {
+			t.Fatalf("force-retired %d tokens, want exactly the stranded pin", tokens)
+		}
+		delta := s.Counters().Snapshot().Sub(before)
+		if delta.MigAdopted != shards || delta.MigRetired != shards {
+			t.Fatalf("books unbalanced: adopted %d retired %d, failover reported %d",
+				delta.MigAdopted, delta.MigRetired, shards)
+		}
+		if delta.MigBytes != bytes {
+			t.Fatalf("migrated %d bytes, failover reported %d", delta.MigBytes, bytes)
+		}
+		if delta.OpsLost != 0 {
+			t.Fatalf("failover lost %d ops", delta.OpsLost)
+		}
+
+		// Everything drains back out exactly once, the victim's segment
+		// empty; per-adopter chunks preserve the victim's FIFO order.
+		var got []int
+		for owner, batch := range q.Drain(sc) {
+			if owner == victim && len(batch) != 0 {
+				t.Fatalf("dead segment still holds %v", batch)
+			}
+			prev := -1
+			for _, v := range batch {
+				if v >= victim*1000 && v < victim*1000+vq {
+					if v <= prev {
+						t.Fatalf("adopter %d broke FIFO within its chunk: %v", owner, batch)
+					}
+					prev = v
+				}
+			}
+			got = append(got, batch...)
+		}
+		wantVals := make([]int, 0, len(want))
+		for v := range want {
+			wantVals = append(wantVals, v)
+		}
+		sort.Ints(got)
+		sort.Ints(wantVals)
+		if len(got) != len(wantVals) {
+			t.Fatalf("drained %d values, want %d", len(got), len(wantVals))
+		}
+		for i := range got {
+			if got[i] != wantVals[i] {
+				t.Fatalf("drained set diverged at %d: got %v want %v", i, got, wantVals)
+			}
+		}
+
+		// Failover of an alive locale is a refusal-free no-op.
+		if sh, b := q.Failover(sc, 0); sh != 0 || b != 0 {
+			t.Fatalf("failover of alive locale adopted (%d, %d)", sh, b)
+		}
+	})
+}

@@ -98,6 +98,26 @@ func (q Sharded[T]) TryDequeueAny(c *pgas.Ctx, tok *epoch.Token) (v T, from int,
 	return shared.TryTakeAny(c, q.obj, tok, dequeueSeg[T])
 }
 
+// Failover adopts the dead locale's segment after a crash: from a
+// salvage context (pgas.Ctx.Salvage — required, the same contract as
+// hashmap.Rebalanced.Failover) the dead segment drains on its own
+// locale and its values re-home onto the surviving locales through the
+// bulk framing, in contiguous chunks that preserve the segment's FIFO
+// order within each adopter. Steal paths (TryDequeueAny) already skip
+// unreachable victims, so adoption is the only road the stranded
+// values ride back. Returns the chunks adopted (each booking one
+// balanced MigAdopt/MigRetire pair and one KindAdopt span) and payload
+// bytes moved; the caller still force-retires the dead locale's epoch
+// tokens.
+func (q Sharded[T]) Failover(c *pgas.Ctx, dead int) (shards, bytes int64) {
+	return shared.FailoverDrain(c, q.obj, dead, dequeueSeg[T],
+		func(lc *pgas.Ctx, s *segment[T], vals []T) {
+			q.obj.Protect(lc, func(tok *epoch.Token) {
+				s.q.EnqueueBulk(lc, tok, vals)
+			})
+		})
+}
+
 // Drain empties every segment and returns the remaining values grouped
 // by owning segment (index = locale id; per-segment FIFO order is
 // preserved): shared.Drain's cost model — each segment drains on its

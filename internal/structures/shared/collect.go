@@ -4,6 +4,7 @@ import (
 	"gopgas/internal/comm"
 	"gopgas/internal/core/epoch"
 	"gopgas/internal/pgas"
+	"gopgas/internal/trace"
 )
 
 // Owner-sharded collection plumbing: the global views every sharded
@@ -82,8 +83,17 @@ func TryTakeAny[S, T any](c *pgas.Ctx, o Object[S], tok *epoch.Token, pop PopFun
 		return val, c.Here(), true
 	}
 	L := c.NumLocales()
+	sys := c.Sys()
 	for i := 1; i < L; i++ {
 		victim := (c.Here() + i) % L
+		// A dead or partitioned victim is skipped outright: stealing is
+		// opportunistic, so burning a refusal on an unreachable peer is
+		// pure waste — the steal just looks at the next shard. A dead
+		// victim's stranded values come back via Failover adoption, not
+		// steals.
+		if !sys.Reachable(c.Here(), victim) {
+			continue
+		}
 		o.OnOwner(c, victim, func(lc *pgas.Ctx, s *S) {
 			o.Protect(lc, func(vtok *epoch.Token) {
 				v, ok = pop(lc, vtok, s)
@@ -94,6 +104,85 @@ func TryTakeAny[S, T any](c *pgas.Ctx, o Object[S], tok *epoch.Token, pop PopFun
 		}
 	}
 	return v, -1, false
+}
+
+// FailoverDrain adopts a dead locale's shard after a crash. It must be
+// called on a salvage context (pgas.Ctx.Salvage) — the recovery
+// plane's exemption from refusal, the same contract as
+// hashmap.Rebalanced.Failover: under the shared-storage conceit a
+// crashed locale's heap partition survives, so the salvage task drains
+// the dead shard on its own locale and re-homes the values onto the
+// alive locales in contiguous chunks, shipped through the same
+// combinable bulk framing the structures' BulkOn paths use. Each
+// shipped chunk books one MigRetire (and its ValueBytes payload) on
+// the salvaging side and one MigAdopt when it lands, so the balanced
+// adopt/retire books extend to queue/stack failover unchanged, and one
+// always-on KindAdopt span per chunk (src = dead locale, dst =
+// adopter, arg = dead locale) records the handoff. Returns the number
+// of chunks adopted — at most one per surviving locale, zero when the
+// dead shard was empty — and the payload bytes moved.
+func FailoverDrain[S, T any](c *pgas.Ctx, o Object[S], dead int, pop PopFunc[S, T], apply func(lc *pgas.Ctx, s *S, vals []T)) (shards, bytes int64) {
+	sys := c.Sys()
+	if sys.Alive(dead) {
+		return 0, 0
+	}
+	var vals []T
+	o.OnOwner(c, dead, func(lc *pgas.Ctx, s *S) {
+		o.Protect(lc, func(tok *epoch.Token) {
+			for {
+				v, ok := pop(lc, tok, s)
+				if !ok {
+					break
+				}
+				vals = append(vals, v)
+			}
+		})
+	})
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	var alive []int
+	for l := 0; l < c.NumLocales(); l++ {
+		if l != dead && sys.Alive(l) {
+			alive = append(alive, l)
+		}
+	}
+	if len(alive) == 0 {
+		return 0, 0
+	}
+	chunk := (len(vals) + len(alive) - 1) / len(alive)
+	ctrs := sys.Counters()
+	tr := sys.Tracer()
+	for i, adopter := range alive {
+		lo := i * chunk
+		if lo >= len(vals) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		part := vals[lo:hi]
+		b := int64(len(part)) * ValueBytes
+		var sp trace.Span
+		if tr != nil {
+			sp = tr.Begin(c.Here(), trace.KindAdopt, c.TaskID(), dead, adopter, b, int64(dead))
+		}
+		ctrs.IncMigRetire(c.Here())
+		ctrs.IncMigBytes(c.Here(), b)
+		CombineBulkOn(c, o, adopter, part, func(lc *pgas.Ctx, s *S, vs []T) {
+			lc.Sys().Counters().IncMigAdopt(lc.Here())
+			apply(lc, s, vs)
+		})
+		// Land the chunk now: failover is synchronous, and the span must
+		// close over a completed adoption so begin-counts equal the
+		// shards-adopted ledger.
+		c.Aggregator(adopter).Flush()
+		sp.EndWith(b, int64(dead))
+		shards++
+		bytes += b
+	}
+	return shards, bytes
 }
 
 // Drain empties every shard and returns the remaining values grouped

@@ -1,0 +1,119 @@
+package stack
+
+import (
+	"sort"
+	"testing"
+
+	"gopgas/internal/comm"
+	"gopgas/internal/core/epoch"
+	"gopgas/internal/pgas"
+)
+
+// The stack mirror of the queue failover contract: a crashed locale's
+// segment drains onto the survivors with balanced adopt/retire books,
+// steals skip the corpse, and the surviving multiset is exact (LIFO is
+// a per-segment property, so adoption asserts set preservation, not
+// order).
+func TestShardedFailover(t *testing.T) {
+	const locales, victim, vq = 4, 1, 9
+	s := newTestSystem(t, locales, comm.BackendNone)
+	s.Run(func(c *pgas.Ctx) {
+		em := epoch.NewEpochManager(c)
+		st := NewSharded[int](c, em)
+		want := make(map[int]int)
+		c.CoforallLocales(func(lc *pgas.Ctx) {
+			em.Protect(lc, func(tok *epoch.Token) {
+				if lc.Here() == victim {
+					for i := 0; i < vq; i++ {
+						st.Push(lc, tok, victim*1000+i)
+					}
+				} else {
+					st.Push(lc, tok, lc.Here()*1000)
+				}
+			})
+		})
+		for l := 0; l < locales; l++ {
+			if l == victim {
+				for i := 0; i < vq; i++ {
+					want[victim*1000+i]++
+				}
+			} else {
+				want[l*1000]++
+			}
+		}
+		c.On(victim, func(vc *pgas.Ctx) { em.Pin(vc) })
+
+		if err := s.Crash(victim); err != nil {
+			t.Fatalf("Crash: %v", err)
+		}
+
+		// Steal guard: an empty survivor pops from a live peer, never
+		// probing the dead one.
+		preLost := s.Counters().Snapshot().OpsLost
+		stok := em.Register(c)
+		if v, from, ok := st.TryPopAny(c, stok); !ok || from == victim {
+			t.Fatalf("steal after crash = (from=%d, %v)", from, ok)
+		} else {
+			want[v]--
+			if want[v] == 0 {
+				delete(want, v)
+			}
+		}
+		stok.Unregister(c)
+		if lost := s.Counters().Snapshot().OpsLost; lost != preLost {
+			t.Fatalf("steal burned %d refusals on the dead victim", lost-preLost)
+		}
+
+		before := s.Counters().Snapshot()
+		sc := c.Salvage()
+		shards, bytes := st.Failover(sc, victim)
+		tokens := em.ForceRetire(sc, victim)
+		sc.Flush()
+
+		if shards != locales-1 {
+			t.Fatalf("failover adopted %d chunks, want %d", shards, locales-1)
+		}
+		if wantBytes := int64(vq) * 16; bytes != wantBytes {
+			t.Fatalf("failover moved %d bytes, want %d", bytes, wantBytes)
+		}
+		if tokens != 1 {
+			t.Fatalf("force-retired %d tokens, want exactly the stranded pin", tokens)
+		}
+		delta := s.Counters().Snapshot().Sub(before)
+		if delta.MigAdopted != shards || delta.MigRetired != shards || delta.MigBytes != bytes {
+			t.Fatalf("books unbalanced: adopted %d retired %d bytes %d vs failover (%d, %d)",
+				delta.MigAdopted, delta.MigRetired, delta.MigBytes, shards, bytes)
+		}
+		if delta.OpsLost != 0 {
+			t.Fatalf("failover lost %d ops", delta.OpsLost)
+		}
+
+		var got []int
+		for owner, batch := range st.Drain(sc) {
+			if owner == victim && len(batch) != 0 {
+				t.Fatalf("dead segment still holds %v", batch)
+			}
+			got = append(got, batch...)
+		}
+		wantVals := make([]int, 0, len(want))
+		for v, n := range want {
+			for ; n > 0; n-- {
+				wantVals = append(wantVals, v)
+			}
+		}
+		sort.Ints(got)
+		sort.Ints(wantVals)
+		if len(got) != len(wantVals) {
+			t.Fatalf("drained %d values, want %d", len(got), len(wantVals))
+		}
+		for i := range got {
+			if got[i] != wantVals[i] {
+				t.Fatalf("drained set diverged at %d: got %v want %v", i, got, wantVals)
+			}
+		}
+
+		if sh, b := st.Failover(sc, 0); sh != 0 || b != 0 {
+			t.Fatalf("failover of alive locale adopted (%d, %d)", sh, b)
+		}
+	})
+}

@@ -93,6 +93,25 @@ func (s Sharded[T]) TryPopAny(c *pgas.Ctx, tok *epoch.Token) (v T, from int, ok 
 	return shared.TryTakeAny(c, s.obj, tok, popSeg[T])
 }
 
+// Failover adopts the dead locale's segment after a crash: from a
+// salvage context (pgas.Ctx.Salvage — required, the same contract as
+// hashmap.Rebalanced.Failover) the dead segment drains on its own
+// locale and its values re-home onto the surviving locales through the
+// bulk framing, in contiguous chunks. Steal paths (TryPopAny) already
+// skip unreachable victims, so adoption is the only road the stranded
+// values ride back. Returns the chunks adopted (each booking one
+// balanced MigAdopt/MigRetire pair and one KindAdopt span) and payload
+// bytes moved; the caller still force-retires the dead locale's epoch
+// tokens.
+func (s Sharded[T]) Failover(c *pgas.Ctx, dead int) (shards, bytes int64) {
+	return shared.FailoverDrain(c, s.obj, dead, popSeg[T],
+		func(lc *pgas.Ctx, seg *segment[T], vals []T) {
+			s.obj.Protect(lc, func(tok *epoch.Token) {
+				seg.s.PushBulk(lc, tok, vals)
+			})
+		})
+}
+
 // Drain empties every segment and returns the remaining values grouped
 // by owning segment (index = locale id; per-segment LIFO order):
 // shared.Drain's cost model — each segment drains on its own locale,

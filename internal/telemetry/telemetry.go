@@ -23,12 +23,20 @@ import (
 // system-wide, in the vocabulary of comm.Perturbation but declared
 // here so the server stays simulator-free. Exactly one form applies,
 // checked in order: Crash kills CrashLocale fail-stop (irreversible —
-// a later Clear does not resurrect it), Clear removes the latency
+// a later Clear does not resurrect it), Sever partitions the unordered
+// pair (SeverA, SeverB), Heal repairs a severed pair (422 when the
+// pair is not currently severed), Clear removes the latency
 // perturbation, Scales installs an explicit per-locale factor vector,
 // and SlowLocale/SlowFactor slows one locale.
 type FaultRequest struct {
 	Crash       bool      `json:"crash,omitempty"`
 	CrashLocale int       `json:"crash_locale,omitempty"`
+	Sever       bool      `json:"sever,omitempty"`
+	SeverA      int       `json:"sever_a,omitempty"`
+	SeverB      int       `json:"sever_b,omitempty"`
+	Heal        bool      `json:"heal,omitempty"`
+	HealA       int       `json:"heal_a,omitempty"`
+	HealB       int       `json:"heal_b,omitempty"`
 	Clear       bool      `json:"clear,omitempty"`
 	Scales      []float64 `json:"scales,omitempty"`
 	SlowLocale  int       `json:"slow_locale,omitempty"`

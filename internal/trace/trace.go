@@ -81,6 +81,14 @@ const (
 	// tokens-force-retired ledger; arg is the epoch the token was
 	// stranded pinned in.
 	KindForceRetire
+	// KindPartition marks one partition sever instant: src and dst are
+	// the severed pair. Always recorded — a trace must never miss a
+	// fault-plan edge.
+	KindPartition
+	// KindHeal marks one partition heal instant: src and dst are the
+	// repaired pair. Always recorded, so sever/heal instants pair up
+	// exactly with the availability report's partition counts.
+	KindHeal
 
 	numKinds
 )
@@ -99,6 +107,8 @@ var kindNames = [numKinds]string{
 	KindCrash:        "crash",
 	KindAdopt:        "adopt",
 	KindForceRetire:  "force_retire",
+	KindPartition:    "partition",
+	KindHeal:         "heal",
 }
 
 func (k Kind) String() string {

@@ -261,6 +261,13 @@ func (d *queueDriver) ApplyBulk(c *pgas.Ctx, owner int, keys []uint64) {
 	d.q.EnqueueBulkOn(c, owner, vals)
 }
 
+// Failover adopts the dead locale's segment onto the survivors through
+// the shared bulk-drain path (salvage context; the engine follows with
+// token force-retirement).
+func (d *queueDriver) Failover(c *pgas.Ctx, dead int) (shards, bytes int64) {
+	return d.q.Failover(c, dead)
+}
+
 func (d *queueDriver) Destroy(c *pgas.Ctx) { d.q.Destroy(c) }
 
 // stackDriver drives stack.Sharded, mirroring queueDriver (Enqueue is
@@ -300,6 +307,12 @@ func (d *stackDriver) ApplyBulk(c *pgas.Ctx, owner int, keys []uint64) {
 		vals[i] = int64(k)
 	}
 	d.s.PushBulkOn(c, owner, vals)
+}
+
+// Failover adopts the dead locale's segment onto the survivors,
+// mirroring the queue driver.
+func (d *stackDriver) Failover(c *pgas.Ctx, dead int) (shards, bytes int64) {
+	return d.s.Failover(c, dead)
 }
 
 func (d *stackDriver) Destroy(c *pgas.Ctx) { d.s.Destroy(c) }

@@ -55,6 +55,7 @@ func RunLive(spec Spec, progress io.Writer, tel *Telemetry) (*Report, error) {
 		Perturb: spec.Faults.perturbation(spec.Locales),
 		Seed:    spec.Seed,
 		Agg:     comm.AggConfig{Combine: spec.Combine != nil && spec.Combine.Enabled},
+		Park:    spec.Faults.parkConfig(),
 		Tracer:  tracer,
 	})
 	defer sys.Shutdown()
@@ -80,16 +81,22 @@ func RunLive(spec Spec, progress io.Writer, tel *Telemetry) (*Report, error) {
 	}
 
 	var avail *AvailabilityReport
-	if len(spec.Faults.Crashes) > 0 {
+	if len(spec.Faults.Crashes) > 0 || len(spec.Faults.Partitions) > 0 {
 		avail = &AvailabilityReport{Recovered: true}
 	}
+	pp := newPartitionPlan(sys, spec.Faults.Partitions, avail)
 
 	rep := &Report{Spec: spec}
 	for pi, ph := range spec.Phases {
-		// Boundary crashes land before the phase spawns its workers, so
-		// a seeded run with the same crash schedule replays exactly.
-		// Mid-phase crashes (AfterOps > 0) are handed to runPhase, which
-		// applies them from a monitor while the workers run.
+		// Boundary faults land before the phase spawns its workers, so a
+		// seeded run with the same fault schedule replays exactly: first
+		// the partition plan's phase events (heals, then severs), then the
+		// boundary crashes. Mid-phase faults (AfterOps/AtOps > 0) are
+		// handed to runPhase, which applies them from a monitor while the
+		// workers run.
+		if pp != nil {
+			pp.phaseStart(pi)
+		}
 		var mid []CrashSpec
 		for _, cr := range spec.Faults.Crashes {
 			if cr.Phase != pi {
@@ -101,7 +108,7 @@ func RunLive(spec Spec, progress io.Writer, tel *Telemetry) (*Report, error) {
 				applyCrash(sys, c0, em, drv, spec, cr, avail, nil)
 			}
 		}
-		pr := runPhase(sys, c0, em, drv, spec, pi, ph, zipf, tel, mid, avail)
+		pr := runPhase(sys, c0, em, drv, spec, pi, ph, zipf, tel, mid, pp, avail)
 		rep.Phases = append(rep.Phases, pr)
 		rep.TotalOps += pr.Ops
 		rep.TotalSeconds += pr.Seconds
@@ -110,6 +117,12 @@ func RunLive(spec Spec, progress io.Writer, tel *Telemetry) (*Report, error) {
 				spec.Name, pr.Name, pr.Ops, pr.Seconds, pr.Throughput)
 		}
 	}
+
+	// Settle the retry plane before the final books: cancel pending
+	// wall-clock heals, then run the final redeliver-or-expire pass so
+	// OpsParked == OpsRedelivered + OpsExpired holds on every report.
+	pp.stop()
+	sys.DrainParking()
 
 	// Final teardown: reclaim everything still deferred so the heap
 	// and epoch verdicts reflect leaks, not pending reclamation.
@@ -122,7 +135,11 @@ func RunLive(spec Spec, progress io.Writer, tel *Telemetry) (*Report, error) {
 	est := em.Stats(c0)
 	rep.Epoch = EpochReport{Deferred: est.Deferred, Reclaimed: est.Reclaimed, Advances: est.Advances, AdvanceFail: est.AdvanceFail}
 	if avail != nil {
-		avail.OpsLost = sys.Counters().Snapshot().OpsLost
+		snap := sys.Counters().Snapshot()
+		avail.OpsLost = snap.OpsLost
+		avail.OpsParked = snap.OpsParked
+		avail.OpsRedelivered = snap.OpsRedelivered
+		avail.OpsExpired = snap.OpsExpired
 		rep.Availability = avail
 	}
 	if tracer != nil {
@@ -235,9 +252,10 @@ func drainTrace(sys *pgas.System, tracer *trace.Recorder) (*TraceReport, []trace
 }
 
 // runPhase executes one phase (all rounds) and assembles its report.
-// mid holds the phase's mid-phase crashes (AfterOps > 0): a monitor
-// applies each once the phase's tasks have issued that many ops.
-func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver, spec Spec, phaseIdx int, ph Phase, zipf *zipfGen, tel *Telemetry, mid []CrashSpec, avail *AvailabilityReport) PhaseReport {
+// mid holds the phase's mid-phase crashes (AfterOps > 0) and pp the
+// partition plan (mid-phase severs, AtOps > 0): a monitor applies each
+// once the phase's tasks have issued that many ops.
+func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver, spec Spec, phaseIdx int, ph Phase, zipf *zipfGen, tel *Telemetry, mid []CrashSpec, pp *partitionPlan, avail *AvailabilityReport) PhaseReport {
 	workers := spec.Locales * spec.TasksPerLocale
 	hists := make([]*bench.Histogram, workers)
 	for i := range hists {
@@ -251,14 +269,15 @@ func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver,
 	beforeM := sys.Matrix().Snapshot()
 	start := time.Now()
 
-	// Mid-phase crash monitor: polls the phase's issued-op total and
-	// applies each pending crash the first time the total reaches its
-	// AfterOps mark. It owns its Ctx (contexts are single-goroutine) and
-	// runs across rounds — Validate already rejects mid-phase crashes in
-	// churn phases, so it can never race Destroy/Setup.
+	// Mid-phase fault monitor: polls the phase's issued-op total and
+	// applies each pending crash (AfterOps) and sever (AtOps) the first
+	// time the total reaches its mark. It owns its Ctx (contexts are
+	// single-goroutine) and runs across rounds — Validate already rejects
+	// mid-phase faults in churn phases, so it can never race
+	// Destroy/Setup.
 	var crashStop chan struct{}
 	var crashWG sync.WaitGroup
-	if len(mid) > 0 {
+	if len(mid) > 0 || pp.hasMidSevers(phaseIdx) {
 		crashStop = make(chan struct{})
 		pending := append([]CrashSpec(nil), mid...)
 		crashWG.Add(1)
@@ -267,7 +286,8 @@ func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver,
 			mc := sys.Ctx(0)
 			ticker := time.NewTicker(200 * time.Microsecond)
 			defer ticker.Stop()
-			for len(pending) > 0 {
+			seversDone := false
+			for len(pending) > 0 || !seversDone {
 				select {
 				case <-crashStop:
 					return
@@ -285,6 +305,7 @@ func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver,
 						}
 					}
 					pending = rest
+					seversDone = pp.applyMidSevers(phaseIdx, issued)
 				}
 			}
 		}()
@@ -346,8 +367,13 @@ func runPhase(sys *pgas.System, c0 *pgas.Ctx, em epoch.EpochManager, drv Driver,
 			c0.Flush()
 		}
 		if ph.Churn && round != ph.rounds()-1 {
-			// Between rounds: reclaim the deferred set, tear the
-			// structure down (registry slots recycle), rebuild.
+			// Between rounds: settle the retry ledgers first — a parked op
+			// redelivered after Destroy would execute against a torn-down
+			// structure — then reclaim the deferred set, tear the
+			// structure down (registry slots recycle), rebuild. Ops still
+			// severed at the teardown expire (settled, never replayed into
+			// the wrong incarnation).
+			sys.DrainParking()
 			em.Clear(c0)
 			drv.Destroy(c0)
 			drv.Setup(c0, em, spec)

@@ -509,11 +509,9 @@ func TestTracedScenarioBooksBalance(t *testing.T) {
 	if tr.Spans["migrate"] != migrated {
 		t.Fatalf("migrate spans %d != MigAdopted %d", tr.Spans["migrate"], migrated)
 	}
-	for _, k := range []string{"dispatch", "flush"} {
-		if tr.Spans[k] == 0 {
-			t.Fatalf("no %s spans recorded: %v", k, tr.Spans)
-		}
-	}
+	// (No per-kind floor for sampled kinds like dispatch/flush: at 1/64
+	// sampling a short storm can legitimately record zero of either, and
+	// the balance + total-event checks above already cover the plane.)
 	// The export must load as Chrome trace-event JSON: an object with a
 	// traceEvents array whose entries carry ph/pid/ts.
 	var buf bytes.Buffer
@@ -620,5 +618,213 @@ func TestRebalancedScenarioDigestInvariant(t *testing.T) {
 	}
 	if rp.Comm.MigAdopted != rp.Comm.MigRetired {
 		t.Fatalf("books unbalanced: adopted %d retired %d", rp.Comm.MigAdopted, rp.Comm.MigRetired)
+	}
+}
+
+// TestPartitionScenarioBooksSettle runs a three-phase combined-write
+// hashmap scenario with a scheduled partition: pair (1,2) severs at the
+// degraded phase boundary and heals at the next. Writes refused by the
+// severed link park in the retry plane and redeliver at the heal, so
+// the settlement identity OpsParked == OpsRedelivered + OpsExpired
+// holds, nothing lands in the fail-stop ledger, and the trace plane
+// records exactly one partition and one heal instant (control-plane
+// kinds are exempt from sampling).
+func TestPartitionScenarioBooksSettle(t *testing.T) {
+	spec := Spec{
+		Name:           "partition-settle",
+		Structure:      StructureHashmap,
+		Locales:        4,
+		TasksPerLocale: 2,
+		Backend:        "none",
+		Seed:           0x5E7E,
+		Keyspace:       1 << 10,
+		Dist:           KeyDist{Kind: DistZipfian, Theta: 0.8},
+		Combine:        &CombineSpec{Enabled: true},
+		Trace:          &TraceSpec{Enabled: true, SampleRate: 64},
+		Phases: []Phase{
+			{Name: "load", Mix: Mix{Insert: 1}, OpsPerTask: 300},
+			{Name: "degraded", Mix: Mix{Insert: 1}, OpsPerTask: 400},
+			{Name: "healed", Mix: Mix{Insert: 1}, OpsPerTask: 300},
+		},
+		Faults: Faults{
+			Partitions: []PartitionSpec{{A: 1, B: 2, Phase: 1, HealPhase: 2}},
+			// A deadline far past the run keeps the deterministic
+			// settlement shape: every parked op waits for the heal.
+			Retry: &RetrySpec{DeadlineMS: 600_000},
+		},
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Heap.Safe() || !rep.Epoch.Balanced() {
+		t.Fatalf("partitioned run failed safety verdicts: heap %+v epoch %+v", rep.Heap, rep.Epoch)
+	}
+	av := rep.Availability
+	if av == nil {
+		t.Fatal("partitioned run reports no availability verdict")
+	}
+	if av.Partitions != 1 || av.Heals != 1 {
+		t.Fatalf("lifecycle accounting: %d sever(s), %d heal(s), want 1 and 1", av.Partitions, av.Heals)
+	}
+	if av.TimeToHealNS <= 0 {
+		t.Fatalf("time-to-heal not measured: %d", av.TimeToHealNS)
+	}
+	if av.OpsParked == 0 {
+		t.Fatal("degraded phase never parked a refused op")
+	}
+	if av.OpsExpired != 0 {
+		t.Fatalf("ops expired under a deadline far past the run: %d", av.OpsExpired)
+	}
+	if !av.RetryBalanced() {
+		t.Fatalf("retry books unsettled: parked=%d redelivered=%d expired=%d",
+			av.OpsParked, av.OpsRedelivered, av.OpsExpired)
+	}
+	if av.OpsLost != 0 {
+		t.Fatalf("partition leaked into the fail-stop ledger: opsLost=%d", av.OpsLost)
+	}
+	if !av.Recovered {
+		t.Fatal("partition-only run must count as recovered")
+	}
+	tr := rep.Trace
+	if tr == nil {
+		t.Fatal("traced run produced no trace report")
+	}
+	if tr.Instants["partition"] != 1 || tr.Instants["heal"] != 1 {
+		t.Fatalf("lifecycle instants not traced: %v", tr.Instants)
+	}
+}
+
+// TestSeededPartitionHealReplay extends the determinism criterion to
+// the partition plane: two runs of one seeded scenario with the same
+// phase-boundary sever/heal schedule replay bit-identically, retry
+// ledgers included. The workload is aggregated-write-only (one task per
+// locale) so the set of ops refused by the severed pair — and therefore
+// the parked and redelivered books — is a pure function of the seed.
+func TestSeededPartitionHealReplay(t *testing.T) {
+	spec := Spec{
+		Name:           "partition-replay",
+		Structure:      StructureHashmap,
+		Locales:        4,
+		TasksPerLocale: 1,
+		Backend:        "none",
+		Seed:           0x9EA1,
+		Keyspace:       1 << 12,
+		Dist:           KeyDist{Kind: DistZipfian, Theta: 0.8},
+		Combine:        &CombineSpec{Enabled: true},
+		Phases: []Phase{
+			{Name: "load", Mix: Mix{Insert: 1}, OpsPerTask: 400},
+			{Name: "degraded", Mix: Mix{Insert: 1}, OpsPerTask: 600},
+			{Name: "healed", Mix: Mix{Insert: 1}, OpsPerTask: 400},
+		},
+		Faults: Faults{
+			Partitions: []PartitionSpec{{A: 1, B: 2, Phase: 1, HealPhase: 2}},
+			Retry:      &RetrySpec{DeadlineMS: 600_000},
+		},
+	}
+	type partitionParts struct {
+		deterministicParts
+		Parked      int64
+		Redelivered int64
+		Expired     int64
+		OpsLost     int64
+		Heals       int
+	}
+	run := func() partitionParts {
+		rep, err := Run(spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Availability == nil {
+			t.Fatal("partitioned run reports no availability verdict")
+		}
+		p := partitionParts{deterministicParts: partsOf(rep)}
+		p.HeapAlloc = 0
+		for i, c := range p.Comm {
+			snap := c.(comm.Snapshot)
+			snap.LocalAMOs, snap.CASAttempts, snap.CASRetries = 0, 0, 0
+			p.Comm[i] = snap
+		}
+		av := rep.Availability
+		p.Parked = av.OpsParked
+		p.Redelivered = av.OpsRedelivered
+		p.Expired = av.OpsExpired
+		p.OpsLost = av.OpsLost
+		p.Heals = av.Heals
+		return p
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("seeded partition runs diverged:\n run A: %+v\n run B: %+v", a, b)
+	}
+	if a.Parked == 0 || a.Parked != a.Redelivered || a.Expired != 0 || a.OpsLost != 0 {
+		t.Fatalf("retry ledger shape off: parked=%d redelivered=%d expired=%d lost=%d",
+			a.Parked, a.Redelivered, a.Expired, a.OpsLost)
+	}
+	if a.Heals != 1 {
+		t.Fatalf("heals = %d, want 1", a.Heals)
+	}
+}
+
+// TestQueueStackCrashFailover runs the crash-failover drill against the
+// sharded queue and stack: locale 2 dies at the degraded-phase boundary
+// and its segment drains onto the survivors through the shared salvage
+// path. The availability verdict must show the adoption evidence (one
+// chunk per survivor, the dead locale's enqueued payload in bytes), the
+// migration books must balance, and the only lost ops are the dead
+// locale's own unissued closed-loop budget — the survivors' steals skip
+// the unreachable victim instead of burning refusals.
+func TestQueueStackCrashFailover(t *testing.T) {
+	for _, st := range []Structure{StructureQueue, StructureStack} {
+		t.Run(string(st), func(t *testing.T) {
+			spec := Spec{
+				Name:           "crash-" + string(st),
+				Structure:      st,
+				Locales:        4,
+				TasksPerLocale: 2,
+				Backend:        "none",
+				Seed:           0xDEAD,
+				Keyspace:       1 << 10,
+				Dist:           KeyDist{Kind: DistUniform},
+				Phases: []Phase{
+					{Name: "load", Mix: Mix{Enqueue: 1}, OpsPerTask: 400},
+					{Name: "degraded", Mix: Mix{Enqueue: 2, Remove: 1, Steal: 1}, OpsPerTask: 300},
+				},
+				Faults: Faults{Crashes: []CrashSpec{{Locale: 2, Phase: 1, Failover: true}}},
+			}
+			rep, err := Run(spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Heap.Safe() || !rep.Epoch.Balanced() {
+				t.Fatalf("failover run failed safety verdicts: heap %+v epoch %+v", rep.Heap, rep.Epoch)
+			}
+			av := rep.Availability
+			if av == nil {
+				t.Fatal("crashed run reports no availability verdict")
+			}
+			if !av.Recovered {
+				t.Fatalf("failover did not recover: %+v", av)
+			}
+			// The load phase enqueues locale-locally, so the dead segment
+			// holds exactly its own tasks' budget; the drain ships it in one
+			// chunk per survivor.
+			if want := int64(spec.Locales - 1); av.ShardsAdopted != want {
+				t.Fatalf("shards adopted = %d, want %d", av.ShardsAdopted, want)
+			}
+			if want := int64(spec.TasksPerLocale*spec.Phases[0].OpsPerTask) * 16; av.BytesAdopted != want {
+				t.Fatalf("bytes adopted = %d, want %d", av.BytesAdopted, want)
+			}
+			if want := int64(spec.TasksPerLocale); av.TokensForceRetired != want {
+				t.Fatalf("tokens force-retired = %d, want %d", av.TokensForceRetired, want)
+			}
+			if want := int64(spec.TasksPerLocale * spec.Phases[1].OpsPerTask); av.OpsLost != want {
+				t.Fatalf("opsLost = %d, want exactly the dead locale's budget %d", av.OpsLost, want)
+			}
+			final := rep.Phases[len(rep.Phases)-1].Comm
+			if final.MigAdopted != final.MigRetired {
+				t.Fatalf("migration books unbalanced: adopted %d retired %d", final.MigAdopted, final.MigRetired)
+			}
+		})
 	}
 }

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"sync"
+	"time"
+
+	"gopgas/internal/pgas"
+)
+
+// partitionPlan applies a spec's scheduled partitions to the running
+// system. Boundary severs and phase heals land between phases (exact,
+// replayable); mid-phase severs land from the phase monitor at a racing
+// op count; wall-clock heals (HealAfterMS) fire from timers. The plan
+// also tolerates out-of-band heals — the live /api/fault endpoint can
+// repair a pair before the schedule does — by treating "not severed" as
+// already healed rather than an error.
+type partitionPlan struct {
+	sys   *pgas.System
+	avail *AvailabilityReport
+
+	mu   sync.Mutex
+	runs []*partitionRun
+}
+
+// partitionRun is one PartitionSpec's lifecycle state.
+type partitionRun struct {
+	spec      PartitionSpec
+	severed   bool
+	healed    bool
+	severedAt time.Time
+	timer     *time.Timer
+}
+
+func newPartitionPlan(sys *pgas.System, specs []PartitionSpec, avail *AvailabilityReport) *partitionPlan {
+	if len(specs) == 0 {
+		return nil
+	}
+	pp := &partitionPlan{sys: sys, avail: avail}
+	for _, ps := range specs {
+		pp.runs = append(pp.runs, &partitionRun{spec: ps})
+	}
+	return pp
+}
+
+// phaseStart lands every boundary event scheduled for phase pi: heals
+// first (a pair healing and re-severing at the same boundary would
+// otherwise sever-then-heal and lose the second sever), then severs.
+func (pp *partitionPlan) phaseStart(pi int) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	for _, r := range pp.runs {
+		if r.severed && !r.healed && r.spec.HealPhase == pi {
+			pp.heal(r)
+		}
+	}
+	for _, r := range pp.runs {
+		if !r.severed && r.spec.Phase == pi && r.spec.AtOps == 0 {
+			pp.sever(r)
+		}
+	}
+}
+
+// hasMidSevers reports whether phase pi schedules any mid-phase sever —
+// the monitor-task trigger.
+func (pp *partitionPlan) hasMidSevers(pi int) bool {
+	if pp == nil {
+		return false
+	}
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	for _, r := range pp.runs {
+		if r.spec.Phase == pi && r.spec.AtOps > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// applyMidSevers lands every mid-phase sever of phase pi whose op mark
+// the phase has reached; it returns true when none remain pending.
+func (pp *partitionPlan) applyMidSevers(pi int, issued int64) bool {
+	if pp == nil {
+		return true
+	}
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	done := true
+	for _, r := range pp.runs {
+		if r.spec.Phase != pi || r.spec.AtOps == 0 || r.severed {
+			continue
+		}
+		if issued >= r.spec.AtOps {
+			pp.sever(r)
+		} else {
+			done = false
+		}
+	}
+	return done
+}
+
+// sever applies one run's partition (caller holds pp.mu). Validate
+// bounds the pairs, so a sever can only fail if the pair is already
+// severed by an overlapping run — counted applied either way, since the
+// pair is down.
+func (pp *partitionPlan) sever(r *partitionRun) {
+	if err := pp.sys.Sever(r.spec.A, r.spec.B); err != nil {
+		panic(err) // validated pairs cannot fail to sever
+	}
+	r.severed = true
+	r.severedAt = time.Now()
+	pp.avail.Partitions++
+	if r.spec.HealAfterMS > 0 {
+		r.timer = time.AfterFunc(time.Duration(r.spec.HealAfterMS*float64(time.Millisecond)), func() {
+			pp.mu.Lock()
+			defer pp.mu.Unlock()
+			if !r.healed {
+				pp.heal(r)
+			}
+		})
+	}
+}
+
+// heal repairs one run's pair (caller holds pp.mu). Time-to-heal and
+// the heal count only book when this plan's heal actually repaired the
+// link; a pair someone already healed out-of-band just settles.
+func (pp *partitionPlan) heal(r *partitionRun) {
+	r.healed = true
+	if err := pp.sys.Heal(r.spec.A, r.spec.B); err != nil {
+		return
+	}
+	pp.avail.Heals++
+	pp.avail.TimeToHealNS += time.Since(r.severedAt).Nanoseconds()
+}
+
+// stop cancels pending wall-clock heal timers and waits out any heal
+// mid-fire, leaving still-severed pairs severed: the run's final
+// DrainParking settles whatever parked behind them as expirations.
+func (pp *partitionPlan) stop() {
+	if pp == nil {
+		return
+	}
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	for _, r := range pp.runs {
+		if r.timer != nil {
+			r.timer.Stop()
+		}
+	}
+}

@@ -54,16 +54,19 @@ type TraceReport struct {
 	Balanced   bool             `json:"balanced"`
 }
 
-// AvailabilityReport is the crash plan's verdict. Recovery succeeded
+// AvailabilityReport is the fault plan's verdict. Recovery succeeded
 // when Recovered holds and the run's Heap.Safe() and Epoch.Balanced()
 // verdicts still pass — a crash may lose workload ops (the ledger
-// counts them) but never a deferred deletion or heap safety.
+// counts them) but never a deferred deletion or heap safety. The
+// partition half settles through the retry-plane books instead:
+// RetryBalanced must hold on every drained run.
 type AvailabilityReport struct {
 	// Crashes is how many scheduled crashes were applied.
 	Crashes int `json:"crashes"`
 	// OpsLost is the end-of-run lost-ops ledger: operations refused
-	// toward dead or partitioned destinations, plus the closed-loop
-	// budget the dead locales' tasks never issued.
+	// toward dead destinations, plus the closed-loop budget the dead
+	// locales' tasks never issued. (Partition refusals park instead —
+	// they only land here when the retry plane is disabled.)
 	OpsLost int64 `json:"ops_lost"`
 	// ShardsAdopted / BytesAdopted / TokensForceRetired total the
 	// failover work across all crashes.
@@ -74,10 +77,28 @@ type AvailabilityReport struct {
 	// force-retiring tokens, summed across crashes (the time-to-recover
 	// metric; 0 when no crash asked for failover).
 	RecoverNS int64 `json:"recover_ns"`
+	// Partitions / Heals count the severs and heals the schedule
+	// applied; TimeToHealNS sums severed-to-healed wall time across the
+	// healed pairs (the time-to-heal metric).
+	Partitions   int   `json:"partitions,omitempty"`
+	Heals        int   `json:"heals,omitempty"`
+	TimeToHealNS int64 `json:"time_to_heal_ns,omitempty"`
+	// The retry-plane settlement books: every op parked behind a
+	// severed pair settles exactly once, redelivered on heal or
+	// expired.
+	OpsParked      int64 `json:"ops_parked,omitempty"`
+	OpsRedelivered int64 `json:"ops_redelivered,omitempty"`
+	OpsExpired     int64 `json:"ops_expired,omitempty"`
 	// Recovered reports that every applied crash asked for and
 	// completed failover. A no-failover crash leaves it false — the
 	// deliberately wedged arm.
 	Recovered bool `json:"recovered"`
+}
+
+// RetryBalanced reports the retry plane's settlement invariant: after
+// the run's final drain, every parked op was redelivered or expired.
+func (a AvailabilityReport) RetryBalanced() bool {
+	return a.OpsParked == a.OpsRedelivered+a.OpsExpired
 }
 
 // EpochReport is the end-of-run reclamation verdict, captured after
@@ -196,13 +217,24 @@ func (r *Report) WriteSummary(w io.Writer) {
 		r.TotalOps, r.TotalSeconds, r.Heap.Live, r.Heap.UAFLoads, r.Heap.UAFStores, r.Heap.UAFFrees,
 		r.Epoch.Reclaimed, r.Epoch.Deferred)
 	if a := r.Availability; a != nil {
-		verdict := "recovered"
-		if !a.Recovered {
-			verdict = "NOT RECOVERED"
+		if a.Crashes > 0 || a.Partitions == 0 {
+			verdict := "recovered"
+			if !a.Recovered {
+				verdict = "NOT RECOVERED"
+			}
+			fmt.Fprintf(w, "  availability: %d crash(es), opsLost=%d, shardsAdopted=%d (%dB), tokensForceRetired=%d, timeToRecover=%s, %s (advances=%d blocked=%d)\n",
+				a.Crashes, a.OpsLost, a.ShardsAdopted, a.BytesAdopted, a.TokensForceRetired,
+				fmtNS(a.RecoverNS), verdict, r.Epoch.Advances, r.Epoch.AdvanceFail)
 		}
-		fmt.Fprintf(w, "  availability: %d crash(es), opsLost=%d, shardsAdopted=%d (%dB), tokensForceRetired=%d, timeToRecover=%s, %s (advances=%d blocked=%d)\n",
-			a.Crashes, a.OpsLost, a.ShardsAdopted, a.BytesAdopted, a.TokensForceRetired,
-			fmtNS(a.RecoverNS), verdict, r.Epoch.Advances, r.Epoch.AdvanceFail)
+		if a.Partitions > 0 {
+			verdict := "settled"
+			if !a.RetryBalanced() {
+				verdict = "UNSETTLED"
+			}
+			fmt.Fprintf(w, "  partitions: %d sever(s), %d heal(s), timeToHeal=%s, parked=%d redelivered=%d expired=%d, books %s (opsLost=%d)\n",
+				a.Partitions, a.Heals, fmtNS(a.TimeToHealNS),
+				a.OpsParked, a.OpsRedelivered, a.OpsExpired, verdict, a.OpsLost)
+		}
 	}
 	if t := r.Trace; t != nil {
 		verdict := "balanced"
@@ -216,7 +248,7 @@ func (r *Report) WriteSummary(w io.Writer) {
 				fmt.Fprintf(w, " %s=%d", k, n)
 			}
 		}
-		for _, k := range []string{"reroute", "defer", "crash"} {
+		for _, k := range []string{"reroute", "defer", "crash", "partition", "heal"} {
 			if n := t.Instants[k]; n > 0 {
 				fmt.Fprintf(w, " %s=%d", k, n)
 			}

@@ -159,10 +159,18 @@ type Faults struct {
 	// availability verdict when any crash is scheduled.
 	Crashes []CrashSpec `json:"crashes,omitempty"`
 
-	// Partitions are unordered locale pairs unable to exchange traffic
-	// for the whole run (both endpoints stay alive); every op between
-	// them is refused into the OpsLost ledger.
-	Partitions [][2]int `json:"partitions,omitempty"`
+	// Partitions schedules transient network partitions: unordered
+	// locale pairs severed at a scheduled point and optionally healed
+	// later. Both endpoints stay alive; execution-plane ops between
+	// them park in the retry plane (see Retry) and redeliver on heal,
+	// or expire. The run's report gains an availability verdict when
+	// any partition is scheduled.
+	Partitions []PartitionSpec `json:"partitions,omitempty"`
+
+	// Retry tunes the partition retry plane; nil runs the documented
+	// defaults. Disabled reverts partitions to fail-stop accounting
+	// (refused ops drain to the lost ledger — the ablation baseline).
+	Retry *RetrySpec `json:"retry,omitempty"`
 }
 
 // CrashSpec schedules one fail-stop locale crash. After the crash,
@@ -192,6 +200,58 @@ type CrashSpec struct {
 	Failover bool `json:"failover,omitempty"`
 }
 
+// PartitionSpec schedules one transient partition of the unordered
+// pair (a, b). The sever lands at the start of phase Phase — or, with
+// AtOps > 0, mid-phase once the phase's tasks have issued that many
+// ops system-wide (a racing op count, like mid-phase crashes). The
+// heal, when scheduled, comes from exactly one of two clocks: at the
+// start of phase HealPhase, or HealAfterMS of wall time after the
+// sever. With neither set the pair stays severed to the end of the
+// run, and everything still parked behind it expires at the final
+// drain.
+type PartitionSpec struct {
+	A int `json:"a"`
+	B int `json:"b"`
+	// Phase is the phase index at whose start (or within which, with
+	// AtOps) the sever applies.
+	Phase int `json:"phase"`
+	// AtOps, when positive, severs mid-phase at a system-wide issued-op
+	// mark instead of the phase boundary.
+	AtOps int64 `json:"at_ops,omitempty"`
+	// HealPhase, when positive, heals the pair at the start of that
+	// phase; it must come after Phase. (Phase 0 can never be a heal
+	// point — nothing is severed before it starts.)
+	HealPhase int `json:"heal_phase,omitempty"`
+	// HealAfterMS, when positive, heals the pair this many wall-clock
+	// milliseconds after the sever lands. Mutually exclusive with
+	// HealPhase.
+	HealAfterMS float64 `json:"heal_after_ms,omitempty"`
+}
+
+// RetrySpec tunes the partition retry plane (comm.ParkConfig).
+type RetrySpec struct {
+	// Disabled turns the retry plane off: partition refusals drain to
+	// the lost-ops ledger exactly like crash refusals.
+	Disabled bool `json:"disabled,omitempty"`
+	// DeadlineMS bounds how long an op may stay parked; 0 means the
+	// comm default (2s).
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+	// Capacity bounds each per-destination parked-op buffer; 0 means
+	// the comm default (4096). Overflow parks-then-expires.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// parkConfig lowers the retry knob to the comm layer.
+func (f Faults) parkConfig() comm.ParkConfig {
+	var p comm.ParkConfig
+	if r := f.Retry; r != nil {
+		p.Disable = r.Disabled
+		p.DeadlineNS = int64(r.DeadlineMS * 1e6)
+		p.Capacity = r.Capacity
+	}
+	return p
+}
+
 // hasFailover reports whether any scheduled crash requests failover
 // (which makes the hashmap driver route through the owner-table view).
 func (s Spec) hasFailover() bool {
@@ -204,8 +264,9 @@ func (s Spec) hasFailover() bool {
 }
 
 // perturbation lowers the fault plan's boot-time half to the comm
-// layer: latency scales plus static partitions. Crashes are applied by
-// the engine at their scheduled point, not here.
+// layer: the latency scales. The liveness half — crashes, and now
+// partitions too — is applied by the engine at its scheduled point,
+// not here.
 func (f Faults) perturbation(locales int) comm.Perturbation {
 	var p comm.Perturbation
 	if len(f.Scales) > 0 {
@@ -213,7 +274,6 @@ func (f Faults) perturbation(locales int) comm.Perturbation {
 	} else if f.SlowFactor > 0 {
 		p = comm.SlowLocale(locales, f.SlowLocale, f.SlowFactor)
 	}
-	p.Partitions = f.Partitions
 	return p
 }
 
@@ -395,6 +455,10 @@ func (s Spec) WithDefaults() Spec {
 		}
 		s.Rebalance = &cp
 	}
+	if s.Faults.Retry != nil {
+		cp := *s.Faults.Retry
+		s.Faults.Retry = &cp
+	}
 	if s.Trace != nil {
 		cp := *s.Trace
 		if cp.Enabled {
@@ -537,8 +601,10 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("workload: crash %d is mid-phase (after_ops > 0) in churn phase %d; a crash cannot race Destroy/Setup", i, cr.Phase)
 		}
 		if cr.Failover {
-			if s.Structure != StructureHashmap {
-				return fmt.Errorf("workload: crash failover is only supported by the hashmap structure, not %q", s.Structure)
+			switch s.Structure {
+			case StructureHashmap, StructureQueue, StructureStack:
+			default:
+				return fmt.Errorf("workload: crash failover is only supported by the hashmap, queue and stack structures, not %q", s.Structure)
 			}
 			if s.Cache != nil && s.Cache.Enabled {
 				return fmt.Errorf("workload: crash failover and cache are mutually exclusive (owner-routed writes bypass cache invalidation)")
@@ -546,11 +612,45 @@ func (s Spec) Validate() error {
 		}
 	}
 	for i, pr := range s.Faults.Partitions {
-		if pr[0] < 0 || pr[0] >= s.Locales || pr[1] < 0 || pr[1] >= s.Locales {
-			return fmt.Errorf("workload: partition %d pair [%d %d] out of range [0, %d)", i, pr[0], pr[1], s.Locales)
+		if pr.A < 0 || pr.A >= s.Locales || pr.B < 0 || pr.B >= s.Locales {
+			return fmt.Errorf("workload: partition %d pair [%d %d] out of range [0, %d)", i, pr.A, pr.B, s.Locales)
 		}
-		if pr[0] == pr[1] {
-			return fmt.Errorf("workload: partition %d pairs locale %d with itself", i, pr[0])
+		if pr.A == pr.B {
+			return fmt.Errorf("workload: partition %d pairs locale %d with itself", i, pr.A)
+		}
+		if pr.Phase < 0 || pr.Phase >= len(s.Phases) {
+			return fmt.Errorf("workload: partition %d phase %d out of range [0, %d)", i, pr.Phase, len(s.Phases))
+		}
+		if pr.AtOps < 0 {
+			return fmt.Errorf("workload: partition %d at_ops must be >= 0, got %d", i, pr.AtOps)
+		}
+		if pr.AtOps > 0 && s.Phases[pr.Phase].Churn {
+			return fmt.Errorf("workload: partition %d is mid-phase (at_ops > 0) in churn phase %d; a sever cannot race Destroy/Setup", i, pr.Phase)
+		}
+		if pr.HealAfterMS < 0 {
+			return fmt.Errorf("workload: partition %d heal_after_ms must be >= 0, got %v", i, pr.HealAfterMS)
+		}
+		if pr.HealPhase != 0 {
+			if pr.HealAfterMS > 0 {
+				return fmt.Errorf("workload: partition %d sets both heal_phase and heal_after_ms; pick one heal clock", i)
+			}
+			if pr.HealPhase <= pr.Phase {
+				return fmt.Errorf("workload: partition %d heals at phase %d, not after its sever at phase %d", i, pr.HealPhase, pr.Phase)
+			}
+			if pr.HealPhase >= len(s.Phases) {
+				return fmt.Errorf("workload: partition %d heal_phase %d out of range [0, %d)", i, pr.HealPhase, len(s.Phases))
+			}
+		}
+	}
+	if r := s.Faults.Retry; r != nil {
+		if r.DeadlineMS < 0 {
+			return fmt.Errorf("workload: retry deadline_ms must be >= 0, got %v", r.DeadlineMS)
+		}
+		if r.Capacity < 0 {
+			return fmt.Errorf("workload: retry capacity must be >= 0, got %d", r.Capacity)
+		}
+		if r.Disabled && (r.DeadlineMS > 0 || r.Capacity > 0) {
+			return fmt.Errorf("workload: retry is disabled but tunes the plane it turned off")
 		}
 	}
 	return nil

@@ -109,7 +109,8 @@ func goldenSpec() Spec {
 			SlowFactor: 4,
 			SlowLocale: 3,
 			Crashes:    []CrashSpec{{Locale: 3, Phase: 1, AfterOps: 250}},
-			Partitions: [][2]int{{1, 2}},
+			Partitions: []PartitionSpec{{A: 1, B: 2, Phase: 1, AtOps: 50, HealPhase: 2}},
+			Retry:      &RetrySpec{DeadlineMS: 500, Capacity: 1024},
 		},
 		Cache:     &CacheSpec{Enabled: true, Slots: 128},
 		Combine:   &CombineSpec{Enabled: false},
@@ -392,21 +393,53 @@ func TestValidateFaultPlan(t *testing.T) {
 			s.Phases[1].Rounds = 2
 			s.Faults.Crashes = []CrashSpec{{Locale: 1, Phase: 1, AfterOps: 10}}
 		}, "churn"},
-		{"failover on queue", func(s *Spec) {
-			s.Structure = StructureQueue
-			s.Phases = []Phase{{Name: "run", Mix: Mix{Enqueue: 1}, OpsPerTask: 10}}
+		{"failover on skiplist", func(s *Spec) {
+			s.Structure = StructureSkiplist
+			s.Phases = []Phase{{Name: "run", Mix: Mix{Insert: 1}, OpsPerTask: 10}}
 			s.Faults.Crashes = []CrashSpec{{Locale: 1, Phase: 0, Failover: true}}
-		}, "hashmap"},
+		}, "hashmap, queue and stack"},
 		{"failover with cache", func(s *Spec) {
 			s.Cache = &CacheSpec{Enabled: true, Slots: 16}
 			s.Faults.Crashes = []CrashSpec{{Locale: 1, Phase: 0, Failover: true}}
 		}, "mutually exclusive"},
 		{"partition out of range", func(s *Spec) {
-			s.Faults.Partitions = [][2]int{{0, 64}}
+			s.Faults.Partitions = []PartitionSpec{{A: 0, B: 64}}
 		}, "out of range"},
 		{"partition self-pair", func(s *Spec) {
-			s.Faults.Partitions = [][2]int{{2, 2}}
+			s.Faults.Partitions = []PartitionSpec{{A: 2, B: 2}}
 		}, "itself"},
+		{"partition phase out of range", func(s *Spec) {
+			s.Faults.Partitions = []PartitionSpec{{A: 1, B: 2, Phase: 9}}
+		}, "phase 9 out of range"},
+		{"partition negative at_ops", func(s *Spec) {
+			s.Faults.Partitions = []PartitionSpec{{A: 1, B: 2, AtOps: -1}}
+		}, "at_ops"},
+		{"mid-phase sever in churn", func(s *Spec) {
+			s.Phases[1].Churn = true
+			s.Phases[1].Rounds = 2
+			s.Faults.Partitions = []PartitionSpec{{A: 1, B: 2, Phase: 1, AtOps: 10}}
+		}, "churn"},
+		{"heal before sever", func(s *Spec) {
+			s.Faults.Partitions = []PartitionSpec{{A: 1, B: 2, Phase: 1, HealPhase: 1}}
+		}, "not after its sever"},
+		{"heal phase out of range", func(s *Spec) {
+			s.Faults.Partitions = []PartitionSpec{{A: 1, B: 2, Phase: 0, HealPhase: 9}}
+		}, "heal_phase 9 out of range"},
+		{"both heal clocks", func(s *Spec) {
+			s.Faults.Partitions = []PartitionSpec{{A: 1, B: 2, Phase: 0, HealPhase: 1, HealAfterMS: 5}}
+		}, "one heal clock"},
+		{"negative heal_after_ms", func(s *Spec) {
+			s.Faults.Partitions = []PartitionSpec{{A: 1, B: 2, HealAfterMS: -1}}
+		}, "heal_after_ms"},
+		{"negative retry deadline", func(s *Spec) {
+			s.Faults.Retry = &RetrySpec{DeadlineMS: -1}
+		}, "deadline_ms"},
+		{"negative retry capacity", func(s *Spec) {
+			s.Faults.Retry = &RetrySpec{Capacity: -1}
+		}, "capacity"},
+		{"disabled retry with knobs", func(s *Spec) {
+			s.Faults.Retry = &RetrySpec{Disabled: true, DeadlineMS: 10}
+		}, "disabled"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -423,11 +456,19 @@ func TestValidateFaultPlan(t *testing.T) {
 	}
 
 	// The legal shapes pass: a boundary failover crash, a mid-phase
-	// crash in a non-churn phase, and a partition between live locales.
+	// crash in a non-churn phase, and a partition lifecycle — boundary
+	// sever healed at a later phase boundary, mid-phase sever healed on
+	// the wall clock, a pair that never heals — with a tuned retry
+	// plane.
 	ok := validSpec()
 	ok.Faults = Faults{
-		Crashes:    []CrashSpec{{Locale: 1, Phase: 1, Failover: true}, {Locale: 2, Phase: 0, AfterOps: 5}},
-		Partitions: [][2]int{{1, 3}},
+		Crashes: []CrashSpec{{Locale: 1, Phase: 1, Failover: true}, {Locale: 2, Phase: 0, AfterOps: 5}},
+		Partitions: []PartitionSpec{
+			{A: 1, B: 3, Phase: 0, HealPhase: 1},
+			{A: 0, B: 2, Phase: 0, AtOps: 5, HealAfterMS: 2},
+			{A: 2, B: 3, Phase: 1},
+		},
+		Retry: &RetrySpec{DeadlineMS: 100, Capacity: 64},
 	}
 	if err := ok.Validate(); err != nil {
 		t.Fatalf("legal fault plan rejected: %v", err)
@@ -438,6 +479,17 @@ func TestValidateFaultPlan(t *testing.T) {
 	if validSpec().hasFailover() {
 		t.Fatal("hasFailover on a crash-free spec")
 	}
+
+	// Queue and stack crash failover are legal shapes now too.
+	for _, st := range []Structure{StructureQueue, StructureStack} {
+		q := validSpec()
+		q.Structure = st
+		q.Phases = []Phase{{Name: "run", Mix: Mix{Enqueue: 1}, OpsPerTask: 10}}
+		q.Faults.Crashes = []CrashSpec{{Locale: 1, Phase: 0, Failover: true}}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("failover on %s rejected: %v", st, err)
+		}
+	}
 }
 
 // The fault plan survives the JSON round trip exactly, and a spec with
@@ -446,7 +498,8 @@ func TestFaultPlanJSONRoundTrip(t *testing.T) {
 	s := validSpec()
 	s.Faults = Faults{
 		Crashes:    []CrashSpec{{Locale: 2, Phase: 1, AfterOps: 100, Failover: true}},
-		Partitions: [][2]int{{1, 3}},
+		Partitions: []PartitionSpec{{A: 1, B: 3, Phase: 1, AtOps: 25, HealAfterMS: 2.5}},
+		Retry:      &RetrySpec{DeadlineMS: 500, Capacity: 1024},
 	}
 	path := filepath.Join(t.TempDir(), "faults.json")
 	f, err := os.Create(path)
@@ -469,7 +522,7 @@ func TestFaultPlanJSONRoundTrip(t *testing.T) {
 	if err := validSpec().WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"\"crashes\"", "\"partitions\""} {
+	for _, key := range []string{"\"crashes\"", "\"partitions\"", "\"retry\""} {
 		if strings.Contains(buf.String(), key) {
 			t.Fatalf("fault-free spec serialized %s:\n%s", key, buf.String())
 		}
@@ -502,16 +555,38 @@ func TestFaultsPerturbation(t *testing.T) {
 	if (Faults{}).perturbation(4).Enabled() {
 		t.Fatal("empty fault plan must be disabled")
 	}
-	// Partitions lower to the comm plane at boot: the pair refuses
-	// traffic in both directions, everything else still delivers.
-	p = Faults{Partitions: [][2]int{{1, 3}}}.perturbation(4)
-	if !p.Enabled() || !p.Faulted() {
-		t.Fatal("partitioned plan must be enabled and faulted")
+	// Partitions are schedule-driven now: the boot perturbation must NOT
+	// pre-sever the pair — the engine severs it at its scheduled phase.
+	p = Faults{Partitions: []PartitionSpec{{A: 1, B: 3, Phase: 1}}}.perturbation(4)
+	if p.Enabled() {
+		t.Fatal("scheduled partitions must not lower into the boot perturbation")
 	}
-	if p.Reachable(1, 3) || p.Reachable(3, 1) {
-		t.Fatal("partitioned pair still reachable")
+	if !p.Reachable(1, 3) || !p.Deliverable(3, 1) {
+		t.Fatal("pair refused before its scheduled sever")
 	}
-	if !p.Reachable(1, 2) || !p.Deliverable(0, 3) {
-		t.Fatal("unpartitioned traffic refused")
+}
+
+// parkConfig lowers the retry knobs into the comm plane's units.
+func TestRetrySpecParkConfig(t *testing.T) {
+	// No Retry block: the defaults apply, plane enabled.
+	pc := (Faults{}).parkConfig()
+	if pc.Disable {
+		t.Fatal("retry plane disabled by default")
+	}
+	pc = Faults{Retry: &RetrySpec{Disabled: true}}.parkConfig()
+	if !pc.Disable {
+		t.Fatal("retry.disabled did not lower to ParkConfig.Disable")
+	}
+	pc = Faults{Retry: &RetrySpec{DeadlineMS: 500, Capacity: 1024}}.parkConfig()
+	if pc.DeadlineNS != 500_000_000 {
+		t.Fatalf("deadline_ms 500 lowered to %d ns, want 500000000", pc.DeadlineNS)
+	}
+	if pc.Capacity != 1024 {
+		t.Fatalf("capacity lowered to %d, want 1024", pc.Capacity)
+	}
+	// Fractional milliseconds survive the unit change.
+	pc = Faults{Retry: &RetrySpec{DeadlineMS: 0.5}}.parkConfig()
+	if pc.DeadlineNS != 500_000 {
+		t.Fatalf("deadline_ms 0.5 lowered to %d ns, want 500000", pc.DeadlineNS)
 	}
 }

@@ -164,6 +164,12 @@ func (t *Telemetry) Options() telemetry.Options {
 				// budget drains to the lost-ops ledger, but no failover
 				// runs — recovery is the spec-scheduled crash's job.
 				return sys.Crash(req.CrashLocale)
+			case req.Sever:
+				return sys.Sever(req.SeverA, req.SeverB)
+			case req.Heal:
+				// Heal pumps the retry ledgers synchronously; a pair that
+				// is not currently severed errors into the 422 path.
+				return sys.Heal(req.HealA, req.HealB)
 			case req.Clear:
 				p.Scales = nil
 				sys.SetPerturbation(p)
@@ -178,7 +184,7 @@ func (t *Telemetry) Options() telemetry.Options {
 				p.Scales = comm.SlowLocale(sys.NumLocales(), req.SlowLocale, req.SlowFactor).Scales
 				sys.SetPerturbation(p)
 			default:
-				return fmt.Errorf("workload: fault request needs crash, clear, scales, or slow_factor")
+				return fmt.Errorf("workload: fault request needs crash, sever, heal, clear, scales, or slow_factor")
 			}
 			return nil
 		},
